@@ -1,0 +1,76 @@
+// Ablation: quotient quality. The design space between (D) Fast Binary
+// (quotient always 1), (E) Approximate (α·D^β from the top two words, one
+// 2d-bit division) and (B) Fast (exact multiword quotient) trades division
+// cost against iteration count. This bench isolates that trade-off on one
+// CPU core: iterations per GCD, divisions per GCD, and wall time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/timer.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/lehmer.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+int main() {
+  bench::banner("bench_ablation_quotient",
+                "design ablation: quotient quality (D: unit, E: approx, B: exact)");
+
+  const std::size_t m = 2 * bench::env_size("BULKGCD_BENCH_MODULI", 48);
+  const gcd::Variant variants[] = {gcd::Variant::kFastBinary,
+                                   gcd::Variant::kApproximate,
+                                   gcd::Variant::kFast};
+
+  for (const bool early : {false, true}) {
+    std::printf("\n-- %s versions\n", early ? "Early-terminate" : "Non-terminate");
+    Table table({"bits", "quotient strategy", "iterations/gcd", "divisions/gcd",
+                 "us/gcd"});
+    for (const auto bits : bench::bit_sizes()) {
+      const auto& moduli = bench::corpus(bits, m);
+      for (const auto variant : variants) {
+        gcd::GcdEngine<std::uint32_t> engine(bits / 32);
+        gcd::GcdStats st;
+        Timer timer;
+        std::size_t pairs = 0;
+        for (std::size_t i = 0; i + 1 < moduli.size(); i += 2) {
+          engine.run(variant, moduli[i].limbs(), moduli[i + 1].limbs(),
+                     early ? bits / 2 : 0, &st);
+          ++pairs;
+        }
+        const double us = timer.micros() / double(pairs);
+        const char* label = variant == gcd::Variant::kFastBinary ? "unit (D)"
+                            : variant == gcd::Variant::kApproximate
+                                ? "approx 2d-bit (E)"
+                                : "exact multiword (B)";
+        table.add_row({std::to_string(bits), label,
+                       bench::fmt(double(st.iterations) / double(pairs), 1),
+                       bench::fmt(double(st.divisions) / double(pairs), 1),
+                       bench::fmt(us, 2)});
+      }
+      if (!early) {
+        // Lehmer windows (extension baseline; has no early-terminate mode
+        // here — it computes the exact gcd).
+        gcd::LehmerStats lst;
+        Timer timer;
+        std::size_t pairs = 0;
+        for (std::size_t i = 0; i + 1 < moduli.size(); i += 2) {
+          gcd::gcd_lehmer(moduli[i], moduli[i + 1], &lst);
+          ++pairs;
+        }
+        table.add_row({std::to_string(bits), "Lehmer windows (ext)",
+                       bench::fmt(double(lst.window_rounds) / double(pairs), 1),
+                       bench::fmt(double(lst.fallback_divisions) / double(pairs), 1),
+                       bench::fmt(timer.micros() / double(pairs), 2)});
+      }
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nexpectation: (E) needs half the iterations of (D) at the cost of one\n"
+      "hardware division each — a clear win. (B) saves at most a handful of\n"
+      "iterations over (E) but pays a full multiword division per iteration,\n"
+      "so it loses on wall time: the paper's core design point.\n");
+  return 0;
+}

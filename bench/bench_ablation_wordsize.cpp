@@ -1,0 +1,68 @@
+// Ablation: the paper fixes d = 32 ("compute an approximation of quotient by
+// just one 64-bit division"). Sweep the word size d ∈ {16, 32, 64} through
+// the limb-templated engine: iteration counts drop slightly with larger d
+// (better approximations), while per-iteration work is dominated by s/d limb
+// operations — d = 32 is where 2d-bit hardware division is still cheap.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/timer.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/reference.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+namespace {
+
+/// Re-express a u32-limbed value with limb type Limb.
+template <typename Limb>
+mp::BigIntT<Limb> convert(const mp::BigInt& v) {
+  return mp::BigIntT<Limb>::from_hex(v.to_hex());
+}
+
+template <typename Limb>
+std::pair<double, double> run_wordsize(const std::vector<mp::BigInt>& moduli,
+                                       std::size_t early_bits) {
+  std::vector<mp::BigIntT<Limb>> converted;
+  converted.reserve(moduli.size());
+  for (const auto& n : moduli) converted.push_back(convert<Limb>(n));
+  gcd::GcdEngine<Limb> engine(converted.front().size());
+  gcd::GcdStats st;
+  Timer timer;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i + 1 < converted.size(); i += 2) {
+    engine.run(gcd::Variant::kApproximate, converted[i].limbs(),
+               converted[i + 1].limbs(), early_bits, &st);
+    ++pairs;
+  }
+  return {double(st.iterations) / double(pairs), timer.micros() / double(pairs)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_ablation_wordsize",
+                "design ablation: word size d (paper fixes d = 32)");
+
+  const std::size_t m = 2 * bench::env_size("BULKGCD_BENCH_MODULI", 48);
+  Table table({"bits", "d", "iterations/gcd", "us/gcd (1 core)"});
+  for (const auto bits : bench::bit_sizes()) {
+    const auto& moduli = bench::corpus(bits, m);
+    const auto [i16, t16] = run_wordsize<std::uint16_t>(moduli, bits / 2);
+    const auto [i32, t32] = run_wordsize<std::uint32_t>(moduli, bits / 2);
+    const auto [i64, t64] = run_wordsize<std::uint64_t>(moduli, bits / 2);
+    table.add_row({std::to_string(bits), "16", bench::fmt(i16, 1), bench::fmt(t16, 2)});
+    table.add_row({std::to_string(bits), "32", bench::fmt(i32, 1), bench::fmt(t32, 2)});
+    table.add_row({std::to_string(bits), "64", bench::fmt(i64, 1), bench::fmt(t64, 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nexpectation: iterations barely move from d = 16 to 64 (the quotient\n"
+      "approximation saturates), but us/gcd drops roughly with 1/d because\n"
+      "each iteration streams s/d limbs — on CPUs with cheap 128-bit\n"
+      "division d = 64 wins; CUDA cores had fast 64-bit division only, hence\n"
+      "the paper's d = 32.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension bench: the paper's pairwise bulk attack vs Bernstein-style batch
+// GCD (the fastgcd lineage). Batch GCD does O(m log m) big multiplications
+// and divisions; pairwise does m(m-1)/2 cheap GCDs. On a serial machine
+// batch GCD wins quickly with corpus size; the paper's contribution is that
+// massive GPU parallelism pushes the pairwise approach back into relevance.
+// This bench locates the serial crossover on this machine.
+#include <cstdio>
+
+#include "batchgcd/batchgcd.hpp"
+#include "bench_util.hpp"
+#include "bulk/allpairs.hpp"
+#include "core/timer.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+int main() {
+  bench::banner("bench_batchgcd_crossover",
+                "extension: all-pairs (paper) vs batch GCD (fastgcd baseline)");
+
+  const std::size_t bits = 1024;
+  Table table({"moduli m", "pairs", "all-pairs s", "batch-gcd s",
+               "all-pairs/batch"});
+  for (const std::size_t m : {8u, 16u, 32u, 64u, 128u}) {
+    const auto& moduli = bench::corpus(bits, m);
+
+    bulk::AllPairsConfig config;
+    config.pool_threads = 1;
+    Timer pairwise_timer;
+    const auto pairwise = bulk::all_pairs_gcd(moduli, config);
+    const double pairwise_s = pairwise_timer.seconds();
+
+    Timer batch_timer;
+    const auto batch = batchgcd::batch_gcd(moduli);
+    const double batch_s = batch_timer.seconds();
+
+    if (!batchgcd::weak_indices(batch).empty() || !pairwise.hits.empty()) {
+      std::printf("unexpected weak key in clean corpus!\n");
+      return 1;
+    }
+    table.add_row({std::to_string(m), bench::fmt_u(pairwise.pairs_tested),
+                   bench::fmt(pairwise_s, 4), bench::fmt(batch_s, 4),
+                   bench::fmt(pairwise_s / batch_s, 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nexpectation: all-pairs cost grows ~m^2, batch GCD ~m log m (with a\n"
+      "large constant from huge-number arithmetic); the ratio climbs with m\n"
+      "and crosses 1 at moderate corpus sizes — the reason the paper needs a\n"
+      "GPU (~100x bulk parallelism) for the pairwise approach to compete at\n"
+      "web scale.\n");
+  return 0;
+}

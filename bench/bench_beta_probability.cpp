@@ -1,0 +1,75 @@
+// Reproduces Section V's statistic: approx() returns β > 0 extremely rarely
+// at d = 32 (the paper observed 1191 non-zero β in 2.0e11 calls, < 1e-8),
+// and the approx-case histogram showing Case 4-A dominates for RSA moduli.
+// Also demonstrates the d-dependence by running the reference at small word
+// sizes where β > 0 is common.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/reference.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+int main() {
+  bench::banner("bench_beta_probability",
+                "§V beta>0 probability and approx-case histogram");
+
+  const std::size_t pairs = bench::env_size("BULKGCD_BENCH_PAIRS", 200);
+  const auto sizes = bench::bit_sizes();
+
+  std::printf("\n-- d = 32 production engine, early-terminate RSA sweeps\n");
+  Table table({"bits", "pairs", "iterations (=approx calls)", "beta>0", "P(beta>0)",
+               "case 4-A", "case 4-B", "case 4-C"});
+  for (const auto bits : sizes) {
+    const std::size_t n_pairs = bits <= 1024 ? pairs : std::max<std::size_t>(16, pairs / 8);
+    std::size_t m = 2;
+    while (m * (m - 1) / 2 < n_pairs) ++m;
+    const auto& moduli = bench::corpus(bits, m);
+    gcd::GcdEngine<std::uint32_t> engine(bits / 32);
+    gcd::GcdStats st;
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < moduli.size() && done < n_pairs; ++i) {
+      for (std::size_t j = i + 1; j < moduli.size() && done < n_pairs; ++j) {
+        engine.run(gcd::Variant::kApproximate, moduli[i].limbs(),
+                   moduli[j].limbs(), bits / 2, &st);
+        ++done;
+      }
+    }
+    const auto case_count = [&](gcd::ApproxCase c) {
+      return st.approx_cases[std::size_t(c)];
+    };
+    table.add_row({std::to_string(bits), bench::fmt_u(done),
+                   bench::fmt_u(st.iterations), bench::fmt_u(st.beta_nonzero),
+                   st.beta_nonzero == 0
+                       ? "< 1/" + bench::fmt_u(st.iterations)
+                       : bench::fmt(double(st.beta_nonzero) / double(st.iterations), 9),
+                   bench::fmt_u(case_count(gcd::ApproxCase::k4A)),
+                   bench::fmt_u(case_count(gcd::ApproxCase::k4B)),
+                   bench::fmt_u(case_count(gcd::ApproxCase::k4C))});
+  }
+  table.print();
+
+  std::printf("\n-- word-size dependence (reference engine, 512-bit pairs, "
+              "non-terminate)\n");
+  Table by_d({"d", "iterations", "beta>0", "P(beta>0)"});
+  const auto& moduli = bench::corpus(512, 12);
+  for (const unsigned d : {4u, 8u, 16u, 32u}) {
+    gcd::GcdStats st;
+    for (std::size_t i = 0; i + 1 < moduli.size(); i += 2) {
+      const auto run = gcd::ref_approximate(moduli[i], moduli[i + 1], d);
+      st += run.stats;
+    }
+    by_d.add_row({std::to_string(d), bench::fmt_u(st.iterations),
+                  bench::fmt_u(st.beta_nonzero),
+                  bench::fmt(double(st.beta_nonzero) / double(st.iterations), 6)});
+  }
+  by_d.print();
+
+  std::printf(
+      "\npaper expectation: beta>0 never fires at d = 32 on corpora of this\n"
+      "size (probability < 1e-8); at tiny word sizes (d = 4, 8) it fires\n"
+      "routinely, which is why the kernel still needs the 4·s/d path.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Figure 3's point: the column-wise arrangement of the bulk
+// execution's working arrays makes warp accesses coalesced, the row-wise
+// arrangement serializes them. Shown two ways:
+//   (a) UMM-modelled time units for replayed Approximate-Euclidean traces;
+//   (b) real wall-clock of the SIMT bulk engine on this CPU, where the
+//       column layout turns into strided (cache-hostile) access for a single
+//       core — the *model* wins with column-wise, a sequential cache
+//       hierarchy with row-wise, which is exactly why GPUs and CPUs want
+//       opposite layouts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bulk/simt.hpp"
+#include "core/timer.hpp"
+#include "umm/oblivious.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+namespace {
+
+template <template <class> class Matrix>
+double time_simt(const std::vector<mp::BigInt>& moduli, std::size_t lanes,
+                 std::size_t early_bits) {
+  bulk::SimtBatch<std::uint32_t, Matrix> batch(lanes, moduli.front().size(), 32);
+  const std::size_t m = moduli.size();
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const auto [a, b] = bench::cyclic_pair(i, m);
+    batch.load(i, moduli[a].limbs(), moduli[b].limbs());
+  }
+  Timer timer;
+  batch.run(gcd::Variant::kApproximate, early_bits);
+  return timer.micros() / double(lanes);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_coalescing",
+                "Figure 3 (column-wise vs row-wise arrangement)");
+
+  const std::size_t bits = 1024;
+  const std::size_t lanes = 2048;
+  // Lanes cycle over a smaller corpus (pair identity does not affect the
+  // layout comparison; generating 4096 fresh moduli would dominate runtime).
+  const auto& moduli = bench::corpus(bits, 256);
+
+  // (a) UMM model.
+  std::vector<std::pair<mp::BigInt, mp::BigInt>> pairs;
+  for (std::size_t i = 0; i < 32; ++i) {
+    pairs.emplace_back(moduli[2 * i], moduli[2 * i + 1]);
+  }
+  const auto traces =
+      umm::collect_traces(gcd::Variant::kApproximate, pairs, bits / 2, 40);
+  Table model({"layout", "UMM time units", "per GCD",
+               "address groups per warp dispatch"});
+  const umm::UmmSimulator sim({32, 16});
+  for (const auto layout : {umm::Layout::kColumnWise, umm::Layout::kRowWise}) {
+    const auto result = sim.replay_iteration_aligned(traces, layout, 80);
+    model.add_row({to_string(layout), bench::fmt_u(result.time_units),
+                   bench::fmt(double(result.time_units) / double(pairs.size()), 0),
+                   bench::fmt(double(result.stage_slots) /
+                                  double(result.warp_dispatches),
+                              2)});
+  }
+  std::printf("\n(a) UMM model (w=32, l=16, iteration-lockstep), %zu traced "
+              "1024-bit pairs:\n",
+              pairs.size());
+  model.print();
+
+  // (b) real CPU wall-clock of the SIMT engine under both layouts.
+  Table wall({"layout", "us per GCD (1 CPU core)"});
+  wall.add_row({"column-wise (ColumnMatrix)",
+                bench::fmt(time_simt<bulk::ColumnMatrix>(moduli, lanes, bits / 2), 2)});
+  wall.add_row({"row-wise (RowMatrix)",
+                bench::fmt(time_simt<bulk::RowMatrix>(moduli, lanes, bits / 2), 2)});
+  std::printf("\n(b) SIMT engine wall-clock, %zu lanes of %zu-bit pairs:\n",
+              lanes, bits);
+  wall.print();
+
+  std::printf(
+      "\npaper expectation: on the UMM (the GPU model) a column-wise warp\n"
+      "dispatch touches ~2 address groups (one per value buffer) while\n"
+      "row-wise touches one group PER THREAD — the Figure-3 coalescing\n"
+      "argument, several times cheaper column-wise. On one sequential CPU\n"
+      "core the preference INVERTS (row-wise keeps each lane's limbs in one\n"
+      "cache line): the bulk column layout is a GPU-specific optimization.\n");
+  return 0;
+}

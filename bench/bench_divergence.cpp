@@ -1,0 +1,55 @@
+// Reproduces §VII's branch-divergence observation: on a SIMT machine Binary
+// Euclidean's three-way if/else-if/else serializes warps (the paper blames
+// this for its poor CPU/GPU ratio of ~16-23 vs ~50-130 for the others),
+// while Fast Binary has a single branch and Approximate Euclidean's second
+// branch (β > 0) fires with probability < 1e-8.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bulk/simt.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+int main() {
+  bench::banner("bench_divergence",
+                "§VII branch divergence on the SIMT engine (warp statistics)");
+
+  const std::size_t lanes = bench::env_size("BULKGCD_BENCH_MODULI", 64);
+  const auto sizes = bench::bit_sizes();
+  const gcd::Variant variants[] = {gcd::Variant::kBinary,
+                                   gcd::Variant::kFastBinary,
+                                   gcd::Variant::kApproximate};
+
+  Table table({"bits", "algorithm", "warp rounds", "divergent rounds",
+               "divergent %", "serialization factor", "lane utilization"});
+  for (const auto bits : sizes) {
+    const std::size_t m = bits <= 1024 ? 64 : 16;
+    const auto& moduli = bench::corpus(bits, m);
+    for (const auto variant : variants) {
+      bulk::SimtBatch<std::uint32_t> batch(lanes, bits / 32, 32);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        const auto [a, b] = bench::cyclic_pair(i, m);
+        batch.load(i, moduli[a].limbs(), moduli[b].limbs());
+      }
+      batch.run(variant, bits / 2);  // early-terminate, as on the GPU
+      const auto& st = batch.stats();
+      table.add_row(
+          {std::to_string(bits), to_string(variant),
+           bench::fmt_u(st.warp_rounds), bench::fmt_u(st.divergent_warp_rounds),
+           bench::fmt(100.0 * double(st.divergent_warp_rounds) /
+                          double(st.warp_rounds),
+                      1),
+           bench::fmt(st.serialization_factor(), 3),
+           bench::fmt(st.lane_utilization(), 3)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\npaper expectation: Binary serializes ~2-3 branch groups per warp\n"
+      "round; Fast Binary exactly 1; Approximate ~1 (its beta>0 branch never\n"
+      "fires at d = 32). This is the mechanism behind Table V's CPU/GPU\n"
+      "ratio gap for (C).\n");
+  return 0;
+}

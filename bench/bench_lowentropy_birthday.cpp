@@ -1,0 +1,57 @@
+// Extension: the weak-key *mechanism*. The paper's motivation (Lenstra et
+// al., "Ron was wrong, Whit is right") is that a fraction of real-world
+// moduli share primes because low-entropy devices draw primes from a small
+// pool. This bench generates corpora with a controlled entropy pool,
+// compares observed factor-sharing pairs against the birthday-statistics
+// closed form, and confirms the bulk all-pairs sweep recovers exactly the
+// colliding pairs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bulk/allpairs.hpp"
+#include "rsa/corpus.hpp"
+
+using namespace bulkgcd;
+using bench::Table;
+
+int main() {
+  bench::banner("bench_lowentropy_birthday",
+                "extension: birthday statistics of low-entropy key generation");
+
+  const std::size_t count = 96;
+  Table table({"pool size", "expected weak pairs", "observed", "sweep found",
+               "weak-key fraction %"});
+  for (const std::size_t pool : {32u, 64u, 128u, 512u, 4096u}) {
+    rsa::LowEntropySpec spec;
+    spec.count = count;
+    spec.modulus_bits = 128;  // factor size is irrelevant to the statistics
+    spec.pool_size = pool;
+    spec.seed = 20120217;  // the Lenstra et al. ePrint date
+    const auto corpus = rsa::generate_low_entropy_corpus(spec);
+
+    const auto sweep = bulk::all_pairs_gcd(corpus.moduli);
+    std::vector<bool> weak(count, false);
+    for (const auto& hit : sweep.hits) weak[hit.i] = weak[hit.j] = true;
+    std::size_t weak_keys = 0;
+    for (const bool w : weak) weak_keys += w;
+
+    table.add_row({std::to_string(pool),
+                   bench::fmt(rsa::expected_weak_pairs(spec), 1),
+                   bench::fmt_u(corpus.weak_pairs.size()),
+                   bench::fmt_u(sweep.hits.size()),
+                   bench::fmt(100.0 * double(weak_keys) / double(count), 1)});
+    if (sweep.hits.size() != corpus.weak_pairs.size()) {
+      std::printf("!! sweep disagrees with ground truth at pool=%zu\n", pool);
+      return 1;
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: observed collisions track the closed form 1-(N-2)(N-3)/\n"
+      "(N(N-1)) per pair; the sweep recovers exactly the ground-truth pairs.\n"
+      "Lenstra et al. found ~0.2%% of 6.4M web keys factorable — equivalent\n"
+      "to an effective pool vastly smaller than the 2^507 a healthy 1024-bit\n"
+      "keygen samples from.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Shared helpers for the table/figure reproduction binaries: corpus caching,
+// fixed-width table printing, and environment-based scaling.
+//
+// Every binary runs with NO arguments at laptop-friendly defaults; set
+//   BULKGCD_BENCH_PAIRS   — pairs per Table-IV cell (default 200)
+//   BULKGCD_BENCH_MODULI  — moduli per Table-V sweep (default 48)
+//   BULKGCD_BENCH_MAXBITS — largest modulus size (default 4096)
+// to rescale. The paper used 10000 pairs / 16K moduli on a 2013 GPU; the
+// statistics of interest (iteration means, algorithm ratios) converge at far
+// smaller corpora.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mp/bigint.hpp"
+#include "rsa/corpus.hpp"
+
+namespace bulkgcd::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? std::size_t(parsed) : fallback;
+}
+
+inline std::vector<std::size_t> bit_sizes() {
+  const std::size_t max_bits = env_size("BULKGCD_BENCH_MAXBITS", 4096);
+  std::vector<std::size_t> sizes;
+  for (const std::size_t bits : {512u, 1024u, 2048u, 4096u}) {
+    if (bits <= max_bits) sizes.push_back(bits);
+  }
+  return sizes;
+}
+
+/// Cache of RSA-moduli corpora keyed by (bits, count): in-process map plus a
+/// disk cache shared across the bench binaries (prime generation would
+/// otherwise dominate every run). Cache dir: $BULKGCD_CORPUS_CACHE, default
+/// /tmp/bulkgcd_corpus_cache.
+inline const std::vector<mp::BigInt>& corpus(std::size_t bits, std::size_t count,
+                                             std::uint64_t seed = 20150525) {
+  static std::map<std::pair<std::size_t, std::size_t>, std::vector<mp::BigInt>>
+      cache;
+  auto& slot = cache[{bits, count}];
+  if (!slot.empty()) return slot;
+
+  const char* dir_env = std::getenv("BULKGCD_CORPUS_CACHE");
+  const std::filesystem::path dir =
+      dir_env ? dir_env : "/tmp/bulkgcd_corpus_cache";
+  const std::filesystem::path file =
+      dir / ("moduli_" + std::to_string(bits) + "_" + std::to_string(count) +
+             "_" + std::to_string(seed) + ".hex");
+  std::error_code ignored;
+  std::filesystem::create_directories(dir, ignored);
+
+  if (std::ifstream in{file}) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) slot.push_back(mp::BigInt::from_hex(line));
+    }
+    if (slot.size() == count) return slot;
+    slot.clear();  // stale or truncated: regenerate
+  }
+
+  rsa::CorpusSpec spec;
+  spec.count = count;
+  spec.modulus_bits = bits;
+  spec.weak_pairs = 0;
+  spec.seed = seed + bits;
+  slot = rsa::generate_corpus(spec).moduli;
+
+  if (std::ofstream out{file}) {
+    for (const auto& n : slot) out << n.to_hex() << "\n";
+  }
+  return slot;
+}
+
+/// Deterministic pair (a, b) with a != b cycling over a corpus — lets a bench
+/// use many lanes without generating lanes*2 fresh moduli.
+inline std::pair<std::size_t, std::size_t> cyclic_pair(std::size_t k,
+                                                       std::size_t m) {
+  const std::size_t a = k % m;
+  std::size_t b = (k + 1 + k / m) % m;
+  if (a == b) b = (b + 1) % m;
+  return {a, b};
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) rule += "+";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double value, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)value);
+  return buf;
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bulkgcd::bench

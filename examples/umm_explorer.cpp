@@ -1,0 +1,72 @@
+// UMM model explorer: an interactive-style CLI over the paper's GPU cost
+// model. Traces real GCD executions, replays them on the Unified Memory
+// Machine under both data layouts, sweeps the machine width/latency, and
+// prints where Theorem 1's bound sits relative to the semi-oblivious
+// reality — the quantitative version of the paper's Section VI argument.
+//
+//   $ ./umm_explorer [pairs] [modulus_bits]
+//   defaults:         16      512
+#include <cstdio>
+#include <cstdlib>
+
+#include "bulkgcd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bulkgcd;
+
+  const std::size_t n_pairs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::size_t bits = argc > 2 ? std::atoi(argv[2]) : 512;
+
+  // Build a workload of coprime RSA-moduli pairs.
+  Xoshiro256 rng(99);
+  std::vector<std::pair<mp::BigInt, mp::BigInt>> pairs;
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    pairs.emplace_back(
+        rsa::random_prime(rng, bits / 2) * rsa::random_prime(rng, bits / 2),
+        rsa::random_prime(rng, bits / 2) * rsa::random_prime(rng, bits / 2));
+  }
+  const std::size_t span = bits / 32 + 2;
+
+  std::printf("workload: %zu pairs of %zu-bit RSA moduli, early-terminate\n\n",
+              n_pairs, bits);
+
+  for (const gcd::Variant variant :
+       {gcd::Variant::kBinary, gcd::Variant::kFastBinary,
+        gcd::Variant::kApproximate}) {
+    const auto traces = umm::collect_traces(variant, pairs, bits / 2, span);
+    const auto report = umm::analyze_traces(traces);
+    std::printf("%s\n", to_string(variant));
+    std::printf("  obliviousness: %.2f distinct addresses per lockstep unit "
+                "(1.0 = oblivious, %zu = fully divergent)\n",
+                report.mean_distinct_addresses(), n_pairs);
+
+    std::printf("  %-18s %-14s %-14s %-14s %-12s\n", "machine (w, l)",
+                "column-wise", "row-wise", "pipeline(col)", "theorem-1");
+    for (const auto [w, l] : {std::pair<std::size_t, std::size_t>{8, 16},
+                              {32, 16},
+                              {32, 100},
+                              {32, 400}}) {
+      const umm::UmmSimulator sim({w, l});
+      const umm::PipelineSimulator pipe({w, l});
+      const auto col =
+          sim.replay_iteration_aligned(traces, umm::Layout::kColumnWise, 2 * span);
+      const auto row =
+          sim.replay_iteration_aligned(traces, umm::Layout::kRowWise, 2 * span);
+      const auto cyc = pipe.replay(traces, umm::Layout::kColumnWise, 2 * span);
+      std::printf("  w=%-3zu l=%-10zu %-14llu %-14llu %-14llu %-12llu\n", w, l,
+                  (unsigned long long)col.time_units,
+                  (unsigned long long)row.time_units,
+                  (unsigned long long)cyc.time_units,
+                  (unsigned long long)sim.theorem1_time(n_pairs, col.steps));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: column-wise sits a small factor above the Theorem-1 bound\n"
+      "(the semi-oblivious gap: two value buffers + ragged operand sizes);\n"
+      "row-wise pays ~one address group per thread. Larger l hides layout\n"
+      "sins behind pipeline latency; larger machines (more warps) expose\n"
+      "them.\n");
+  return 0;
+}

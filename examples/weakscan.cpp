@@ -1,0 +1,156 @@
+// weakscan — a small command-line scanner around the library, showing the
+// operational workflow: keep a key corpus on disk, scan it, and vet each
+// newly harvested key incrementally.
+//
+//   weakscan generate <file> <count> <bits> <weak_pairs> [seed]
+//       synthesize a corpus and write it as a keystore file
+//   weakscan scan <file>
+//       full all-pairs sweep over the stored moduli
+//   weakscan probe <file> <modulus-hex>
+//       test one new modulus against the stored corpus (incremental mode)
+//   weakscan export-pem <file> <pem-file>
+//       write the stored moduli as a PEM bundle (e = 65537 assumed)
+//   weakscan scan-pem <pem-file>
+//       full sweep over RSA public keys harvested as a PEM bundle
+//
+// Example session:
+//   ./weakscan generate /tmp/corpus.keys 64 512 2
+//   ./weakscan scan /tmp/corpus.keys
+//   ./weakscan probe /tmp/corpus.keys $(head -2 /tmp/corpus.keys | tail -1 | cut -d' ' -f2)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bulkgcd.hpp"
+#include "rsa/keystore.hpp"
+#include "rsa/pem.hpp"
+
+#include <fstream>
+#include <sstream>
+
+using namespace bulkgcd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  weakscan generate <file> <count> <bits> <weak_pairs> [seed]\n"
+               "  weakscan scan <file>\n"
+               "  weakscan probe <file> <modulus-hex>\n"
+               "  weakscan export-pem <file> <pem-file>\n"
+               "  weakscan scan-pem <pem-file>\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 6) return usage();
+  rsa::CorpusSpec spec;
+  spec.count = std::atoi(argv[3]);
+  spec.modulus_bits = std::atoi(argv[4]);
+  spec.weak_pairs = std::atoi(argv[5]);
+  spec.seed = argc > 6 ? std::atoll(argv[6]) : 1;
+  const rsa::WeakCorpus corpus = rsa::generate_corpus(spec);
+  rsa::save_moduli(argv[2], corpus.moduli,
+                   "weakscan corpus: " + std::to_string(spec.count) + " x " +
+                       std::to_string(spec.modulus_bits) + " bits, " +
+                       std::to_string(spec.weak_pairs) + " weak pair(s)");
+  std::printf("wrote %zu moduli to %s (%zu weak pairs planted)\n",
+              corpus.moduli.size(), argv[2], corpus.weak.size());
+  return 0;
+}
+
+int cmd_scan(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto moduli = rsa::load_moduli(argv[2]);
+  std::printf("scanning %zu moduli (%zu pairs)...\n", moduli.size(),
+              moduli.size() * (moduli.size() - 1) / 2);
+  const bulk::AllPairsResult sweep = bulk::all_pairs_gcd(moduli);
+  std::printf("%.3f s, %.2f us/gcd\n", sweep.seconds, sweep.micros_per_gcd());
+  if (sweep.hits.empty()) {
+    std::printf("no shared factors found\n");
+    return 0;
+  }
+  for (const auto& hit : sweep.hits) {
+    std::printf("WEAK: moduli %zu and %zu share %zu-bit prime %s...\n", hit.i,
+                hit.j, hit.factor.bit_length(),
+                hit.factor.to_hex().substr(0, 24).c_str());
+  }
+  return 1;  // nonzero exit when weak keys exist: scriptable
+}
+
+int cmd_probe(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto corpus = rsa::load_moduli(argv[2]);
+  const mp::BigInt candidate = mp::BigInt::from_hex(argv[3]);
+  const auto hits = bulk::probe_incremental(candidate, corpus);
+  if (hits.empty()) {
+    std::printf("candidate shares no factor with the %zu stored moduli\n",
+                corpus.size());
+    return 0;
+  }
+  for (const auto& hit : hits) {
+    std::printf("WEAK: candidate shares %zu-bit factor with stored modulus "
+                "%zu: %s...\n",
+                hit.factor.bit_length(), hit.corpus_index,
+                hit.factor.to_hex().substr(0, 24).c_str());
+  }
+  return 1;
+}
+
+int cmd_export_pem(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto moduli = rsa::load_moduli(argv[2]);
+  std::ofstream out(argv[3]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 2;
+  }
+  const mp::BigInt e(rsa::kDefaultPublicExponent);
+  for (const auto& n : moduli) {
+    out << rsa::pem_encode_public_key({n, e}, rsa::PemKind::kSpki);
+  }
+  std::printf("wrote %zu PEM public keys to %s\n", moduli.size(), argv[3]);
+  return 0;
+}
+
+int cmd_scan_pem(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto keys = rsa::pem_decode_bundle(text.str());
+  std::vector<mp::BigInt> moduli;
+  moduli.reserve(keys.size());
+  for (const auto& key : keys) moduli.push_back(key.n);
+  std::printf("loaded %zu PEM keys; scanning %zu pairs...\n", moduli.size(),
+              moduli.size() * (moduli.size() - 1) / 2);
+  const bulk::AllPairsResult sweep = bulk::all_pairs_gcd(moduli);
+  for (const auto& hit : sweep.hits) {
+    std::printf("WEAK: keys %zu and %zu share a %zu-bit prime\n", hit.i, hit.j,
+                hit.factor.bit_length());
+  }
+  if (sweep.hits.empty()) std::printf("no shared factors found\n");
+  return sweep.hits.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "scan") == 0) return cmd_scan(argc, argv);
+    if (std::strcmp(argv[1], "probe") == 0) return cmd_probe(argc, argv);
+    if (std::strcmp(argv[1], "export-pem") == 0) return cmd_export_pem(argc, argv);
+    if (std::strcmp(argv[1], "scan-pem") == 0) return cmd_scan_pem(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,77 @@
+#include "batchgcd/batchgcd.hpp"
+
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "gcd/algorithms.hpp"
+
+namespace bulkgcd::batchgcd {
+
+ProductTree build_product_tree(std::span<const mp::BigInt> moduli) {
+  if (moduli.empty()) throw std::invalid_argument("product tree: empty input");
+  ProductTree tree;
+  tree.emplace_back(moduli.begin(), moduli.end());
+  while (tree.back().size() > 1) {
+    const auto& prev = tree.back();
+    std::vector<mp::BigInt> next((prev.size() + 1) / 2);
+    global_pool().parallel_for(0, next.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (2 * i + 1 < prev.size()) {
+          next[i] = prev[2 * i] * prev[2 * i + 1];
+        } else {
+          next[i] = prev[2 * i];  // odd element promoted unchanged
+        }
+      }
+    });
+    tree.push_back(std::move(next));
+  }
+  return tree;
+}
+
+std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree) {
+  // Walk from the root down; at each node reduce the parent's remainder
+  // modulo the node value squared.
+  std::vector<mp::BigInt> current(1, tree.back()[0]);  // root mod root² = root
+  for (std::size_t level = tree.size() - 1; level-- > 0;) {
+    const auto& nodes = tree[level];
+    std::vector<mp::BigInt> next(nodes.size());
+    global_pool().parallel_for(0, nodes.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const mp::BigInt& parent = current[i / 2];
+        const mp::BigInt square = nodes[i] * nodes[i];
+        next[i] = parent % square;
+      }
+    });
+    current = std::move(next);
+  }
+  return current;
+}
+
+BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli) {
+  BatchGcdResult result;
+  Timer timer;
+  const ProductTree tree = build_product_tree(moduli);
+  const std::vector<mp::BigInt> residues = remainder_tree_mod_squares(tree);
+
+  result.gcds.resize(moduli.size());
+  global_pool().parallel_for(0, moduli.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // residues[i] = P mod n_i²; divide by n_i to get (P / n_i) mod n_i.
+      const mp::BigInt cofactor_mod = residues[i] / moduli[i];
+      result.gcds[i] = gcd::gcd_general(moduli[i], cofactor_mod);
+    }
+  });
+  result.seconds = timer.seconds();
+  return result;
+}
+
+std::vector<std::size_t> weak_indices(const BatchGcdResult& result) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < result.gcds.size(); ++i) {
+    if (result.gcds[i] > mp::BigInt(1)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bulkgcd::batchgcd

@@ -1,0 +1,44 @@
+// Bernstein-style batch GCD (product tree + remainder tree) — the published
+// batch attack (Heninger et al. / fastgcd) that the pairwise approach is
+// usually compared against. Implemented here as the crossover baseline for
+// bench_batchgcd_crossover: batch GCD is asymptotically better in the number
+// of moduli, while the paper's bulk pairwise Approximate Euclidean wins on
+// parallel hardware for moderate corpus sizes.
+//
+// Identity used: with P = Π n_k and n_i | P,
+//   gcd(n_i, P / n_i) = gcd(n_i, (P mod n_i²) / n_i),
+// and the remainder tree delivers every P mod n_i² in O(M(total bits) log m).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::batchgcd {
+
+/// Levels of the product tree: level 0 = the moduli, each higher level the
+/// pairwise products, top level a single root Π n_i.
+using ProductTree = std::vector<std::vector<mp::BigInt>>;
+
+ProductTree build_product_tree(std::span<const mp::BigInt> moduli);
+
+/// Descend the tree: value at each leaf i is root mod n_i².
+std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree);
+
+struct BatchGcdResult {
+  /// gcds[i] = gcd(n_i, Π_{k≠i} n_k): 1 when n_i shares no factor, the
+  /// shared prime when it shares one factor, possibly n_i itself when both
+  /// factors are shared (or the modulus is duplicated).
+  std::vector<mp::BigInt> gcds;
+  double seconds = 0.0;
+};
+
+/// Run the full batch-GCD attack over the corpus.
+BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli);
+
+/// Indices i with gcds[i] > 1 (weak moduli).
+std::vector<std::size_t> weak_indices(const BatchGcdResult& result);
+
+}  // namespace bulkgcd::batchgcd

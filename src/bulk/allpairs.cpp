@@ -1,0 +1,197 @@
+#include "bulk/allpairs.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+
+namespace bulkgcd::bulk {
+
+namespace {
+
+struct Block {
+  std::size_t i, j;
+};
+
+struct LocalState {
+  std::vector<FactorHit> hits;
+  std::uint64_t pairs = 0;
+  SimtStats simt;
+  gcd::GcdStats scalar;
+};
+
+}  // namespace
+
+AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
+                             const AllPairsConfig& config) {
+  AllPairsResult result;
+  const std::size_t m = moduli.size();
+  if (m < 2) return result;
+
+  std::size_t cap = 0;
+  std::size_t bits = 0;
+  for (const auto& n : moduli) {
+    cap = std::max(cap, n.size());
+    bits = std::max(bits, n.bit_length());
+  }
+  const std::size_t early_bits = config.early_terminate ? bits / 2 : 0;
+  const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size, m));
+  const std::size_t groups = (m + r - 1) / r;
+
+  std::vector<Block> blocks;
+  blocks.reserve(groups * (groups + 1) / 2);
+  for (std::size_t i = 0; i < groups; ++i) {
+    for (std::size_t j = i; j < groups; ++j) blocks.push_back({i, j});
+  }
+  result.blocks_run = blocks.size();
+  result.input_bytes = m * cap * sizeof(std::uint32_t);
+
+  std::mutex merge_mutex;
+  Timer timer;
+
+  auto process_chunk = [&](std::size_t lo, std::size_t hi) {
+    LocalState local;
+    gcd::GcdEngine<std::uint32_t> scalar_engine(cap);
+    SimtBatch<std::uint32_t, ColumnMatrix> batch(r, cap, config.warp_width);
+
+    auto record = [&](std::size_t a, std::size_t b, const mp::BigInt& g) {
+      if (g > mp::BigInt(1)) local.hits.push_back({a, b, g});
+    };
+
+    for (std::size_t bi = lo; bi < hi; ++bi) {
+      const auto [i, j] = blocks[bi];
+      const std::size_t i_begin = i * r, i_end = std::min(i_begin + r, m);
+      const std::size_t j_begin = j * r, j_end = std::min(j_begin + r, m);
+
+      for (std::size_t jj = j_begin; jj < j_end; ++jj) {
+        const std::size_t u = jj - j_begin;
+        // Lanes: group-i members paired against n_jj this round. For the
+        // diagonal block only k < u is live (each unordered pair once).
+        const std::size_t k_end = (i == j) ? std::min(u, i_end - i_begin)
+                                           : i_end - i_begin;
+        if (k_end == 0) continue;
+
+        if (config.engine == EngineKind::kSimt) {
+          for (std::size_t k = 0; k < r; ++k) {
+            if (k < k_end) {
+              batch.load(k, moduli[i_begin + k].limbs(), moduli[jj].limbs());
+            } else {
+              batch.disable(k);
+            }
+          }
+          batch.run(config.variant, early_bits);
+          for (std::size_t k = 0; k < k_end; ++k) {
+            ++local.pairs;
+            if (!batch.early_coprime(k)) {
+              record(i_begin + k, jj, batch.gcd_of(k));
+            }
+          }
+        } else {
+          for (std::size_t k = 0; k < k_end; ++k) {
+            ++local.pairs;
+            const auto run = scalar_engine.run(
+                config.variant, moduli[i_begin + k].limbs(),
+                moduli[jj].limbs(), early_bits, &local.scalar);
+            if (!run.early_coprime) {
+              record(i_begin + k, jj,
+                     mp::BigInt::from_limbs(run.gcd));
+            }
+          }
+        }
+      }
+    }
+    if (config.engine == EngineKind::kSimt) local.simt = batch.stats();
+
+    std::lock_guard lock(merge_mutex);
+    result.pairs_tested += local.pairs;
+    result.simt += local.simt;
+    result.scalar += local.scalar;
+    result.hits.insert(result.hits.end(),
+                       std::make_move_iterator(local.hits.begin()),
+                       std::make_move_iterator(local.hits.end()));
+  };
+
+  if (config.pool_threads == 1) {
+    process_chunk(0, blocks.size());
+  } else if (config.pool_threads == 0) {
+    global_pool().parallel_for(0, blocks.size(), process_chunk);
+  } else {
+    ThreadPool pool(config.pool_threads);
+    pool.parallel_for(0, blocks.size(), process_chunk);
+  }
+
+  result.seconds = timer.seconds();
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const FactorHit& a, const FactorHit& b) {
+              return std::pair(a.i, a.j) < std::pair(b.i, b.j);
+            });
+  return result;
+}
+
+std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
+                                              std::span<const mp::BigInt> corpus,
+                                              const AllPairsConfig& config) {
+  std::vector<IncrementalHit> hits;
+  if (corpus.empty() || candidate.is_zero()) return hits;
+
+  std::size_t cap = candidate.size();
+  std::size_t bits = candidate.bit_length();
+  for (const auto& n : corpus) {
+    cap = std::max(cap, n.size());
+    bits = std::max(bits, n.bit_length());
+  }
+  const std::size_t early_bits = config.early_terminate ? bits / 2 : 0;
+  const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size,
+                                                          corpus.size()));
+  std::mutex merge_mutex;
+
+  global_pool().parallel_for(0, (corpus.size() + r - 1) / r, [&](std::size_t lo,
+                                                                 std::size_t hi) {
+    std::vector<IncrementalHit> local;
+    if (config.engine == EngineKind::kSimt) {
+      SimtBatch<std::uint32_t, ColumnMatrix> batch(r, cap, config.warp_width);
+      for (std::size_t block = lo; block < hi; ++block) {
+        const std::size_t begin = block * r;
+        const std::size_t end = std::min(begin + r, corpus.size());
+        for (std::size_t k = 0; k < r; ++k) {
+          if (begin + k < end) {
+            batch.load(k, corpus[begin + k].limbs(), candidate.limbs());
+          } else {
+            batch.disable(k);
+          }
+        }
+        batch.run(config.variant, early_bits);
+        for (std::size_t k = 0; begin + k < end; ++k) {
+          if (batch.early_coprime(k)) continue;
+          auto g = batch.gcd_of(k);
+          if (g > mp::BigInt(1)) local.push_back({begin + k, std::move(g)});
+        }
+      }
+    } else {
+      gcd::GcdEngine<std::uint32_t> engine(cap);
+      for (std::size_t block = lo; block < hi; ++block) {
+        const std::size_t begin = block * r;
+        const std::size_t end = std::min(begin + r, corpus.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto run = engine.run(config.variant, corpus[i].limbs(),
+                                      candidate.limbs(), early_bits);
+          if (run.early_coprime) continue;
+          auto g = mp::BigInt::from_limbs(run.gcd);
+          if (g > mp::BigInt(1)) local.push_back({i, std::move(g)});
+        }
+      }
+    }
+    std::lock_guard lock(merge_mutex);
+    hits.insert(hits.end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  });
+
+  std::sort(hits.begin(), hits.end(),
+            [](const IncrementalHit& a, const IncrementalHit& b) {
+              return a.corpus_index < b.corpus_index;
+            });
+  return hits;
+}
+
+}  // namespace bulkgcd::bulk

@@ -1,0 +1,73 @@
+// All-pairs GCD over a corpus of RSA moduli — the paper's CUDA grid
+// decomposition (Section VI) on top of the SIMT batch engine (or the scalar
+// engine as the CPU baseline of Table V).
+//
+// m moduli are split into ⌈m/r⌉ groups of r. Block (i, j) with i < j covers
+// the r×r cross pairs: in round u, lane k computes gcd(n_{i,k}, n_{j,u}).
+// Block (i, i) covers the intra-group pairs (lane k active in round u only
+// when k < u). Blocks with i > j exit immediately — exactly the paper's
+// kernel. Blocks are distributed over the thread pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bulk/simt.hpp"
+#include "gcd/algorithms.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::bulk {
+
+enum class EngineKind {
+  kScalar,  ///< one GcdEngine per worker, pair by pair (the CPU column)
+  kSimt,    ///< warp-lockstep batches, column-wise layout (the GPU analogue)
+};
+
+struct AllPairsConfig {
+  gcd::Variant variant = gcd::Variant::kApproximate;
+  EngineKind engine = EngineKind::kSimt;
+  bool early_terminate = true;  ///< Section V termination for RSA moduli
+  std::size_t group_size = 64;  ///< r: moduli per group == lanes per block
+  std::size_t warp_width = 32;
+  std::size_t pool_threads = 0;  ///< 0 = global pool
+};
+
+/// A factored pair: moduli[i] and moduli[j] share `factor`.
+struct FactorHit {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  mp::BigInt factor;
+};
+
+struct AllPairsResult {
+  std::vector<FactorHit> hits;     ///< sorted by (i, j)
+  std::uint64_t pairs_tested = 0;
+  std::uint64_t blocks_run = 0;
+  std::uint64_t input_bytes = 0;   ///< host→device traffic a GPU would pay
+  double seconds = 0.0;            ///< wall-clock for the whole sweep
+  SimtStats simt;                  ///< filled for EngineKind::kSimt
+  gcd::GcdStats scalar;            ///< filled for EngineKind::kScalar
+  double micros_per_gcd() const noexcept {
+    return pairs_tested == 0 ? 0.0 : seconds * 1e6 / double(pairs_tested);
+  }
+};
+
+/// Probe all m(m−1)/2 pairs of `moduli` for shared prime factors.
+AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
+                             const AllPairsConfig& config = {});
+
+/// Incremental scan: probe ONE newly harvested modulus against an existing
+/// corpus (m cheap GCDs instead of re-running the full m(m−1)/2 sweep —
+/// the daily-update mode of a web-scale scanner). Hits carry the corpus
+/// index sharing a factor with `candidate`.
+struct IncrementalHit {
+  std::size_t corpus_index = 0;
+  mp::BigInt factor;
+};
+std::vector<IncrementalHit> probe_incremental(
+    const mp::BigInt& candidate, std::span<const mp::BigInt> corpus,
+    const AllPairsConfig& config = {});
+
+}  // namespace bulkgcd::bulk

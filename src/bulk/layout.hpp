@@ -1,0 +1,104 @@
+// Column-wise data arrangement for bulk execution (the paper's Figure 3).
+//
+// For p lanes each owning an n-limb array b, element b_t[i] is stored at
+// flat index i·p + t: when all lanes touch element i in lockstep, the p
+// accesses are consecutive — coalesced on a GPU, and replayed as one address
+// group per warp by the UMM simulator. A row-wise matrix is provided as the
+// anti-pattern baseline for bench_coalescing.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "mp/limb_traits.hpp"
+
+namespace bulkgcd::bulk {
+
+/// View of one lane's array inside a lane-major or limb-major matrix:
+/// lane element i lives at base[i * stride].
+template <mp::LimbType Limb>
+struct Strided {
+  Limb* base;
+  std::size_t stride;
+  Limb& operator[](std::size_t i) const noexcept { return base[i * stride]; }
+};
+
+template <mp::LimbType Limb>
+struct ConstStrided {
+  const Limb* base;
+  std::size_t stride;
+  const Limb& operator[](std::size_t i) const noexcept {
+    return base[i * stride];
+  }
+};
+
+/// lanes × limbs matrix, column-wise (limb-major): limb i of lane t at
+/// data[i * lanes + t].
+template <mp::LimbType Limb>
+class ColumnMatrix {
+ public:
+  ColumnMatrix(std::size_t lanes, std::size_t limbs)
+      : lanes_(lanes), limbs_(limbs), data_(lanes * limbs, Limb{0}) {}
+
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t limbs() const noexcept { return limbs_; }
+
+  Strided<Limb> lane(std::size_t t) noexcept {
+    assert(t < lanes_);
+    return {data_.data() + t, lanes_};
+  }
+  ConstStrided<Limb> lane(std::size_t t) const noexcept {
+    assert(t < lanes_);
+    return {data_.data() + t, lanes_};
+  }
+
+  void fill_lane(std::size_t t, const Limb* src, std::size_t n) noexcept {
+    assert(n <= limbs_);
+    auto acc = lane(t);
+    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i];
+    for (std::size_t i = n; i < limbs_; ++i) acc[i] = Limb{0};
+  }
+
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(Limb); }
+
+ private:
+  std::size_t lanes_, limbs_;
+  std::vector<Limb> data_;
+};
+
+/// lanes × limbs matrix, row-wise (lane-major): limb i of lane t at
+/// data[t * limbs + i]. Same interface so the engines are layout-generic.
+template <mp::LimbType Limb>
+class RowMatrix {
+ public:
+  RowMatrix(std::size_t lanes, std::size_t limbs)
+      : lanes_(lanes), limbs_(limbs), data_(lanes * limbs, Limb{0}) {}
+
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t limbs() const noexcept { return limbs_; }
+
+  Strided<Limb> lane(std::size_t t) noexcept {
+    assert(t < lanes_);
+    return {data_.data() + t * limbs_, 1};
+  }
+  ConstStrided<Limb> lane(std::size_t t) const noexcept {
+    assert(t < lanes_);
+    return {data_.data() + t * limbs_, 1};
+  }
+
+  void fill_lane(std::size_t t, const Limb* src, std::size_t n) noexcept {
+    assert(n <= limbs_);
+    auto acc = lane(t);
+    for (std::size_t i = 0; i < n; ++i) acc[i] = src[i];
+    for (std::size_t i = n; i < limbs_; ++i) acc[i] = Limb{0};
+  }
+
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(Limb); }
+
+ private:
+  std::size_t lanes_, limbs_;
+  std::vector<Limb> data_;
+};
+
+}  // namespace bulkgcd::bulk

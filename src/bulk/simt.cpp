@@ -1,0 +1,8 @@
+#include "bulk/simt.hpp"
+
+namespace bulkgcd::bulk {
+
+template class SimtBatch<std::uint32_t, ColumnMatrix>;
+template class SimtBatch<std::uint32_t, RowMatrix>;
+
+}  // namespace bulkgcd::bulk

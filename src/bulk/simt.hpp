@@ -1,0 +1,306 @@
+// SIMT-style bulk GCD engine (Section VI).
+//
+// Emulates the paper's CUDA execution on the CPU: a batch of lanes (threads)
+// advances in warp lockstep, one algorithm iteration per round, over
+// column-wise state (bulk/layout.hpp). Finished lanes are predicated off,
+// exactly like divergent threads in a warp. The engine
+//   * runs the three GPU algorithms of Table V — Binary, Fast Binary,
+//     Approximate — in non- and early-terminate modes;
+//   * reuses the identical fused kernels as the scalar engine (they are
+//     accessor-generic), so results are bit-identical by construction;
+//   * records warp-divergence statistics: per warp round, how many distinct
+//     branches the active lanes took (a SIMT machine serializes them), which
+//     quantifies §VII's observation that branch divergence hurts Binary
+//     Euclidean while Approximate Euclidean is essentially divergence-free.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bulk/layout.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/approx.hpp"
+#include "gcd/kernels.hpp"
+
+namespace bulkgcd::bulk {
+
+struct SimtStats {
+  std::uint64_t rounds = 0;            ///< lockstep rounds executed
+  std::uint64_t warp_rounds = 0;       ///< (warp, round) pairs with a live lane
+  std::uint64_t lane_iterations = 0;   ///< algorithm iterations across lanes
+  std::uint64_t branch_slots = 0;      ///< Σ distinct branches per warp round
+  std::uint64_t divergent_warp_rounds = 0;  ///< warp rounds with > 1 branch
+  std::uint64_t active_lane_slots = 0; ///< Σ active lanes per warp round
+  std::uint64_t lane_slots = 0;        ///< Σ warp width per warp round
+  gcd::GcdStats gcd;                   ///< aggregated algorithm statistics
+
+  /// Mean number of serialized branch groups per warp round (1.0 = no
+  /// divergence; Binary Euclidean approaches its 3-way case split).
+  double serialization_factor() const noexcept {
+    return warp_rounds == 0 ? 1.0
+                            : double(branch_slots) / double(warp_rounds);
+  }
+  /// Fraction of lane slots doing useful work (predication utilization).
+  double lane_utilization() const noexcept {
+    return lane_slots == 0 ? 1.0
+                           : double(active_lane_slots) / double(lane_slots);
+  }
+
+  SimtStats& operator+=(const SimtStats& o) noexcept {
+    rounds += o.rounds;
+    warp_rounds += o.warp_rounds;
+    lane_iterations += o.lane_iterations;
+    branch_slots += o.branch_slots;
+    divergent_warp_rounds += o.divergent_warp_rounds;
+    active_lane_slots += o.active_lane_slots;
+    lane_slots += o.lane_slots;
+    gcd += o.gcd;
+    return *this;
+  }
+};
+
+/// A batch of GCD lanes executed in warp lockstep.
+/// Matrix selects the memory layout: ColumnMatrix (the paper's coalesced
+/// arrangement, default) or RowMatrix (the serialized baseline).
+template <mp::LimbType Limb, template <class> class Matrix = ColumnMatrix>
+class SimtBatch {
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  static constexpr int LB = mp::limb_bits<Limb>;
+
+ public:
+  /// capacity_limbs: max limb count of any input value.
+  SimtBatch(std::size_t lanes, std::size_t capacity_limbs,
+            std::size_t warp_width = 32)
+      : lanes_(lanes),
+        cap_(capacity_limbs + 2),
+        warp_(warp_width),
+        mat_a_(lanes, cap_),
+        mat_b_(lanes, cap_),
+        lx_(lanes, 0),
+        ly_(lanes, 0),
+        swapped_(lanes, 0),
+        active_(lanes, 0) {
+    if (warp_width == 0) throw std::invalid_argument("warp width must be > 0");
+  }
+
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t capacity() const noexcept { return cap_ - 2; }
+  /// Input bytes a GPU would copy host→device for this batch.
+  std::size_t input_bytes() const noexcept {
+    return mat_a_.bytes() + mat_b_.bytes();
+  }
+
+  /// Load one pair into a lane (and mark it active). Values must be odd.
+  void load(std::size_t lane, std::span<const Limb> x, std::span<const Limb> y) {
+    assert(lane < lanes_);
+    if (x.size() > capacity() || y.size() > capacity()) {
+      throw std::length_error("SimtBatch: input exceeds capacity");
+    }
+    mat_a_.fill_lane(lane, x.data(), x.size());
+    mat_b_.fill_lane(lane, y.data(), y.size());
+    lx_[lane] = gcd::acc_normalized_size(mat_a_.lane(lane), x.size());
+    ly_[lane] = gcd::acc_normalized_size(mat_b_.lane(lane), y.size());
+    swapped_[lane] = 0;
+    if (gcd::acc_compare(mat_a_.lane(lane), lx_[lane], mat_b_.lane(lane),
+                         ly_[lane]) < 0) {
+      swap_lane(lane);
+    }
+    active_[lane] = 1;
+  }
+
+  /// Mark a lane as unused (padding at the tail of a block).
+  void disable(std::size_t lane) noexcept { active_[lane] = 0; }
+
+  /// Run all active lanes to completion in warp lockstep.
+  /// Supported variants: kBinary, kFastBinary, kApproximate (the GPU
+  /// algorithms of Table V).
+  void run(gcd::Variant variant, std::size_t early_bits = 0) {
+    if (variant != gcd::Variant::kBinary &&
+        variant != gcd::Variant::kFastBinary &&
+        variant != gcd::Variant::kApproximate) {
+      throw std::invalid_argument("SimtBatch: unsupported variant");
+    }
+    // Section V: with early termination both operands keep >= early_bits
+    // bits, so when that guarantees > 2 words the restricted Case-4-only
+    // approx (the paper's actual CUDA kernel) is used.
+    section_v_ = early_bits >= 3u * std::size_t(LB);
+    bool any = true;
+    while (any) {
+      any = false;
+      bool round_counted = false;
+      for (std::size_t base = 0; base < lanes_; base += warp_) {
+        const std::size_t end = std::min(base + warp_, lanes_);
+        std::uint32_t branch_mask = 0;
+        std::size_t active_count = 0;
+        for (std::size_t lane = base; lane < end; ++lane) {
+          if (!active_[lane]) continue;
+          if (!lane_keeps_going(lane, early_bits)) {
+            active_[lane] = 0;
+            continue;
+          }
+          const int branch = step_lane(lane, variant);
+          branch_mask |= 1u << branch;
+          ++active_count;
+          ++stats_.lane_iterations;
+          any = true;
+        }
+        if (active_count > 0) {
+          if (!round_counted) {
+            ++stats_.rounds;
+            round_counted = true;
+          }
+          ++stats_.warp_rounds;
+          const int branches = std::popcount(branch_mask);
+          stats_.branch_slots += branches;
+          if (branches > 1) ++stats_.divergent_warp_rounds;
+          stats_.active_lane_slots += active_count;
+          stats_.lane_slots += warp_;
+        }
+      }
+    }
+  }
+
+  /// True when the lane's run terminated early with Y still nonzero — the
+  /// pair is coprime (Section V).
+  bool early_coprime(std::size_t lane) const noexcept { return ly_[lane] > 0; }
+
+  /// The lane's GCD (valid when !early_coprime).
+  mp::BigIntT<Limb> gcd_of(std::size_t lane) const {
+    std::vector<Limb> limbs(lx_[lane]);
+    auto x = x_lane(lane);
+    for (std::size_t i = 0; i < lx_[lane]; ++i) limbs[i] = x[i];
+    return mp::BigIntT<Limb>::from_limbs(limbs);
+  }
+
+  const SimtStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = SimtStats{}; }
+
+ private:
+  Strided<Limb> x_lane(std::size_t lane) noexcept {
+    return swapped_[lane] ? mat_b_.lane(lane) : mat_a_.lane(lane);
+  }
+  Strided<Limb> y_lane(std::size_t lane) noexcept {
+    return swapped_[lane] ? mat_a_.lane(lane) : mat_b_.lane(lane);
+  }
+  ConstStrided<Limb> x_lane(std::size_t lane) const noexcept {
+    return swapped_[lane] ? mat_b_.lane(lane) : mat_a_.lane(lane);
+  }
+
+  void swap_lane(std::size_t lane) noexcept {
+    swapped_[lane] ^= 1;
+    std::swap(lx_[lane], ly_[lane]);
+  }
+
+  bool lane_keeps_going(std::size_t lane, std::size_t early_bits) noexcept {
+    if (ly_[lane] == 0) return false;
+    if (early_bits == 0) return true;
+    auto y = y_lane(lane);
+    const std::size_t top = ly_[lane] - 1;
+    const std::size_t bits =
+        top * LB + (LB - std::countl_zero(y[top]));
+    return bits >= early_bits;
+  }
+
+  /// One algorithm iteration on one lane; returns the branch id taken
+  /// (0..2) for divergence accounting.
+  int step_lane(std::size_t lane, gcd::Variant variant) {
+    ++stats_.gcd.iterations;
+    switch (variant) {
+      case gcd::Variant::kBinary: return step_binary(lane);
+      case gcd::Variant::kFastBinary: return step_fast_binary(lane);
+      default: return step_approximate(lane);
+    }
+  }
+
+  int step_binary(std::size_t lane) {
+    auto x = x_lane(lane);
+    auto y = y_lane(lane);
+    int branch;
+    if ((x[0] & 1u) == 0) {
+      lx_[lane] = gcd::halve(x, lx_[lane], null_tracer_);
+      branch = 0;
+    } else if ((y[0] & 1u) == 0) {
+      ly_[lane] = gcd::halve(y, ly_[lane], null_tracer_);
+      branch = 1;
+    } else {
+      lx_[lane] = gcd::sub_halve(x, lx_[lane], y, ly_[lane], null_tracer_);
+      branch = 2;
+    }
+    swap_if_less(lane);
+    return branch;
+  }
+
+  int step_fast_binary(std::size_t lane) {
+    auto x = x_lane(lane);
+    auto y = y_lane(lane);
+    lx_[lane] = gcd::fused_submul_strip(x, lx_[lane], y, ly_[lane], Limb{1},
+                                        null_tracer_);
+    swap_if_less(lane);
+    return 0;
+  }
+
+  int step_approximate(std::size_t lane) {
+    auto x = x_lane(lane);
+    auto y = y_lane(lane);
+    const auto ar =
+        section_v_ ? gcd::approx_case4_only(x, lx_[lane], y, ly_[lane])
+                   : gcd::approx(x, lx_[lane], y, ly_[lane]);
+    stats_.gcd.count_case(ar.which);
+    ++stats_.gcd.divisions;
+    int branch;
+    if (ar.which == gcd::ApproxCase::k1) {
+      // Register-resident tail (only reachable in non-terminate runs).
+      const Wide xv = lx_[lane] == 2 ? gcd::top_two_words(x, 2) : Wide(x[0]);
+      const Wide yv = ly_[lane] == 2 ? gcd::top_two_words(y, 2) : Wide(y[0]);
+      Wide alpha = ar.alpha;
+      if ((alpha & 1u) == 0) --alpha;
+      Wide t = xv - yv * alpha;
+      if (t != 0) t >>= gcd::wide_ctz(t);
+      std::size_t n = 0;
+      while (t != 0) {
+        x[n++] = Limb(t);
+        t >>= LB;
+      }
+      lx_[lane] = n;
+      branch = 2;
+    } else if (ar.beta == 0) {
+      Limb alpha = Limb(ar.alpha);
+      if ((alpha & 1u) == 0) --alpha;
+      lx_[lane] = gcd::fused_submul_strip(x, lx_[lane], y, ly_[lane], alpha,
+                                          null_tracer_);
+      branch = 0;
+    } else {
+      ++stats_.gcd.beta_nonzero;
+      lx_[lane] = gcd::fused_submul_shifted_add_strip(
+          x, lx_[lane], y, ly_[lane], Limb(ar.alpha), ar.beta, null_tracer_);
+      branch = 1;
+    }
+    swap_if_less(lane);
+    return branch;
+  }
+
+  void swap_if_less(std::size_t lane) {
+    auto x = x_lane(lane);
+    auto y = y_lane(lane);
+    if (gcd::acc_compare(x, lx_[lane], y, ly_[lane]) < 0) {
+      swap_lane(lane);
+      ++stats_.gcd.swaps;
+    }
+  }
+
+  std::size_t lanes_, cap_, warp_;
+  Matrix<Limb> mat_a_, mat_b_;
+  std::vector<std::size_t> lx_, ly_;
+  std::vector<std::uint8_t> swapped_, active_;
+  bool section_v_ = false;  ///< Case-4-only approx active (Section V kernel)
+  SimtStats stats_;
+  gcd::NullTracer null_tracer_;
+};
+
+extern template class SimtBatch<std::uint32_t, ColumnMatrix>;
+extern template class SimtBatch<std::uint32_t, RowMatrix>;
+
+}  // namespace bulkgcd::bulk

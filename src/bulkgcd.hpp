@@ -1,0 +1,43 @@
+// Umbrella header for the bulkgcd library — the public API surface.
+//
+//   mp::BigInt / mp::BigIntT<Limb>      arbitrary-precision unsigned integers
+//   gcd::gcd_general / gcd_odd          single-pair GCD (five algorithms)
+//   gcd::probe_moduli_pair              early-terminate RSA-moduli probe
+//   gcd::GcdEngine<Limb>                reusable scalar engine
+//   gcd::ref_*                          pseudocode-level reference engines
+//   rsa::generate_keypair / encrypt / decrypt / recover_private_key
+//   rsa::generate_corpus                weak-key corpus synthesis
+//   rsa::MontgomeryContext              fast modular exponentiation
+//   rsa::save_moduli / load_moduli      keystore file I/O
+//   bulk::all_pairs_gcd                 the paper's bulk attack (Section VI)
+//   bulk::probe_incremental             one-new-key incremental scan
+//   bulk::SimtBatch                     warp-lockstep execution engine
+//   batchgcd::batch_gcd                 Bernstein product/remainder tree
+//   gcd::gcd_lehmer                     Lehmer's GCD (extension baseline)
+//   umm::UmmSimulator                   the paper's GPU cost model
+//
+// See README.md for a guided tour and examples/ for runnable programs.
+#pragma once
+
+#include "batchgcd/batchgcd.hpp"
+#include "bulk/allpairs.hpp"
+#include "bulk/simt.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/lehmer.hpp"
+#include "gcd/reference.hpp"
+#include "mp/bigint.hpp"
+#include "rsa/barrett.hpp"
+#include "rsa/corpus.hpp"
+#include "rsa/keystore.hpp"
+#include "rsa/modmath.hpp"
+#include "rsa/pem.hpp"
+#include "rsa/montgomery.hpp"
+#include "rsa/prime.hpp"
+#include "rsa/rsa.hpp"
+#include "umm/oblivious.hpp"
+#include "umm/pipeline.hpp"
+#include "umm/umm.hpp"

@@ -1,0 +1,74 @@
+// Deterministic, fast pseudo-random number generation for corpus synthesis,
+// Miller-Rabin witnesses and property tests.
+//
+// xoshiro256** (Blackman & Vigna) — 256-bit state, jump-free splitting via
+// SplitMix64 reseeding. Not cryptographically secure; this repo *breaks* weak
+// keys, it does not mint real ones, and determinism is what the benchmark
+// harness needs for reproducible corpora.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bulkgcd {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x2b5ad5c9f4e7a1d3ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) by Lemire's multiply-shift rejection.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using Wide = unsigned __int128;
+    if (bound <= 1) return 0;
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const auto m = static_cast<Wide>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Independent child generator (for per-thread streams).
+  constexpr Xoshiro256 split() noexcept { return Xoshiro256((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bulkgcd

@@ -1,0 +1,100 @@
+// Streaming summary statistics and a fixed-bin histogram for the iteration-
+// and timing-distribution benches. The paper reports only means (Table IV);
+// the distribution bench quantifies how tightly concentrated the iteration
+// counts are — the justification for reproducing means from small corpora.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bulkgcd {
+
+/// Welford-style streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / double(count_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  /// Standard error of the mean.
+  double sem() const noexcept {
+    return count_ == 0 ? 0.0 : stddev() / std::sqrt(double(count_));
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range histogram with equal-width bins; values outside the range
+/// clamp into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(1, bins), 0) {}
+
+  void add(double value) noexcept {
+    const double clamped = std::clamp(value, lo_, hi_);
+    const double unit = (clamped - lo_) / (hi_ - lo_);
+    const std::size_t bin = std::min(counts_.size() - 1,
+                                     std::size_t(unit * double(counts_.size())));
+    ++counts_[bin];
+    ++total_;
+  }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  double bin_lo(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * double(bin) / double(counts_.size());
+  }
+  double bin_hi(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * double(bin + 1) / double(counts_.size());
+  }
+
+  /// ASCII bar chart, one row per non-empty bin.
+  std::string render(std::size_t width = 50) const {
+    std::uint64_t peak = 0;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    if (peak == 0) return "(empty histogram)\n";
+    std::string out;
+    char label[64];
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0) continue;
+      std::snprintf(label, sizeof(label), "[%8.1f, %8.1f) %6llu ",
+                    bin_lo(b), bin_hi(b),
+                    static_cast<unsigned long long>(counts_[b]));
+      out += label;
+      out += std::string(std::size_t(double(counts_[b]) / double(peak) * double(width)),
+                         '#');
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bulkgcd

@@ -1,0 +1,63 @@
+// Minimal fixed-size thread pool with a blocking work queue and a
+// parallel_for convenience. All heavy fan-out in this repo (all-pairs GCD
+// tiles, corpus generation, batch-GCD tree levels) goes through this pool so
+// thread creation cost is paid once per process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bulkgcd {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Split [begin, end) into contiguous chunks (one per worker by default)
+  /// and run `body(chunk_begin, chunk_end)` on the pool; blocks until done.
+  /// Exceptions from chunks propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t chunks = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed, sized to hardware).
+ThreadPool& global_pool();
+
+}  // namespace bulkgcd

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the benchmark harness tables (the google-
+// benchmark binaries use their own timing; this one serves the table printers
+// which need one number per whole sweep).
+#pragma once
+
+#include <chrono>
+
+namespace bulkgcd {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bulkgcd

@@ -1,0 +1,104 @@
+// The paper's quotient approximation (Section III).
+//
+// approx(X, Y) returns (α, β) with α·D^β ≤ Q = ⌊X/Y⌋, computed from at most
+// the top two d-bit words of each operand with a single 2d-bit hardware
+// division. Case analysis follows the paper exactly (Cases 1, 2-A/B, 3-A/B,
+// 4-A/B/C); the underflow-free guarantee α·D^β ≤ Q is property-tested against
+// GMP in tests/gcd_approx_test.cpp.
+//
+// Spans are little-endian, so the paper's most-significant word x1 is
+// x[lx-1] and the two-word value x1x2 is (x[lx-1] << d) | x[lx-2].
+// Generic over limb accessors (contiguous pointers or the SIMT engine's
+// column-strided views).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "gcd/kernels.hpp"
+#include "gcd/stats.hpp"
+#include "mp/limb_traits.hpp"
+
+namespace bulkgcd::gcd {
+
+template <mp::LimbType Limb>
+struct ApproxResult {
+  typename mp::LimbTraits<Limb>::Wide alpha;  ///< Wide: Case 1 can exceed d bits
+  std::size_t beta;
+  ApproxCase which;
+};
+
+/// Top-two-word value ⟨x1 x2⟩ of a (normalized, lx >= 2) span.
+template <LimbAccessor XA>
+constexpr auto top_two_words(const XA& x, std::size_t lx) noexcept {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  return (Wide(x[lx - 1]) << mp::limb_bits<Limb>) | x[lx - 2];
+}
+
+/// approx(X, Y) for normalized spans with X >= Y > 0.
+/// Every branch issues exactly one Wide division (counted by callers for the
+/// divisions statistic).
+template <LimbAccessor XA, LimbAccessor YA>
+constexpr ApproxResult<accessor_limb_t<XA>> approx(const XA& x, std::size_t lx,
+                                                   const YA& y,
+                                                   std::size_t ly) noexcept {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  assert(lx >= ly && ly >= 1);
+
+  if (lx <= 2) {  // Case 1: both fit in a Wide — exact quotient
+    const Wide xv = lx == 2 ? top_two_words(x, lx) : Wide(x[0]);
+    const Wide yv = ly == 2 ? top_two_words(y, ly) : Wide(y[0]);
+    return {xv / yv, 0, ApproxCase::k1};
+  }
+
+  if (ly == 1) {
+    if (x[lx - 1] >= y[0]) {  // Case 2-A
+      return {Wide(x[lx - 1]) / y[0], lx - 1, ApproxCase::k2A};
+    }
+    // Case 2-B
+    return {top_two_words(x, lx) / y[0], lx - 2, ApproxCase::k2B};
+  }
+
+  const Wide x12 = top_two_words(x, lx);
+  const Wide y12 = top_two_words(y, ly);
+
+  if (ly == 2) {
+    if (x12 >= y12) {  // Case 3-A
+      return {x12 / y12, lx - 2, ApproxCase::k3A};
+    }
+    // Case 3-B
+    return {x12 / (Wide(y[ly - 1]) + 1), lx - 3, ApproxCase::k3B};
+  }
+
+  if (x12 > y12) {  // Case 4-A
+    return {x12 / (y12 + 1), lx - ly, ApproxCase::k4A};
+  }
+  if (lx > ly) {  // Case 4-B
+    return {x12 / (Wide(y[ly - 1]) + 1), lx - ly - 1, ApproxCase::k4B};
+  }
+  return {1, 0, ApproxCase::k4C};  // Case 4-C: values nearly equal
+}
+
+/// The restricted approx of Section V: when computing GCDs of RSA moduli with
+/// early termination, X and Y always keep at least s/2 bits, so only Case 4
+/// is ever reached and the CUDA kernel omits Cases 1-3. This is the variant
+/// the SIMT bulk engine runs; it asserts the precondition in debug builds.
+template <LimbAccessor XA, LimbAccessor YA>
+constexpr ApproxResult<accessor_limb_t<XA>> approx_case4_only(
+    const XA& x, std::size_t lx, const YA& y, std::size_t ly) noexcept {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  assert(lx >= ly && ly >= 3 && "Section-V kernel requires > 2-word operands");
+
+  const Wide x12 = top_two_words(x, lx);
+  const Wide y12 = top_two_words(y, ly);
+  if (x12 > y12) return {x12 / (y12 + 1), lx - ly, ApproxCase::k4A};
+  if (lx > ly) {
+    return {x12 / (Wide(y[ly - 1]) + 1), lx - ly - 1, ApproxCase::k4B};
+  }
+  return {1, 0, ApproxCase::k4C};
+}
+
+}  // namespace bulkgcd::gcd

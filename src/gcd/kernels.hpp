@@ -1,0 +1,303 @@
+// Fused per-iteration update kernels for the Euclidean algorithm family.
+//
+// Section IV of the paper: each iteration of Binary / Fast Binary /
+// Approximate Euclidean is implementable with one streaming pass that reads
+// every limb of X and Y once and writes every limb of X once — 3·s/d + O(1)
+// limb accesses — by folding the multiply, subtract and rshift into a single
+// least-significant-first sweep with a one-limb lookahead. The β > 0 path of
+// Approximate Euclidean needs an extra read stream of Y (4·s/d + O(1)).
+//
+// Kernels are generic over a limb *accessor* so the same source runs:
+//   * Limb*                — contiguous scalar CPU execution;
+//   * bulk::StridedAccessor — column-wise layout in the SIMT bulk engine
+//     (limb i of lane t lives at base[i * lanes + t], the paper's Figure 3).
+// They are also templated on a Tracer policy (gcd/tracer.hpp); NullTracer
+// erases all instrumentation at compile time.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+#include "gcd/tracer.hpp"
+#include "mp/limb_traits.hpp"
+
+namespace bulkgcd::gcd {
+
+/// Limb type produced by an accessor (raw pointers and strided accessors).
+template <typename Acc>
+using accessor_limb_t =
+    std::remove_cvref_t<decltype(std::declval<const Acc&>()[std::size_t{0}])>;
+
+template <typename Acc>
+concept LimbAccessor = mp::LimbType<accessor_limb_t<Acc>>;
+
+/// normalized_size / strip helpers over accessors (mirrors mp/span_ops.hpp,
+/// which only handles contiguous spans).
+template <LimbAccessor XA>
+constexpr std::size_t acc_normalized_size(const XA& x, std::size_t n) noexcept {
+  while (n > 0 && x[n - 1] == 0) --n;
+  return n;
+}
+
+template <LimbAccessor XA, LimbAccessor YA>
+constexpr int acc_compare(const XA& x, std::size_t lx, const YA& y,
+                          std::size_t ly) noexcept {
+  if (lx != ly) return lx < ly ? -1 : 1;
+  for (std::size_t i = lx; i-- > 0;) {
+    const auto xi = x[i];
+    const auto yi = y[i];
+    if (xi != yi) return xi < yi ? -1 : 1;
+  }
+  return 0;
+}
+
+/// In-place strip of trailing zero bits (the paper's rshift). Returns the new
+/// size. Generic over accessors; two passes (find + shift).
+template <LimbAccessor XA>
+std::size_t acc_strip_trailing_zeros(XA x, std::size_t n) noexcept {
+  using Limb = accessor_limb_t<XA>;
+  constexpr int LB = mp::limb_bits<Limb>;
+  n = acc_normalized_size(x, n);
+  if (n == 0) return 0;
+  std::size_t limb_shift = 0;
+  while (x[limb_shift] == 0) ++limb_shift;
+  const int bit_shift = std::countr_zero(x[limb_shift]);
+  if (limb_shift == 0 && bit_shift == 0) return n;
+  const std::size_t m = n - limb_shift;
+  if (bit_shift == 0) {
+    for (std::size_t i = 0; i < m; ++i) x[i] = x[i + limb_shift];
+  } else {
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      x[i] = Limb(x[i + limb_shift] >> bit_shift) |
+             Limb(x[i + limb_shift + 1] << (LB - bit_shift));
+    }
+    x[m - 1] = Limb(x[n - 1] >> bit_shift);
+  }
+  return acc_normalized_size(x, m);
+}
+
+/// Rare-path fallback for fused_submul_strip when the low limb of X − Y·α is
+/// zero (trailing-zero run of >= d bits, probability ~2^-d per iteration):
+/// plain two-pass subtract-multiply then strip.
+template <LimbAccessor XA, LimbAccessor YA, typename Tracer>
+std::size_t submul_strip_slow(XA x, std::size_t lx, const YA& y, std::size_t ly,
+                              accessor_limb_t<XA> alpha, Tracer& tracer,
+                              Buffer xbuf, Buffer ybuf) {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  constexpr int LB = mp::limb_bits<Limb>;
+  constexpr Wide kMask = mp::limb_base<Limb> - 1;
+
+  Wide mul_carry = 0;
+  Wide borrow = 0;
+  for (std::size_t i = 0; i < lx; ++i) {
+    tracer.read(xbuf, i);
+    Limb yi = 0;
+    if (i < ly) {
+      tracer.read(ybuf, i);
+      yi = y[i];
+    }
+    const Wide p = Wide(yi) * alpha + mul_carry;
+    mul_carry = p >> LB;
+    const Wide diff = Wide(x[i]) - (p & kMask) - borrow;
+    x[i] = Limb(diff);
+    tracer.write(xbuf, i);
+    borrow = (diff >> LB) & 1u;
+  }
+  assert(borrow == 0 && mul_carry == 0 && "X - Y*alpha must be non-negative");
+  const std::size_t stripped = acc_strip_trailing_zeros(x, lx);
+  if constexpr (Tracer::enabled) {  // charge the extra strip pass honestly
+    for (std::size_t i = 0; i < lx; ++i) tracer.read(xbuf, i);
+    for (std::size_t i = 0; i < stripped; ++i) tracer.write(xbuf, i);
+  }
+  return stripped;
+}
+
+/// X ← rshift(X − Y·α) in one least-significant-first streaming pass.
+/// Preconditions: α odd, X, Y odd, X ≥ Y·α (so the difference is even and
+/// non-negative). Returns the new normalized size of X (0 if X == Y·α).
+template <LimbAccessor XA, LimbAccessor YA, typename Tracer = NullTracer>
+std::size_t fused_submul_strip(XA x, std::size_t lx, const YA& y, std::size_t ly,
+                               accessor_limb_t<XA> alpha, Tracer& tracer,
+                               Buffer xbuf = Buffer::kA,
+                               Buffer ybuf = Buffer::kB) {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  constexpr int LB = mp::limb_bits<Limb>;
+  constexpr Wide kMask = mp::limb_base<Limb> - 1;
+  assert(lx >= ly && ly >= 1);
+  assert((alpha & 1u) != 0 && "quotient must be forced odd");
+
+  // First difference limb decides the shift distance r.
+  tracer.read(xbuf, 0);
+  tracer.read(ybuf, 0);
+  Wide p = Wide(y[0]) * alpha;
+  Wide mul_carry = p >> LB;
+  Wide diff = Wide(x[0]) - (p & kMask);
+  Limb d_prev = Limb(diff);
+  Wide borrow = (diff >> LB) & 1u;
+
+  if (d_prev == 0) {
+    // Trailing zeros span a whole limb or the result is zero: rare path.
+    return submul_strip_slow(x, lx, y, ly, alpha, tracer, xbuf, ybuf);
+  }
+  const int r = std::countr_zero(d_prev);  // 1 <= r < d (difference is even)
+  assert(r >= 1 && "X and Y*alpha must both be odd");
+
+  for (std::size_t i = 1; i < lx; ++i) {
+    tracer.read(xbuf, i);
+    Limb yi = 0;
+    if (i < ly) {
+      tracer.read(ybuf, i);
+      yi = y[i];
+    }
+    p = Wide(yi) * alpha + mul_carry;
+    mul_carry = p >> LB;
+    diff = Wide(x[i]) - (p & kMask) - borrow;
+    const Limb d = Limb(diff);
+    borrow = (diff >> LB) & 1u;
+    x[i - 1] = Limb(d_prev >> r) | Limb(d << (LB - r));
+    tracer.write(xbuf, i - 1);
+    d_prev = d;
+  }
+  assert(borrow == 0 && mul_carry == 0 && "X - Y*alpha must be non-negative");
+  x[lx - 1] = Limb(d_prev >> r);
+  tracer.write(xbuf, lx - 1);
+  return acc_normalized_size(x, lx);
+}
+
+/// X ← rshift(X − Y·α·D^β + Y), the β > 0 path of Approximate Euclidean.
+/// Preconditions: β >= 1 (so α·D^β is even and the adjusted value is even),
+/// X, Y odd, X ≥ Y·α·D^β. X must have capacity lx + 1 limbs.
+/// Returns the new normalized size of X.
+template <LimbAccessor XA, LimbAccessor YA, typename Tracer = NullTracer>
+std::size_t fused_submul_shifted_add_strip(XA x, std::size_t lx, const YA& y,
+                                           std::size_t ly,
+                                           accessor_limb_t<XA> alpha,
+                                           std::size_t beta, Tracer& tracer,
+                                           Buffer xbuf = Buffer::kA,
+                                           Buffer ybuf = Buffer::kB) {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  using WideS = typename mp::LimbTraits<Limb>::WideS;
+  constexpr int LB = mp::limb_bits<Limb>;
+  constexpr Wide kMask = mp::limb_base<Limb> - 1;
+  assert(beta >= 1 && lx + 1 >= ly + beta);
+
+  // Streaming evaluation of X + Y − (Y·α) << β·d limbs. Per-limb value is
+  // x_i + y_i − m_i + carry with carry ∈ {−1, 0, 1}; WideS holds the range.
+  Wide mul_carry = 0;
+  WideS carry = 0;
+  for (std::size_t i = 0; i <= lx; ++i) {
+    Limb xi = 0;
+    if (i < lx) {
+      tracer.read(xbuf, i);
+      xi = x[i];
+    }
+    Limb yi = 0;
+    if (i < ly) {
+      tracer.read(ybuf, i);
+      yi = y[i];
+    }
+    Limb mi = 0;
+    if (i >= beta && i - beta < ly) {
+      tracer.read(ybuf, i - beta);  // second read stream of Y (the 4th s/d)
+      const Wide prod = Wide(y[i - beta]) * alpha + mul_carry;
+      mul_carry = prod >> LB;
+      mi = Limb(prod & kMask);
+    } else if (i >= beta) {
+      mi = Limb(mul_carry & kMask);
+      mul_carry >>= LB;
+    }
+    const WideS acc = WideS(Wide(xi)) + WideS(Wide(yi)) - WideS(Wide(mi)) + carry;
+    x[i] = Limb(acc);
+    tracer.write(xbuf, i);
+    carry = WideS(acc >> LB);  // floor division by the base
+  }
+  assert(carry == 0 && mul_carry == 0 && "X + Y - Y*alpha*D^beta must fit");
+  const std::size_t n = acc_normalized_size(x, lx + 1);
+  const std::size_t stripped = acc_strip_trailing_zeros(x, n);
+  if constexpr (Tracer::enabled) {
+    for (std::size_t i = 0; i < n; ++i) tracer.read(xbuf, i);
+    for (std::size_t i = 0; i < stripped; ++i) tracer.write(xbuf, i);
+  }
+  return stripped;
+}
+
+/// X ← X / 2 (Binary Euclidean even case). Requires X even, lx >= 1.
+template <LimbAccessor XA, typename Tracer = NullTracer>
+std::size_t halve(XA x, std::size_t lx, Tracer& tracer,
+                  Buffer xbuf = Buffer::kA) {
+  using Limb = accessor_limb_t<XA>;
+  constexpr int LB = mp::limb_bits<Limb>;
+  assert(lx >= 1 && (x[0] & 1u) == 0);
+  tracer.read(xbuf, 0);
+  Limb prev = x[0];
+  for (std::size_t i = 1; i < lx; ++i) {
+    tracer.read(xbuf, i);
+    const Limb cur = x[i];
+    x[i - 1] = Limb(prev >> 1) | Limb(cur << (LB - 1));
+    tracer.write(xbuf, i - 1);
+    prev = cur;
+  }
+  x[lx - 1] = Limb(prev >> 1);
+  tracer.write(xbuf, lx - 1);
+  return acc_normalized_size(x, lx);
+}
+
+/// X ← (X − Y) / 2 (Binary Euclidean odd-odd case). Requires X ≥ Y, both odd.
+template <LimbAccessor XA, LimbAccessor YA, typename Tracer = NullTracer>
+std::size_t sub_halve(XA x, std::size_t lx, const YA& y, std::size_t ly,
+                      Tracer& tracer, Buffer xbuf = Buffer::kA,
+                      Buffer ybuf = Buffer::kB) {
+  using Limb = accessor_limb_t<XA>;
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  constexpr int LB = mp::limb_bits<Limb>;
+  assert(lx >= ly && ly >= 1);
+
+  tracer.read(xbuf, 0);
+  tracer.read(ybuf, 0);
+  Wide diff = Wide(x[0]) - y[0];
+  Limb d_prev = Limb(diff);
+  Wide borrow = (diff >> LB) & 1u;
+  for (std::size_t i = 1; i < lx; ++i) {
+    tracer.read(xbuf, i);
+    Limb yi = 0;
+    if (i < ly) {
+      tracer.read(ybuf, i);
+      yi = y[i];
+    }
+    diff = Wide(x[i]) - yi - borrow;
+    const Limb d = Limb(diff);
+    borrow = (diff >> LB) & 1u;
+    x[i - 1] = Limb(d_prev >> 1) | Limb(d << (LB - 1));
+    tracer.write(xbuf, i - 1);
+    d_prev = d;
+  }
+  assert(borrow == 0 && "X must be >= Y");
+  x[lx - 1] = Limb(d_prev >> 1);
+  tracer.write(xbuf, lx - 1);
+  return acc_normalized_size(x, lx);
+}
+
+/// Most-significant-first comparison as in Section IV: sizes first (registers,
+/// no memory traffic), then words from the top; with random words the result
+/// is decided after O(1) reads with overwhelming probability.
+template <LimbAccessor XA, LimbAccessor YA, typename Tracer = NullTracer>
+int compare_traced(const XA& x, std::size_t lx, const YA& y, std::size_t ly,
+                   Tracer& tracer, Buffer xbuf = Buffer::kA,
+                   Buffer ybuf = Buffer::kB) {
+  if (lx != ly) return lx < ly ? -1 : 1;
+  for (std::size_t i = lx; i-- > 0;) {
+    tracer.read(xbuf, i);
+    tracer.read(ybuf, i);
+    const auto xi = x[i];
+    const auto yi = y[i];
+    if (xi != yi) return xi < yi ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace bulkgcd::gcd

@@ -1,0 +1,101 @@
+#include "gcd/lehmer.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace bulkgcd::gcd {
+
+namespace {
+
+using mp::BigInt;
+
+/// a·x + b·y where exactly one of a, b may be negative and the result is
+/// guaranteed non-negative (Lehmer's cofactor invariant).
+BigInt signed_combo(std::int64_t a, const BigInt& x, std::int64_t b,
+                    const BigInt& y) {
+  BigInt positive, negative;
+  if (a >= 0) {
+    positive = x * BigInt(std::uint64_t(a));
+  } else {
+    negative = x * BigInt(std::uint64_t(-a));
+  }
+  if (b >= 0) {
+    positive += y * BigInt(std::uint64_t(b));
+  } else {
+    negative += y * BigInt(std::uint64_t(-b));
+  }
+  return positive - negative;
+}
+
+/// Top `window` bits of v aligned at shift k (v >> k), as u64.
+std::uint64_t top_bits(const BigInt& v, std::size_t k) {
+  return (v >> k).to_u64();
+}
+
+constexpr int kWindowBits = 62;  // leaves headroom for int64 cofactor math
+
+}  // namespace
+
+BigInt gcd_lehmer(BigInt x, BigInt y, LehmerStats* stats) {
+  LehmerStats local;
+  LehmerStats& st = stats ? *stats : local;
+
+  if (x < y) std::swap(x, y);
+
+  while (y.bit_length() > 64) {
+    ++st.window_rounds;
+    const std::size_t k = x.bit_length() - kWindowBits;
+    std::int64_t xh = std::int64_t(top_bits(x, k));
+    std::int64_t yh = std::int64_t(top_bits(y, k));
+
+    // Simulate Euclid on the leading bits, tracking the cofactor matrix
+    // (A B; C D) so that (xh, yh) ≈ (A·x + B·y, C·x + D·y) >> k.
+    std::int64_t A = 1, B = 0, C = 0, D = 1;
+    while (true) {
+      if (yh + C == 0 || yh + D == 0) break;
+      const std::int64_t q = (xh + A) / (yh + C);
+      if (q != (xh + B) / (yh + D)) break;  // quotient not certain
+      if (q > (std::int64_t{1} << 30)) break;  // keep cofactors in int64
+      // (xh, yh) ← (yh, xh − q·yh), same row operation on the matrix.
+      std::int64_t t = A - q * C; A = C; C = t;
+      t = B - q * D; B = D; D = t;
+      t = xh - q * yh; xh = yh; yh = t;
+      ++st.simulated_steps;
+    }
+
+    if (B == 0) {
+      // No certain progress from the window (e.g. y much shorter than x):
+      // fall back to one exact multiword division step.
+      ++st.fallback_divisions;
+      BigInt r = x % y;
+      x = std::move(y);
+      y = std::move(r);
+    } else {
+      BigInt nx = signed_combo(A, x, B, y);
+      BigInt ny = signed_combo(C, x, D, y);
+      x = std::move(nx);
+      y = std::move(ny);
+      if (x < y) std::swap(x, y);
+    }
+  }
+
+  // Tail: y fits in 64 bits. One multiword reduction, then machine words.
+  if (y.is_zero()) return x;
+  std::uint64_t ylo = y.to_u64();
+  std::uint64_t xlo;
+  if (x.bit_length() > 64) {
+    ++st.fallback_divisions;
+    xlo = (x % y).to_u64();
+  } else {
+    xlo = x.to_u64();
+  }
+  while (ylo != 0) {
+    const std::uint64_t r = xlo % ylo;
+    xlo = ylo;
+    ylo = r;
+    ++st.simulated_steps;
+  }
+  return BigInt(xlo);
+}
+
+}  // namespace bulkgcd::gcd

@@ -1,0 +1,26 @@
+// Lehmer's GCD algorithm — the classic fast *CPU* multiword GCD (Knuth
+// 4.5.2 Algorithm L / HAC 14.57) that the paper does not evaluate. Included
+// as an extension baseline: like Approximate Euclidean it replaces multiword
+// divisions with machine-word arithmetic, but it simulates a whole RUN of
+// Euclid steps on the leading bits (accumulating a 2x2 cofactor matrix) and
+// then applies the matrix with two multiword combinations. Comparing the two
+// quantifies what the paper's simpler one-step approximation gives up —
+// and what it wins: Lehmer's matrix application is *not* a 3·s/d streaming
+// pass, which is exactly why it is less attractive on a GPU.
+#pragma once
+
+#include "gcd/stats.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::gcd {
+
+struct LehmerStats {
+  std::uint64_t window_rounds = 0;    ///< leading-bits windows processed
+  std::uint64_t simulated_steps = 0;  ///< Euclid steps done in 64-bit regs
+  std::uint64_t fallback_divisions = 0;  ///< full multiword divisions needed
+};
+
+/// gcd(x, y) by Lehmer's algorithm. Handles arbitrary non-negative inputs.
+mp::BigInt gcd_lehmer(mp::BigInt x, mp::BigInt y, LehmerStats* stats = nullptr);
+
+}  // namespace bulkgcd::gcd

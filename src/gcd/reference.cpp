@@ -1,0 +1,182 @@
+#include "gcd/reference.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace bulkgcd::gcd {
+
+namespace {
+
+using mp::BigInt;
+
+std::size_t words_at(const BigInt& v, unsigned d) {
+  return (v.bit_length() + d - 1) / d;
+}
+
+/// Value of the top two d-bit words of v (just the value when it has <= 2
+/// words). Fits u64 for d <= 32.
+std::uint64_t top2(const BigInt& v, unsigned d) {
+  const std::size_t l = words_at(v, d);
+  if (l <= 2) return v.to_u64();
+  return (v >> ((l - 2) * d)).to_u64();
+}
+
+std::uint64_t top1(const BigInt& v, unsigned d) {
+  const std::size_t l = words_at(v, d);
+  return (v >> ((l - 1) * d)).to_u64();
+}
+
+bool keep_going(const BigInt& y, std::size_t early_bits) {
+  if (y.is_zero()) return false;
+  return early_bits == 0 || y.bit_length() >= early_bits;
+}
+
+void finish(RefRun& run, BigInt& x, const BigInt& y, std::size_t early_bits) {
+  run.early_coprime = early_bits > 0 && !y.is_zero();
+  run.gcd = std::move(x);
+}
+
+}  // namespace
+
+RefApprox ref_approx(const BigInt& x, const BigInt& y, unsigned d) {
+  if (d < 2 || d > 32) throw std::invalid_argument("ref_approx: need 2 <= d <= 32");
+  assert(x >= y && !y.is_zero());
+  const std::size_t lx = words_at(x, d);
+  const std::size_t ly = words_at(y, d);
+
+  if (lx <= 2) return {x.to_u64() / y.to_u64(), 0, ApproxCase::k1};
+  if (ly == 1) {
+    const std::uint64_t y1 = y.to_u64();
+    const std::uint64_t x1 = top1(x, d);
+    if (x1 >= y1) return {x1 / y1, lx - 1, ApproxCase::k2A};
+    return {top2(x, d) / y1, lx - 2, ApproxCase::k2B};
+  }
+  const std::uint64_t x12 = top2(x, d);
+  const std::uint64_t y12 = top2(y, d);
+  if (ly == 2) {
+    if (x12 >= y12) return {x12 / y12, lx - 2, ApproxCase::k3A};
+    return {x12 / (top1(y, d) + 1), lx - 3, ApproxCase::k3B};
+  }
+  if (x12 > y12) return {x12 / (y12 + 1), lx - ly, ApproxCase::k4A};
+  if (lx > ly) return {x12 / (top1(y, d) + 1), lx - ly - 1, ApproxCase::k4B};
+  return {1, 0, ApproxCase::k4C};
+}
+
+RefRun ref_original(BigInt x, BigInt y, const RefOptions& opt) {
+  RefRun run;
+  if (x < y) std::swap(x, y);
+  while (keep_going(y, opt.early_bits)) {
+    ++run.stats.iterations;
+    ++run.stats.divisions;
+    if (opt.keep_trace) {
+      auto q = (x / y).to_u64();
+      run.trace.push_back({x, y, q, 0, 0, ApproxCase::k1});
+    }
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+    ++run.stats.swaps;
+  }
+  finish(run, x, y, opt.early_bits);
+  return run;
+}
+
+RefRun ref_fast(BigInt x, BigInt y, const RefOptions& opt) {
+  RefRun run;
+  if (x < y) std::swap(x, y);
+  while (keep_going(y, opt.early_bits)) {
+    ++run.stats.iterations;
+    ++run.stats.divisions;
+    BigInt q = x / y;
+    if (q.is_even()) q -= BigInt(1);
+    if (opt.keep_trace) {
+      run.trace.push_back({x, y, q.to_u64(), 0, 0, ApproxCase::k1});
+    }
+    x -= y * q;
+    x.strip_trailing_zeros();
+    if (x < y) {
+      std::swap(x, y);
+      ++run.stats.swaps;
+    }
+  }
+  finish(run, x, y, opt.early_bits);
+  return run;
+}
+
+RefRun ref_binary(BigInt x, BigInt y, const RefOptions& opt) {
+  RefRun run;
+  if (x < y) std::swap(x, y);
+  while (keep_going(y, opt.early_bits)) {
+    ++run.stats.iterations;
+    if (opt.keep_trace) run.trace.push_back({x, y, 0, 0, 0, ApproxCase::k1});
+    if (x.is_even()) {
+      x >>= 1;
+    } else if (y.is_even()) {
+      y >>= 1;
+    } else {
+      x -= y;
+      x >>= 1;
+    }
+    if (x < y) {
+      std::swap(x, y);
+      ++run.stats.swaps;
+    }
+  }
+  finish(run, x, y, opt.early_bits);
+  return run;
+}
+
+RefRun ref_fast_binary(BigInt x, BigInt y, const RefOptions& opt) {
+  RefRun run;
+  if (x < y) std::swap(x, y);
+  while (keep_going(y, opt.early_bits)) {
+    ++run.stats.iterations;
+    if (opt.keep_trace) run.trace.push_back({x, y, 0, 0, 0, ApproxCase::k1});
+    x -= y;
+    x.strip_trailing_zeros();
+    if (x < y) {
+      std::swap(x, y);
+      ++run.stats.swaps;
+    }
+  }
+  finish(run, x, y, opt.early_bits);
+  return run;
+}
+
+RefRun ref_approximate(BigInt x, BigInt y, unsigned d, const RefOptions& opt) {
+  RefRun run;
+  if (x < y) std::swap(x, y);
+  while (keep_going(y, opt.early_bits)) {
+    ++run.stats.iterations;
+    ++run.stats.divisions;
+    const RefApprox a = ref_approx(x, y, d);
+    run.stats.count_case(a.which);
+    if (a.beta == 0) {
+      std::uint64_t alpha = a.alpha;
+      if (alpha % 2 == 0) --alpha;  // force odd
+      // Trace records α as used (the paper's Table III lists the odd-forced
+      // value for β = 0 rows).
+      if (opt.keep_trace) run.trace.push_back({x, y, 0, alpha, 0, a.which});
+      x -= y * BigInt(alpha);
+      x.strip_trailing_zeros();
+    } else {
+      if (opt.keep_trace) {
+        run.trace.push_back({x, y, 0, a.alpha, a.beta, a.which});
+      }
+      ++run.stats.beta_nonzero;
+      // X ← rshift(X − Y·α·D^β + Y)
+      x += y;
+      x -= (y * BigInt(a.alpha)) << (a.beta * d);
+      x.strip_trailing_zeros();
+    }
+    if (x < y) {
+      std::swap(x, y);
+      ++run.stats.swaps;
+    }
+  }
+  finish(run, x, y, opt.early_bits);
+  return run;
+}
+
+}  // namespace bulkgcd::gcd

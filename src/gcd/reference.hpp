@@ -1,0 +1,70 @@
+// Value-level reference implementations of the five Euclidean algorithms,
+// written directly from the paper's pseudocode over BigInt with a *runtime*
+// word size d.
+//
+// Two jobs:
+//   1. Differential-testing oracle: the optimized limb engines
+//      (gcd/algorithms.hpp, bulk/simt.hpp) must match these step counts and
+//      results exactly (tests/gcd_reference_test.cpp).
+//   2. Worked-example reproduction: the paper's Tables I-III use d = 4-bit
+//      words, which no machine limb provides; these functions regenerate the
+//      exact traces (bench_worked_examples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gcd/stats.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::gcd {
+
+/// One iteration snapshot (values *before* the update of that iteration).
+struct RefTraceStep {
+  mp::BigInt x, y;
+  std::uint64_t quotient = 0;   ///< (A)/(B): exact Q when it fits 64 bits
+  std::uint64_t alpha = 0;      ///< (E): α
+  std::size_t beta = 0;         ///< (E): β
+  ApproxCase which = ApproxCase::k1;  ///< (E): approx case
+};
+
+struct RefRun {
+  mp::BigInt gcd;               ///< final X (meaningful unless early_coprime)
+  bool early_coprime = false;
+  GcdStats stats;
+  std::vector<RefTraceStep> trace;  ///< filled only when keep_trace
+};
+
+struct RefOptions {
+  std::size_t early_bits = 0;   ///< 0 = non-terminate
+  bool keep_trace = false;
+};
+
+/// (A) Original Euclidean algorithm (X ← X mod Y; swap).
+RefRun ref_original(mp::BigInt x, mp::BigInt y, const RefOptions& opt = {});
+
+/// (B) Fast Euclidean algorithm (odd exact quotient + rshift).
+RefRun ref_fast(mp::BigInt x, mp::BigInt y, const RefOptions& opt = {});
+
+/// (C) Binary Euclidean algorithm.
+RefRun ref_binary(mp::BigInt x, mp::BigInt y, const RefOptions& opt = {});
+
+/// (D) Fast Binary Euclidean algorithm (X ← rshift(X − Y)).
+RefRun ref_fast_binary(mp::BigInt x, mp::BigInt y, const RefOptions& opt = {});
+
+/// (E) Approximate Euclidean algorithm with word size d bits (2 <= d <= 32,
+/// so every 2-word value fits std::uint64_t — d = 4 reproduces Table III,
+/// d = 32 mirrors the production engine).
+RefRun ref_approximate(mp::BigInt x, mp::BigInt y, unsigned d,
+                       const RefOptions& opt = {});
+
+/// approx(X, Y) at word size d, value level. Exposed for property tests
+/// (α·D^β ≤ ⌊X/Y⌋ for all X ≥ Y > 0).
+struct RefApprox {
+  std::uint64_t alpha;
+  std::size_t beta;
+  ApproxCase which;
+};
+RefApprox ref_approx(const mp::BigInt& x, const mp::BigInt& y, unsigned d);
+
+}  // namespace bulkgcd::gcd

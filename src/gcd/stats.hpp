@@ -1,0 +1,59 @@
+// Per-run statistics for the Euclidean algorithm family. Table IV is a mean
+// over `iterations`; §V's β-probability claim is `beta_nonzero / iterations`;
+// the approx-case histogram backs the case-frequency ablation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bulkgcd::gcd {
+
+/// Which branch of the paper's approx(X, Y) fired (Section III).
+enum class ApproxCase : std::uint8_t {
+  k1,    ///< X fits in <= 2 words: exact quotient
+  k2A,   ///< Y one word, x1 >= y1
+  k2B,   ///< Y one word, x1 < y1
+  k3A,   ///< Y two words, x1x2 >= y1y2
+  k3B,   ///< Y two words, x1x2 < y1y2
+  k4A,   ///< both > 2 words, x1x2 > y1y2
+  k4B,   ///< both > 2 words, x1x2 <= y1y2, lX > lY
+  k4C,   ///< both > 2 words, x1x2 <= y1y2, lX == lY -> (1, 0)
+  kCount
+};
+
+struct GcdStats {
+  std::uint64_t iterations = 0;     ///< do-while loop passes
+  std::uint64_t swaps = 0;          ///< pointer swaps executed
+  std::uint64_t beta_nonzero = 0;   ///< approx returned beta > 0
+  std::uint64_t divisions = 0;      ///< hardware 2d-bit divisions issued
+  std::array<std::uint64_t, std::size_t(ApproxCase::kCount)> approx_cases{};
+
+  void count_case(ApproxCase c) noexcept { ++approx_cases[std::size_t(c)]; }
+
+  GcdStats& operator+=(const GcdStats& other) noexcept {
+    iterations += other.iterations;
+    swaps += other.swaps;
+    beta_nonzero += other.beta_nonzero;
+    divisions += other.divisions;
+    for (std::size_t i = 0; i < approx_cases.size(); ++i) {
+      approx_cases[i] += other.approx_cases[i];
+    }
+    return *this;
+  }
+};
+
+constexpr const char* to_string(ApproxCase c) noexcept {
+  switch (c) {
+    case ApproxCase::k1: return "1";
+    case ApproxCase::k2A: return "2-A";
+    case ApproxCase::k2B: return "2-B";
+    case ApproxCase::k3A: return "3-A";
+    case ApproxCase::k3B: return "3-B";
+    case ApproxCase::k4A: return "4-A";
+    case ApproxCase::k4B: return "4-B";
+    case ApproxCase::k4C: return "4-C";
+    default: return "?";
+  }
+}
+
+}  // namespace bulkgcd::gcd

@@ -1,0 +1,71 @@
+// Memory-access tracer policies for the GCD kernels.
+//
+// The paper's §IV argues each iteration of (C)/(D)/(E) performs 3·s/d + O(1)
+// limb accesses (read X, read Y, write X), 4·s/d when approx returns β > 0,
+// and §VI replays those accesses on the UMM to argue semi-obliviousness.
+// Kernels are templated on a Tracer; NullTracer compiles to nothing so the
+// performance path pays zero cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bulkgcd::gcd {
+
+/// Identifies which *physical* buffer an access touched (the paper's Figure 1:
+/// two fixed arrays; swap(X, Y) only exchanges pointers).
+enum class Buffer : std::uint8_t { kA = 0, kB = 1 };
+
+/// Zero-cost policy for production runs.
+struct NullTracer {
+  static constexpr bool enabled = false;
+  void read(Buffer, std::size_t) noexcept {}
+  void write(Buffer, std::size_t) noexcept {}
+  void mark() noexcept {}  ///< called at the top of every algorithm iteration
+};
+
+/// Counts limb-granularity reads/writes (validates the 3·s/d claim).
+struct CountTracer {
+  static constexpr bool enabled = true;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t iterations = 0;
+  void read(Buffer, std::size_t) noexcept { ++reads; }
+  void write(Buffer, std::size_t) noexcept { ++writes; }
+  void mark() noexcept { ++iterations; }
+  std::uint64_t total() const noexcept { return reads + writes; }
+  void reset() noexcept { reads = writes = iterations = 0; }
+};
+
+/// Records the full logical address sequence: one entry per limb access.
+/// Logical address = buffer * stride + index, matching how the bulk executor
+/// lays a thread's working set out in memory. Replayed by the UMM simulator
+/// and diffed across threads by the obliviousness analyzer.
+struct AddressTracer {
+  static constexpr bool enabled = true;
+
+  struct Access {
+    std::uint32_t address;  ///< logical limb address within this thread
+    bool is_write;
+  };
+
+  explicit AddressTracer(std::size_t buffer_limbs = 256)
+      : stride(buffer_limbs) {}
+
+  std::size_t stride;
+  std::vector<Access> accesses;
+  /// accesses-array offset where each algorithm iteration begins; lets the
+  /// obliviousness analyzer align threads iteration-by-iteration.
+  std::vector<std::uint32_t> iteration_starts;
+
+  void mark() { iteration_starts.push_back(std::uint32_t(accesses.size())); }
+  void read(Buffer buf, std::size_t index) {
+    accesses.push_back({std::uint32_t(std::size_t(buf) * stride + index), false});
+  }
+  void write(Buffer buf, std::size_t index) {
+    accesses.push_back({std::uint32_t(std::size_t(buf) * stride + index), true});
+  }
+};
+
+}  // namespace bulkgcd::gcd

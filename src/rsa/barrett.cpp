@@ -1,0 +1,50 @@
+#include "rsa/barrett.hpp"
+
+#include <stdexcept>
+
+namespace bulkgcd::rsa {
+
+namespace {
+constexpr std::size_t kLimbBits = 32;
+}
+
+BarrettContext::BarrettContext(mp::BigInt modulus) : n_(std::move(modulus)) {
+  if (n_.is_zero()) {
+    throw std::invalid_argument("BarrettContext: modulus must be > 0");
+  }
+  k_ = n_.size();
+  mu_ = (mp::BigInt(1) << (2 * k_ * kLimbBits)) / n_;
+}
+
+mp::BigInt BarrettContext::reduce(const mp::BigInt& x) const {
+  if (x < n_) return x;
+  // HAC 14.42 with base B = 2^32:
+  //   q̂ = ⌊⌊x / B^{k−1}⌋ · µ / B^{k+1}⌋   (q̂ ∈ {q, q−1, q−2})
+  const mp::BigInt q1 = x >> ((k_ - 1) * kLimbBits);
+  const mp::BigInt q3 = (q1 * mu_) >> ((k_ + 1) * kLimbBits);
+
+  // r = (x − q̂·n) mod B^{k+1}; the true remainder is r, r−? plus at most two
+  // corrective subtractions of n.
+  const std::size_t rbits = (k_ + 1) * kLimbBits;
+  const mp::BigInt mask_mod = mp::BigInt(1) << rbits;
+  const mp::BigInt r1 = x - ((x >> rbits) << rbits);  // x mod B^{k+1}
+  mp::BigInt r2 = q3 * n_;
+  r2 = r2 - ((r2 >> rbits) << rbits);  // (q̂·n) mod B^{k+1}
+  mp::BigInt r = r1 >= r2 ? r1 - r2 : r1 + mask_mod - r2;
+  while (r >= n_) r -= n_;  // at most two iterations by the q̂ bound
+  return r;
+}
+
+mp::BigInt BarrettContext::pow(const mp::BigInt& base,
+                               const mp::BigInt& exponent) const {
+  mp::BigInt acc(1);
+  if (n_ == mp::BigInt(1)) return mp::BigInt();
+  mp::BigInt b = base % n_;
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exponent.bit(i)) acc = mul(acc, b);
+  }
+  return acc;
+}
+
+}  // namespace bulkgcd::rsa

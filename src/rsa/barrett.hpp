@@ -1,0 +1,38 @@
+// Barrett reduction (HAC 14.42) — the other classical division-free modular
+// reduction. Unlike Montgomery it needs no domain conversion and works for
+// EVEN moduli; its per-multiplication cost is two extra half-size products
+// instead of Montgomery's interleaved reduction. Provided as the design
+// alternative (ablated in bench_microkernels) and as the reduction for the
+// rare even-modulus cases Montgomery cannot serve.
+#pragma once
+
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+class BarrettContext {
+ public:
+  /// Precompute µ = ⌊B^{2k} / n⌋ for modulus n > 0 (k = limb count of n,
+  /// B = 2³²). Throws std::invalid_argument for n == 0.
+  explicit BarrettContext(mp::BigInt modulus);
+
+  const mp::BigInt& modulus() const noexcept { return n_; }
+
+  /// x mod n for 0 <= x < B^{2k} (i.e. any product of two reduced values).
+  mp::BigInt reduce(const mp::BigInt& x) const;
+
+  /// (a·b) mod n for a, b < n.
+  mp::BigInt mul(const mp::BigInt& a, const mp::BigInt& b) const {
+    return reduce(a * b);
+  }
+
+  /// base^exponent mod n by square-and-multiply over Barrett products.
+  mp::BigInt pow(const mp::BigInt& base, const mp::BigInt& exponent) const;
+
+ private:
+  mp::BigInt n_;
+  mp::BigInt mu_;       ///< ⌊B^{2k} / n⌋
+  std::size_t k_ = 0;   ///< limbs of n
+};
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,220 @@
+#include "rsa/corpus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "rsa/prime.hpp"
+
+#if defined(BULKGCD_HAVE_GMP)
+#include <gmp.h>
+#endif
+
+namespace bulkgcd::rsa {
+
+bool gmp_backend_available() noexcept {
+#if defined(BULKGCD_HAVE_GMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+#if defined(BULKGCD_HAVE_GMP)
+/// Convert an mpz to our BigInt via 32-bit word export.
+mp::BigInt mpz_to_bigint(const mpz_t value) {
+  const std::size_t words = (mpz_sizeinbase(value, 2) + 31) / 32;
+  std::vector<std::uint32_t> limbs(words, 0);
+  std::size_t written = 0;
+  mpz_export(limbs.data(), &written, -1 /*LSW first*/, sizeof(std::uint32_t),
+             0 /*native endian*/, 0, value);
+  limbs.resize(written);
+  return mp::BigInt::from_limbs(limbs);
+}
+
+mp::BigInt gmp_random_prime(Xoshiro256& rng, std::size_t bits) {
+  // Random starting point with the top two bits set, then next_prime. The
+  // tiny next-prime bias is irrelevant for iteration-count statistics.
+  const mp::BigInt start = random_bits(rng, bits);
+  mpz_t n;
+  mpz_init2(n, bits + 64);
+  mpz_import(n, start.limbs().size(), -1, sizeof(std::uint32_t), 0, 0,
+             start.limbs().data());
+  mpz_setbit(n, bits - 1);
+  mpz_setbit(n, bits - 2);
+  mpz_nextprime(n, n);
+  while (mpz_sizeinbase(n, 2) > bits) {  // ran past 2^bits: wrap and retry
+    mpz_clrbit(n, bits);
+    mpz_setbit(n, bits - 1);
+    mpz_setbit(n, bits - 2);
+    mpz_nextprime(n, n);
+  }
+  mp::BigInt out = mpz_to_bigint(n);
+  mpz_clear(n);
+  return out;
+}
+#endif
+
+CorpusBackend resolve(CorpusBackend backend, std::size_t modulus_bits) {
+  if (backend != CorpusBackend::kAuto) return backend;
+  if (modulus_bits > 1024 && gmp_backend_available()) return CorpusBackend::kGmp;
+  return CorpusBackend::kNative;
+}
+
+}  // namespace
+
+std::vector<mp::BigInt> generate_primes(Xoshiro256& rng, std::size_t count,
+                                        std::size_t bits, CorpusBackend backend) {
+  backend = resolve(backend, bits * 2);
+  if (backend == CorpusBackend::kGmp && !gmp_backend_available()) {
+    throw std::runtime_error("generate_primes: GMP backend not compiled in");
+  }
+  std::vector<mp::BigInt> primes(count);
+  // Parallel generation: each chunk gets an independent split of the RNG.
+  std::vector<Xoshiro256> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(rng.split());
+  global_pool().parallel_for(0, count, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+#if defined(BULKGCD_HAVE_GMP)
+      if (backend == CorpusBackend::kGmp) {
+        primes[i] = gmp_random_prime(streams[i], bits);
+        continue;
+      }
+#endif
+      primes[i] = random_prime(streams[i], bits);
+    }
+  });
+  return primes;
+}
+
+WeakCorpus generate_corpus(const CorpusSpec& spec) {
+  if (spec.count < 2 || spec.modulus_bits % 2 != 0) {
+    throw std::invalid_argument("generate_corpus: need >= 2 moduli, even bits");
+  }
+  if (2 * spec.weak_pairs > spec.count) {
+    throw std::invalid_argument("generate_corpus: too many weak pairs");
+  }
+  const std::size_t prime_bits = spec.modulus_bits / 2;
+  Xoshiro256 rng(spec.seed);
+
+  // Primes: each weak pair consumes 3 (shared + 2 cofactors); every other
+  // modulus consumes 2.
+  const std::size_t strong = spec.count - 2 * spec.weak_pairs;
+  const std::size_t total_primes = 3 * spec.weak_pairs + 2 * strong;
+  std::vector<mp::BigInt> primes =
+      generate_primes(rng, total_primes, prime_bits, spec.backend);
+  // Shared primes must be pairwise distinct from everything else or the
+  // ground truth would under-report; dedupe defensively (collisions are
+  // astronomically unlikely, but the invariant matters for tests).
+  std::sort(primes.begin(), primes.end());
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  while (primes.size() < total_primes) {
+    primes.push_back(random_prime(rng, prime_bits));
+  }
+  // Random order after the sort.
+  for (std::size_t i = primes.size(); i-- > 1;) {
+    std::swap(primes[i], primes[rng.below(i + 1)]);
+  }
+
+  WeakCorpus corpus;
+  corpus.modulus_bits = spec.modulus_bits;
+  corpus.moduli.resize(spec.count);
+  std::size_t next_prime = 0;
+
+  std::vector<mp::BigInt> shared(spec.weak_pairs);
+  global_pool().parallel_for(0, spec.count, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i < 2 * spec.weak_pairs) {
+        const std::size_t pair = i / 2;
+        const mp::BigInt& shared_prime = primes[3 * pair];
+        const mp::BigInt& cofactor = primes[3 * pair + 1 + (i % 2)];
+        corpus.moduli[i] = shared_prime * cofactor;
+      } else {
+        const std::size_t base =
+            3 * spec.weak_pairs + 2 * (i - 2 * spec.weak_pairs);
+        corpus.moduli[i] = primes[base] * primes[base + 1];
+      }
+    }
+  });
+  next_prime = 3 * spec.weak_pairs + 2 * strong;
+  (void)next_prime;
+  for (std::size_t pair = 0; pair < spec.weak_pairs; ++pair) {
+    shared[pair] = primes[3 * pair];
+  }
+
+  // Shuffle moduli and track where the weak pairs land.
+  std::vector<std::size_t> position(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) position[i] = i;
+  for (std::size_t i = spec.count; i-- > 1;) {
+    const std::size_t j = rng.below(i + 1);
+    std::swap(corpus.moduli[i], corpus.moduli[j]);
+    std::swap(position[i], position[j]);
+  }
+  // position[k] = original index of the modulus now at slot k; invert it.
+  std::vector<std::size_t> slot_of(spec.count);
+  for (std::size_t k = 0; k < spec.count; ++k) slot_of[position[k]] = k;
+
+  corpus.weak.reserve(spec.weak_pairs);
+  for (std::size_t pair = 0; pair < spec.weak_pairs; ++pair) {
+    std::size_t a = slot_of[2 * pair];
+    std::size_t b = slot_of[2 * pair + 1];
+    if (a > b) std::swap(a, b);
+    corpus.weak.push_back({a, b, shared[pair]});
+  }
+  std::sort(corpus.weak.begin(), corpus.weak.end(),
+            [](const auto& lhs, const auto& rhs) {
+              return std::pair(lhs.first, lhs.second) <
+                     std::pair(rhs.first, rhs.second);
+            });
+  return corpus;
+}
+
+double expected_weak_pairs(const LowEntropySpec& spec) {
+  // Each modulus is an unordered pair of distinct pool indices; two moduli
+  // are weak iff their index pairs intersect:
+  //   P = 1 − C(N−2,2)/C(N,2) = 1 − (N−2)(N−3) / (N(N−1)).
+  const double n = double(spec.pool_size);
+  if (n < 4) return double(spec.count) * double(spec.count - 1) / 2.0;
+  const double p_share = 1.0 - ((n - 2) * (n - 3)) / (n * (n - 1));
+  return double(spec.count) * double(spec.count - 1) / 2.0 * p_share;
+}
+
+LowEntropyCorpus generate_low_entropy_corpus(const LowEntropySpec& spec) {
+  if (spec.count < 1 || spec.modulus_bits % 2 != 0 || spec.pool_size < 2) {
+    throw std::invalid_argument("generate_low_entropy_corpus: bad spec");
+  }
+  Xoshiro256 rng(spec.seed);
+  const std::size_t prime_bits = spec.modulus_bits / 2;
+  std::vector<mp::BigInt> pool =
+      generate_primes(rng, spec.pool_size, prime_bits, spec.backend);
+
+  LowEntropyCorpus corpus;
+  corpus.moduli.reserve(spec.count);
+  std::vector<std::pair<std::size_t, std::size_t>> draws(spec.count);
+  std::vector<bool> used(spec.pool_size, false);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const std::size_t a = rng.below(spec.pool_size);
+    std::size_t b = rng.below(spec.pool_size);
+    while (b == a) b = rng.below(spec.pool_size);  // devices reject p == q
+    draws[i] = {std::min(a, b), std::max(a, b)};
+    used[a] = used[b] = true;
+    corpus.moduli.push_back(pool[a] * pool[b]);
+  }
+  for (const bool u : used) corpus.distinct_primes_used += u;
+
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    for (std::size_t j = i + 1; j < spec.count; ++j) {
+      const auto& [a1, b1] = draws[i];
+      const auto& [a2, b2] = draws[j];
+      if (a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2) {
+        corpus.weak_pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace bulkgcd::rsa

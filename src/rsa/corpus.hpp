@@ -1,0 +1,94 @@
+// Weak-key corpus synthesis.
+//
+// The paper's threat model: RSA moduli harvested from the Web, a fraction of
+// which share prime factors due to bad randomness (Lenstra et al., "Ron was
+// wrong, Whit is right"). We cannot scrape that corpus here, so we synthesize
+// one with a controlled shared-prime rate and keep the ground truth for
+// verification — the substitution documented in DESIGN.md.
+//
+// Two generation backends produce statistically identical corpora:
+//   * kNative — this repo's Miller-Rabin prime search (self-contained, used
+//     by default up to 1024-bit moduli);
+//   * kGmp    — GMP's mpz_nextprime (used by default for larger moduli where
+//     a schoolbook modpow prime search is needlessly slow; GMP is never used
+//     in any measured GCD code path).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+enum class CorpusBackend {
+  kAuto,    ///< kNative for modulus_bits <= 1024, else kGmp (if available)
+  kNative,
+  kGmp,
+};
+
+struct CorpusSpec {
+  std::size_t count = 64;              ///< number of moduli
+  std::size_t modulus_bits = 1024;     ///< bits per modulus (even)
+  /// Number of weak pairs to inject: pairs (2i, 2i+1) of moduli that share a
+  /// prime. Must satisfy 2*weak_pairs <= count.
+  std::size_t weak_pairs = 0;
+  std::uint64_t seed = 42;
+  CorpusBackend backend = CorpusBackend::kAuto;
+};
+
+struct WeakCorpus {
+  std::vector<mp::BigInt> moduli;
+  /// Ground truth: index pairs that share a prime, with the shared prime.
+  struct WeakPair {
+    std::size_t first;
+    std::size_t second;
+    mp::BigInt shared_prime;
+  };
+  std::vector<WeakPair> weak;
+  std::size_t modulus_bits = 0;
+};
+
+/// Generate `spec.count` distinct RSA moduli; the first 2*weak_pairs of them
+/// form shared-prime pairs (then the whole list is shuffled so weak pairs sit
+/// at random positions; ground-truth indices track the shuffle).
+WeakCorpus generate_corpus(const CorpusSpec& spec);
+
+/// The *mechanism* behind real-world weak keys (Lenstra et al. 2012, the
+/// paper's motivation): devices seeding their PRNG with too little entropy
+/// draw primes from a small pool, and shared factors appear by the birthday
+/// effect rather than by construction. This generator models that directly:
+/// every prime is drawn uniformly from a pool of `pool_size` primes, so the
+/// expected number of colliding pairs among c moduli (2c draws) follows the
+/// birthday statistics E ≈ C(2c, 2)/pool − intra-modulus effects.
+struct LowEntropySpec {
+  std::size_t count = 64;           ///< number of moduli
+  std::size_t modulus_bits = 512;   ///< bits per modulus (even)
+  std::size_t pool_size = 128;      ///< distinct primes available to devices
+  std::uint64_t seed = 1;
+  CorpusBackend backend = CorpusBackend::kAuto;
+};
+
+struct LowEntropyCorpus {
+  std::vector<mp::BigInt> moduli;
+  /// Ground truth: weak[i] lists every j > i with gcd(n_i, n_j) > 1.
+  std::vector<std::pair<std::size_t, std::size_t>> weak_pairs;
+  std::size_t distinct_primes_used = 0;
+};
+
+/// Expected number of weak (factor-sharing) unordered pairs for the spec.
+double expected_weak_pairs(const LowEntropySpec& spec);
+
+LowEntropyCorpus generate_low_entropy_corpus(const LowEntropySpec& spec);
+
+/// True when the kGmp backend is compiled in.
+bool gmp_backend_available() noexcept;
+
+/// Generate `count` random primes of `bits` bits (top two bits set) using the
+/// selected backend. Exposed for tests that cross-check the backends.
+std::vector<mp::BigInt> generate_primes(Xoshiro256& rng, std::size_t count,
+                                        std::size_t bits, CorpusBackend backend);
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,112 @@
+#include "rsa/keystore.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bulkgcd::rsa {
+
+namespace {
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("keystore: cannot write " + path.string());
+  }
+  return out;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("keystore: cannot read " + path.string());
+  }
+  return in;
+}
+
+void write_comment(std::ofstream& out, const std::string& comment) {
+  if (comment.empty()) return;
+  std::istringstream lines(comment);
+  std::string line;
+  while (std::getline(lines, line)) out << "# " << line << "\n";
+}
+
+[[noreturn]] void malformed(const std::filesystem::path& path, std::size_t line) {
+  throw std::runtime_error("keystore: malformed record at " + path.string() +
+                           ":" + std::to_string(line));
+}
+
+}  // namespace
+
+void save_moduli(const std::filesystem::path& path,
+                 const std::vector<mp::BigInt>& moduli,
+                 const std::string& comment) {
+  auto out = open_out(path);
+  write_comment(out, comment);
+  for (const auto& n : moduli) out << "modulus " << n.to_hex() << "\n";
+  if (!out) throw std::runtime_error("keystore: write failed: " + path.string());
+}
+
+std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path) {
+  auto in = open_in(path);
+  std::vector<mp::BigInt> moduli;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    std::string hex;
+    if (kind == "modulus") {
+      if (!(fields >> hex)) malformed(path, line_no);
+      moduli.push_back(mp::BigInt::from_hex(hex));
+    } else if (kind == "keypair") {
+      if (!(fields >> hex)) malformed(path, line_no);
+      moduli.push_back(mp::BigInt::from_hex(hex));  // n is the first field
+    } else {
+      malformed(path, line_no);
+    }
+  }
+  return moduli;
+}
+
+void save_keypairs(const std::filesystem::path& path,
+                   const std::vector<KeyPair>& keys,
+                   const std::string& comment) {
+  auto out = open_out(path);
+  write_comment(out, comment);
+  for (const auto& key : keys) {
+    out << "keypair " << key.n.to_hex() << " " << key.e.to_hex() << " "
+        << key.d.to_hex() << " " << key.p.to_hex() << " " << key.q.to_hex()
+        << "\n";
+  }
+  if (!out) throw std::runtime_error("keystore: write failed: " + path.string());
+}
+
+std::vector<KeyPair> load_keypairs(const std::filesystem::path& path) {
+  auto in = open_in(path);
+  std::vector<KeyPair> keys;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (kind == "modulus") continue;  // tolerated in mixed files
+    if (kind != "keypair") malformed(path, line_no);
+    std::string n, e, d, p, q;
+    if (!(fields >> n >> e >> d >> p >> q)) malformed(path, line_no);
+    KeyPair key;
+    key.n = mp::BigInt::from_hex(n);
+    key.e = mp::BigInt::from_hex(e);
+    key.d = mp::BigInt::from_hex(d);
+    key.p = mp::BigInt::from_hex(p);
+    key.q = mp::BigInt::from_hex(q);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,38 @@
+// Key material file I/O — the glue a practitioner needs around the attack:
+// persist harvested moduli / generated corpora / broken keys as plain text
+// and load them back. Format is deliberately simple (inspectable with any
+// editor, diff-friendly):
+//
+//   # comments and blank lines ignored
+//   modulus <hex>                       — one public modulus
+//   keypair <n-hex> <e-hex> <d-hex> <p-hex> <q-hex>
+//
+// Files may mix both record kinds; loaders filter by what they need.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "rsa/rsa.hpp"
+
+namespace bulkgcd::rsa {
+
+/// Write moduli as `modulus <hex>` lines. Throws std::runtime_error on I/O
+/// failure.
+void save_moduli(const std::filesystem::path& path,
+                 const std::vector<mp::BigInt>& moduli,
+                 const std::string& comment = {});
+
+/// Read every `modulus` record (and the n of every `keypair` record).
+/// Throws std::runtime_error on I/O failure or malformed records.
+std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path);
+
+/// Write full key pairs as `keypair` records.
+void save_keypairs(const std::filesystem::path& path,
+                   const std::vector<KeyPair>& keys,
+                   const std::string& comment = {});
+
+/// Read every `keypair` record.
+std::vector<KeyPair> load_keypairs(const std::filesystem::path& path);
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,122 @@
+// Modular arithmetic over BigIntT: modular multiplication/exponentiation and
+// the extended-Euclid modular inverse. These back Miller-Rabin, RSA
+// encrypt/decrypt and private-key recovery (d = e^{-1} mod (p-1)(q-1), as in
+// the paper's Section I). Header-only so all limb widths are usable in tests.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> modmul(const mp::BigIntT<Limb>& a, const mp::BigIntT<Limb>& b,
+                         const mp::BigIntT<Limb>& m) {
+  return (a * b) % m;
+}
+
+/// base^exp mod m by left-to-right square-and-multiply.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> modpow(const mp::BigIntT<Limb>& base,
+                         const mp::BigIntT<Limb>& exp,
+                         const mp::BigIntT<Limb>& m) {
+  using Big = mp::BigIntT<Limb>;
+  if (m.is_zero()) throw std::domain_error("modpow: zero modulus");
+  Big result(1);
+  result = result % m;  // handles m == 1
+  Big b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = modmul(result, result, m);
+    if (exp.bit(i)) result = modmul(result, b, m);
+  }
+  return result;
+}
+
+/// Sign-and-magnitude integer for the extended-Euclid coefficient track.
+template <mp::LimbType Limb>
+struct Signed {
+  mp::BigIntT<Limb> mag;
+  bool neg = false;
+
+  /// this - q * other (signed).
+  Signed sub_mul(const mp::BigIntT<Limb>& q, const Signed& other) const {
+    Signed prod{other.mag * q, other.neg};
+    if (neg == prod.neg) {  // same sign: plain magnitude subtraction
+      if (mag >= prod.mag) return {mag - prod.mag, neg};
+      return {prod.mag - mag, !neg};
+    }
+    return {mag + prod.mag, neg};  // opposite signs: magnitudes add
+  }
+};
+
+/// Multiplicative inverse of a modulo m (extended Euclid). Throws
+/// std::domain_error when gcd(a, m) != 1.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> modinv(const mp::BigIntT<Limb>& a, const mp::BigIntT<Limb>& m) {
+  using Big = mp::BigIntT<Limb>;
+  if (m <= Big(1)) throw std::domain_error("modinv: modulus must be > 1");
+  Big r0 = m, r1 = a % m;
+  Signed<Limb> t0{Big(0), false}, t1{Big(1), false};
+  while (!r1.is_zero()) {
+    auto [q, r2] = Big::divmod(r0, r1);
+    Signed<Limb> t2 = t0.sub_mul(q, t1);
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (r0 != Big(1)) throw std::domain_error("modinv: inputs are not coprime");
+  if (t0.neg) return m - (t0.mag % m);
+  return t0.mag % m;
+}
+
+/// Multiplicative inverse of a modulo an ODD m by the binary extended
+/// Euclidean algorithm (Penk) — no divisions at all, only shifts and
+/// subtractions, the division-free companion of the paper's binary GCD
+/// family. Throws std::domain_error when m is even, m <= 1, or
+/// gcd(a, m) != 1. Cross-validated against the division-based modinv in
+/// tests/rsa_test.cpp.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> modinv_odd_binary(const mp::BigIntT<Limb>& a,
+                                    const mp::BigIntT<Limb>& m) {
+  using Big = mp::BigIntT<Limb>;
+  if (m <= Big(1) || m.is_even()) {
+    throw std::domain_error("modinv_odd_binary: modulus must be odd and > 1");
+  }
+  Big u = a % m;
+  if (u.is_zero()) throw std::domain_error("modinv_odd_binary: not coprime");
+  Big v = m;
+  Big x1(1), x2;  // u·? ≡ x1·a, v·? ≡ x2·a (mod m) invariants
+
+  const auto halve_mod = [&m](Big& x) {
+    if (x.is_odd()) x += m;  // make even without changing x mod m
+    x >>= 1;
+  };
+
+  while (u != Big(1) && v != Big(1)) {
+    while (u.is_even()) {
+      u >>= 1;
+      halve_mod(x1);
+    }
+    while (v.is_even()) {
+      v >>= 1;
+      halve_mod(x2);
+    }
+    if (u >= v) {
+      u -= v;
+      x1 = x1 >= x2 ? x1 - x2 : x1 + m - x2;
+    } else {
+      v -= u;
+      x2 = x2 >= x1 ? x2 - x1 : x2 + m - x1;
+    }
+    if (u.is_zero() || v.is_zero()) {
+      throw std::domain_error("modinv_odd_binary: inputs are not coprime");
+    }
+  }
+  return (u == Big(1) ? x1 : x2) % m;
+}
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,112 @@
+#include "rsa/montgomery.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mp/span_ops.hpp"
+
+namespace bulkgcd::rsa {
+
+namespace {
+
+/// −n⁻¹ mod 2³² for odd n0, by Newton iteration (5 steps double the
+/// precision from the 1-bit seed past 32 bits).
+std::uint32_t neg_inverse_u32(std::uint32_t n0) {
+  assert(n0 & 1u);
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - n0 * inv;
+  }
+  return ~inv + 1u;  // −inv mod 2³²
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(mp::BigInt modulus) : n_(std::move(modulus)) {
+  if (n_.is_even() || n_ <= mp::BigInt(1)) {
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd and > 1");
+  }
+  limbs_ = n_.size();
+  n0_inv_ = neg_inverse_u32(n_.limb(0));
+  // R² mod n with R = 2^(32·L): one big shift and one division at setup.
+  r2_ = (mp::BigInt(1) << (64 * limbs_)) % n_;
+  one_mont_ = (mp::BigInt(1) << (32 * limbs_)) % n_;
+}
+
+void MontgomeryContext::mont_mul(const std::uint32_t* a, const std::uint32_t* b,
+                                 std::uint32_t* out) const {
+  const std::uint32_t* n = n_.data();
+  const std::size_t L = limbs_;
+  // t has L + 2 words: the running sum never exceeds 2·n·2³² during CIOS.
+  std::vector<std::uint64_t> t(L + 2, 0);  // each entry kept < 2³² between rounds
+
+  for (std::size_t i = 0; i < L; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < L; ++j) {
+      const std::uint64_t sum = t[j] + ai * b[j] + carry;
+      t[j] = std::uint32_t(sum);
+      carry = sum >> 32;
+    }
+    std::uint64_t sum = t[L] + carry;
+    t[L] = std::uint32_t(sum);
+    t[L + 1] += sum >> 32;
+
+    // m = t[0]·(−n⁻¹) mod 2³²; t += m·n, making t ≡ 0 mod 2³²
+    const std::uint64_t m = std::uint32_t(t[0] * n0_inv_);
+    carry = 0;
+    for (std::size_t j = 0; j < L; ++j) {
+      const std::uint64_t s2 = t[j] + m * n[j] + carry;
+      if (j == 0) assert(std::uint32_t(s2) == 0);
+      t[j] = std::uint32_t(s2);
+      carry = s2 >> 32;
+    }
+    sum = t[L] + carry;
+    t[L] = std::uint32_t(sum);
+    t[L + 1] += sum >> 32;
+
+    // t >>= 32 (drop the zero word)
+    for (std::size_t j = 0; j < L + 1; ++j) t[j] = t[j + 1];
+    t[L + 1] = 0;
+  }
+
+  // t < 2n at this point; one conditional subtraction.
+  std::vector<std::uint32_t> result(L + 1);
+  for (std::size_t j = 0; j < L + 1; ++j) result[j] = std::uint32_t(t[j]);
+  const std::size_t rsize = mp::normalized_size(result.data(), L + 1);
+  if (mp::compare(result.data(), rsize, n, L) >= 0) {
+    mp::sub(result.data(), result.data(), rsize, n, L);
+  }
+  std::copy(result.begin(), result.begin() + std::ptrdiff_t(L), out);
+}
+
+mp::BigInt MontgomeryContext::mul(const mp::BigInt& a, const mp::BigInt& b) const {
+  std::vector<std::uint32_t> pa(limbs_, 0), pb(limbs_, 0), pr(limbs_, 0);
+  std::copy(a.limbs().begin(), a.limbs().end(), pa.begin());
+  std::copy(b.limbs().begin(), b.limbs().end(), pb.begin());
+  mont_mul(pa.data(), pb.data(), pr.data());
+  return mp::BigInt::from_limbs(pr);
+}
+
+mp::BigInt MontgomeryContext::to_mont(const mp::BigInt& a) const {
+  return mul(a, r2_);  // a·R²·R⁻¹ = a·R
+}
+
+mp::BigInt MontgomeryContext::from_mont(const mp::BigInt& a) const {
+  return mul(a, mp::BigInt(1));  // a·1·R⁻¹
+}
+
+mp::BigInt MontgomeryContext::pow(const mp::BigInt& base,
+                                  const mp::BigInt& exponent) const {
+  const mp::BigInt b = base % n_;
+  mp::BigInt acc = one_mont_;  // 1 in the Montgomery domain
+  const mp::BigInt bm = to_mont(b);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exponent.bit(i)) acc = mul(acc, bm);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,55 @@
+// Montgomery modular arithmetic (CIOS — coarsely integrated operand
+// scanning) over 32-bit limbs.
+//
+// The divmod-based modmul in rsa/modmath.hpp costs a full Knuth-D division
+// per multiplication; Montgomery replaces that with two limb-product sweeps
+// and a conditional subtraction, which is what makes the native prime
+// generator and RSA encrypt/decrypt usable at 1024-bit+ sizes. Miller-Rabin
+// (rsa/prime.cpp) routes its exponentiations through here.
+//
+// Usage:
+//   MontgomeryContext ctx(n);           // n odd, > 1
+//   BigInt c = ctx.pow(base, exponent); // base^exponent mod n
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+class MontgomeryContext {
+ public:
+  /// Precompute for an odd modulus > 1. Throws std::invalid_argument
+  /// otherwise.
+  explicit MontgomeryContext(mp::BigInt modulus);
+
+  const mp::BigInt& modulus() const noexcept { return n_; }
+
+  /// a·R mod n (into the Montgomery domain). Requires a < n.
+  mp::BigInt to_mont(const mp::BigInt& a) const;
+  /// a·R⁻¹ mod n (out of the Montgomery domain).
+  mp::BigInt from_mont(const mp::BigInt& a) const;
+
+  /// Montgomery product: a·b·R⁻¹ mod n (both operands in the domain).
+  mp::BigInt mul(const mp::BigInt& a, const mp::BigInt& b) const;
+
+  /// base^exponent mod n — plain-domain input and output.
+  /// Left-to-right square-and-multiply over Montgomery products.
+  mp::BigInt pow(const mp::BigInt& base, const mp::BigInt& exponent) const;
+
+ private:
+  /// Core CIOS reduction: result = a·b·R⁻¹ mod n on raw limb vectors, where
+  /// a, b are padded to limbs_ words.
+  void mont_mul(const std::uint32_t* a, const std::uint32_t* b,
+                std::uint32_t* out) const;
+
+  mp::BigInt n_;
+  std::size_t limbs_ = 0;     ///< L: number of 32-bit limbs of n
+  std::uint32_t n0_inv_ = 0;  ///< −n⁻¹ mod 2³²
+  mp::BigInt r2_;             ///< R² mod n with R = 2^(32·L)
+  mp::BigInt one_mont_;       ///< R mod n (the domain's 1)
+};
+
+}  // namespace bulkgcd::rsa

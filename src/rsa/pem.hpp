@@ -1,0 +1,63 @@
+// PEM / DER encoding of RSA public keys — the interchange formats a scanner
+// meets in the wild. Supports both common shapes:
+//
+//   PKCS#1  "-----BEGIN RSA PUBLIC KEY-----"
+//           RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }
+//
+//   SPKI    "-----BEGIN PUBLIC KEY-----"
+//           SubjectPublicKeyInfo ::= SEQUENCE {
+//             SEQUENCE { OID rsaEncryption, NULL },
+//             BIT STRING { RSAPublicKey } }
+//
+// Self-contained base64 + minimal DER reader/writer; no OpenSSL. Decoding is
+// strict about the structure it understands and throws std::runtime_error
+// with a location on anything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+struct PublicKey {
+  mp::BigInt n;
+  mp::BigInt e;
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+enum class PemKind {
+  kPkcs1,  ///< "RSA PUBLIC KEY" (bare RSAPublicKey)
+  kSpki,   ///< "PUBLIC KEY" (SubjectPublicKeyInfo wrapper)
+};
+
+// ---- base64 ---------------------------------------------------------------
+
+std::string base64_encode(const std::vector<std::uint8_t>& data);
+/// Whitespace is tolerated anywhere; throws std::runtime_error on bad input.
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+// ---- DER ------------------------------------------------------------------
+
+/// DER bytes of RSAPublicKey / SubjectPublicKeyInfo.
+std::vector<std::uint8_t> der_encode_public_key(const PublicKey& key,
+                                                PemKind kind = PemKind::kPkcs1);
+/// Parses either shape (auto-detected).
+PublicKey der_decode_public_key(const std::vector<std::uint8_t>& der);
+
+// ---- PEM ------------------------------------------------------------------
+
+std::string pem_encode_public_key(const PublicKey& key,
+                                  PemKind kind = PemKind::kPkcs1);
+/// Accepts either armor label; throws std::runtime_error on malformed input.
+PublicKey pem_decode_public_key(std::string_view pem);
+
+/// Extract every public key from text that may contain multiple PEM blocks
+/// (e.g. a harvested bundle). Unparseable blocks raise; non-PEM text between
+/// blocks is ignored.
+std::vector<PublicKey> pem_decode_bundle(std::string_view text);
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,121 @@
+#include "rsa/prime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mp/span_ops.hpp"
+#include "rsa/modmath.hpp"
+#include "rsa/montgomery.hpp"
+
+namespace bulkgcd::rsa {
+
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 1u << 16;
+    std::vector<bool> composite(kLimit, false);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 3; i < kLimit; i += 2) {
+      if (composite[i]) continue;
+      out.push_back(i);
+      for (std::uint64_t j = std::uint64_t(i) * i; j < kLimit; j += 2ull * i) {
+        composite[std::size_t(j)] = true;
+      }
+    }
+    return out;
+  }();
+  return primes;
+}
+
+std::uint32_t mod_u32(const mp::BigInt& value, std::uint32_t p) {
+  std::uint64_t rem = 0;
+  const auto limbs = value.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % p;
+  }
+  return std::uint32_t(rem);
+}
+
+namespace {
+
+/// One Miller-Rabin round with base a (2 <= a <= n-2). Returns false when a
+/// witnesses compositeness. All modular work runs through the Montgomery
+/// context (n is odd here by construction).
+bool miller_rabin_round(const MontgomeryContext& ctx, const mp::BigInt& n_minus_1,
+                        const mp::BigInt& d, std::size_t r, const mp::BigInt& a) {
+  mp::BigInt x = ctx.pow(a, d);
+  const mp::BigInt one(1);
+  if (x == one || x == n_minus_1) return true;
+  mp::BigInt xm = ctx.to_mont(x);
+  for (std::size_t i = 1; i < r; ++i) {
+    xm = ctx.mul(xm, xm);
+    x = ctx.from_mont(xm);
+    if (x == n_minus_1) return true;
+    if (x == one) return false;  // nontrivial sqrt of 1 found
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const mp::BigInt& n, Xoshiro256& rng, int rounds) {
+  const std::uint64_t small = n.to_u64();
+  if (n.bit_length() <= 16) {  // exact for tiny n
+    if (small < 2) return false;
+    if (small == 2) return true;
+    if (small % 2 == 0) return false;
+    for (std::uint64_t f = 3; f * f <= small; f += 2) {
+      if (small % f == 0) return false;
+    }
+    return true;
+  }
+  if (n.is_even()) return false;
+
+  for (const std::uint32_t p : small_primes()) {
+    if (mod_u32(n, p) == 0) return false;
+  }
+
+  // n - 1 = 2^r * d with d odd
+  const mp::BigInt n_minus_1 = n - mp::BigInt(1);
+  const std::size_t r = n_minus_1.trailing_zero_bits();
+  const mp::BigInt d = n_minus_1 >> r;
+
+  const MontgomeryContext ctx(n);
+  const std::size_t bits = n.bit_length();
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2]: draw `bits` random bits and reduce.
+    mp::BigInt a = random_bits(rng, bits) % (n - mp::BigInt(3));
+    a += mp::BigInt(2);
+    if (!miller_rabin_round(ctx, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+mp::BigInt random_bits(Xoshiro256& rng, std::size_t bits) {
+  if (bits == 0) return mp::BigInt();
+  const std::size_t limbs = (bits + 31) / 32;
+  std::vector<std::uint32_t> words(limbs);
+  for (std::size_t i = 0; i < limbs; i += 2) {
+    const std::uint64_t r = rng();
+    words[i] = std::uint32_t(r);
+    if (i + 1 < limbs) words[i + 1] = std::uint32_t(r >> 32);
+  }
+  const std::size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  if (top_bits < 32) words.back() &= (std::uint32_t(1) << top_bits) - 1;
+  words.back() |= std::uint32_t(1) << (top_bits - 1);  // force exact length
+  return mp::BigInt::from_limbs(words);
+}
+
+mp::BigInt random_prime(Xoshiro256& rng, std::size_t bits, int mr_rounds) {
+  assert(bits >= 8 && "prime too small for an RSA factor");
+  while (true) {
+    mp::BigInt candidate = random_bits(rng, bits);
+    // Force the two top bits (RSA convention) and oddness.
+    candidate += mp::BigInt(1) << (bits - 2);
+    if (candidate.bit_length() > bits) continue;  // carried past the top: redraw
+    if (candidate.is_even()) candidate += mp::BigInt(1);
+    if (candidate.bit_length() > bits) continue;
+    if (is_probable_prime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,36 @@
+// Prime generation: small-prime sieve, Miller-Rabin, and random prime search.
+// This is the repo's substitute for the paper's OpenSSL modulus generation
+// (see DESIGN.md, substitutions): uniformly random primes of b bits with the
+// top two bits set, so a product of two b-bit primes always has exactly 2b
+// bits, matching OpenSSL's RSA key shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+/// Odd primes below 2^16 (computed once, ~6540 entries), used for trial
+/// division before Miller-Rabin.
+const std::vector<std::uint32_t>& small_primes();
+
+/// value mod p for a single machine-word p.
+std::uint32_t mod_u32(const mp::BigInt& value, std::uint32_t p);
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+/// Deterministic small cases (n < 2^16) are decided exactly.
+bool is_probable_prime(const mp::BigInt& n, bulkgcd::Xoshiro256& rng,
+                       int rounds = 24);
+
+/// Uniformly random integer with exactly `bits` bits (top bit set).
+mp::BigInt random_bits(bulkgcd::Xoshiro256& rng, std::size_t bits);
+
+/// Random prime with exactly `bits` bits and the top TWO bits set (so that
+/// products of two such primes have exactly 2*bits bits). Odd by construction.
+mp::BigInt random_prime(bulkgcd::Xoshiro256& rng, std::size_t bits,
+                        int mr_rounds = 24);
+
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,64 @@
+// Textbook RSA over the in-repo bignum, as described in the paper's
+// introduction: encryption key (n, e), decryption key (n, d) with
+// d·e ≡ 1 (mod (p−1)(q−1)); C = M^e mod n, M = C^d mod n. Once a modulus is
+// factored by a shared-prime GCD hit, recover_private_key() rebuilds d and
+// the plaintext falls out — the end-to-end "break" of a weak key.
+//
+// This is deliberately textbook RSA (no padding): the attack reproduced here
+// operates on moduli, not ciphertexts, and unpadded arithmetic keeps the
+// pipeline transparent.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::rsa {
+
+inline constexpr std::uint64_t kDefaultPublicExponent = 65537;
+
+struct KeyPair {
+  mp::BigInt n;  ///< modulus p*q
+  mp::BigInt e;  ///< public exponent
+  mp::BigInt d;  ///< private exponent
+  mp::BigInt p;  ///< prime factor
+  mp::BigInt q;  ///< prime factor
+};
+
+/// Generate an RSA key pair with an s-bit modulus (s must be even; the two
+/// prime factors have s/2 bits each and the modulus exactly s bits).
+KeyPair generate_keypair(Xoshiro256& rng, std::size_t modulus_bits,
+                         std::uint64_t public_exponent = kDefaultPublicExponent);
+
+/// Build a key pair from two given primes (used by the weak-corpus generator
+/// to inject shared factors).
+KeyPair keypair_from_primes(const mp::BigInt& p, const mp::BigInt& q,
+                            std::uint64_t public_exponent = kDefaultPublicExponent);
+
+/// C = M^e mod n. Requires 0 <= M < n.
+mp::BigInt encrypt(const mp::BigInt& message, const mp::BigInt& n,
+                   const mp::BigInt& e);
+
+/// M = C^d mod n.
+mp::BigInt decrypt(const mp::BigInt& cipher, const mp::BigInt& n,
+                   const mp::BigInt& d);
+
+/// CRT decryption: M = C^d mod n computed as two half-size exponentiations
+/// mod p and mod q recombined by Garner's formula — the standard ~4x
+/// speedup, available exactly when the factors are known (i.e. for keys this
+/// library has just broken). Requires key.p and key.q to be set.
+mp::BigInt decrypt_crt(const mp::BigInt& cipher, const KeyPair& key);
+
+/// Given a modulus n, its public exponent e and one recovered prime factor,
+/// reconstruct the full key pair (q = n / factor, d = e^{-1} mod (p−1)(q−1)).
+/// Throws std::invalid_argument if factor does not divide n.
+KeyPair recover_private_key(const mp::BigInt& n, const mp::BigInt& e,
+                            const mp::BigInt& factor);
+
+/// Serialize a short ASCII string as an integer message (big-endian bytes)
+/// and back — enough for the example pipelines.
+mp::BigInt encode_message(std::string_view text);
+std::string decode_message(const mp::BigInt& value);
+
+}  // namespace bulkgcd::rsa

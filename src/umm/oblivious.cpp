@@ -1,0 +1,130 @@
+#include "umm/oblivious.hpp"
+
+#include <algorithm>
+
+#include "gcd/tracer.hpp"
+
+namespace bulkgcd::umm {
+
+namespace {
+
+/// [begin, end) offsets of iteration k inside a trace's access array.
+std::pair<std::size_t, std::size_t> iteration_range(const ThreadTrace& trace,
+                                                    std::size_t k) {
+  if (k >= trace.iteration_starts.size()) return {0, 0};
+  const std::size_t begin = trace.iteration_starts[k];
+  const std::size_t end = k + 1 < trace.iteration_starts.size()
+                              ? trace.iteration_starts[k + 1]
+                              : trace.addresses.size();
+  return {begin, end};
+}
+
+}  // namespace
+
+ObliviousnessReport analyze_traces(const std::vector<ThreadTrace>& traces) {
+  ObliviousnessReport report;
+  bool have_marks = !traces.empty();
+  std::size_t max_iters = 0;
+  for (const auto& trace : traces) {
+    report.total_accesses += trace.addresses.size();
+    if (trace.iteration_starts.empty()) have_marks = false;
+    max_iters = std::max(max_iters, trace.iteration_starts.size());
+  }
+
+  if (have_marks) {
+    // Iteration-aligned analysis: time unit = (iteration k, offset j), the
+    // lockstep unit a SIMT warp actually executes. Threads past their last
+    // iteration (or past their iteration's end) idle — "ragged" steps.
+    for (std::size_t k = 0; k < max_iters; ++k) {
+      std::size_t max_len = 0;
+      for (const auto& trace : traces) {
+        const auto [begin, end] = iteration_range(trace, k);
+        max_len = std::max(max_len, end - begin);
+      }
+      std::vector<std::uint32_t> addrs;
+      for (std::size_t j = 0; j < max_len; ++j) {
+        bool ragged = false;
+        addrs.clear();
+        for (const auto& trace : traces) {
+          const auto [begin, end] = iteration_range(trace, k);
+          if (begin + j >= end) {
+            ragged = true;
+            continue;
+          }
+          addrs.push_back(trace.addresses[begin + j]);
+        }
+        std::sort(addrs.begin(), addrs.end());
+        const std::size_t distinct =
+            std::unique(addrs.begin(), addrs.end()) - addrs.begin();
+        ++report.aligned_steps;
+        report.distinct_address_sum += distinct;
+        if (distinct > 1) {
+          ++report.divergent_steps;
+        } else {
+          ++report.uniform_steps;
+        }
+        if (ragged) ++report.ragged_steps;
+      }
+    }
+    return report;
+  }
+
+  // No iteration marks: raw access-index alignment.
+  std::size_t max_len = 0;
+  for (const auto& trace : traces) {
+    max_len = std::max(max_len, trace.addresses.size());
+  }
+  report.aligned_steps = max_len;
+  std::vector<std::uint32_t> addrs;
+  for (std::size_t step = 0; step < max_len; ++step) {
+    bool ragged = false;
+    addrs.clear();
+    for (const auto& trace : traces) {
+      if (step >= trace.addresses.size()) {
+        ragged = true;
+        continue;
+      }
+      addrs.push_back(trace.addresses[step]);
+    }
+    std::sort(addrs.begin(), addrs.end());
+    const std::size_t distinct =
+        std::unique(addrs.begin(), addrs.end()) - addrs.begin();
+    report.distinct_address_sum += distinct;
+    if (distinct > 1) {
+      ++report.divergent_steps;
+    } else {
+      ++report.uniform_steps;
+    }
+    if (ragged) ++report.ragged_steps;
+  }
+  return report;
+}
+
+std::vector<ThreadTrace> collect_traces(
+    gcd::Variant variant,
+    std::span<const std::pair<mp::BigInt, mp::BigInt>> pairs,
+    std::size_t early_bits, std::size_t span) {
+  std::vector<ThreadTrace> traces;
+  traces.reserve(pairs.size());
+  std::size_t capacity = 0;
+  for (const auto& [x, y] : pairs) {
+    capacity = std::max({capacity, x.size(), y.size()});
+  }
+  gcd::GcdEngine<std::uint32_t> engine(capacity);
+  for (const auto& [x, y] : pairs) {
+    gcd::AddressTracer tracer(span);
+    engine.run(variant, x.limbs(), y.limbs(), early_bits, nullptr, &tracer);
+    ThreadTrace trace;
+    trace.addresses.reserve(tracer.accesses.size());
+    trace.is_write.reserve(tracer.accesses.size());
+    for (const auto& access : tracer.accesses) {
+      trace.addresses.push_back(access.address);
+      trace.is_write.push_back(access.is_write);
+    }
+    trace.iteration_starts = std::move(tracer.iteration_starts);
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace bulkgcd::umm

@@ -1,0 +1,61 @@
+// Obliviousness analysis (Section VI).
+//
+// A sequential algorithm is *oblivious* when the address it touches at each
+// time unit is input-independent; the paper argues Approximate Euclidean is
+// *semi-oblivious* — only a small fraction of time units diverge across
+// inputs — which is what keeps the bulk execution's global-memory access
+// mostly coalesced. This module quantifies that claim: it runs the GCD
+// engine with an AddressTracer over many input pairs and reports, per
+// aligned time unit, whether all still-active threads agreed on the address.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gcd/algorithms.hpp"
+#include "mp/bigint.hpp"
+#include "umm/umm.hpp"
+
+namespace bulkgcd::umm {
+
+struct ObliviousnessReport {
+  std::uint64_t aligned_steps = 0;    ///< time units examined
+  std::uint64_t uniform_steps = 0;    ///< all active threads at same address
+  std::uint64_t divergent_steps = 0;  ///< >= 2 distinct addresses
+  std::uint64_t ragged_steps = 0;     ///< some threads already finished
+  std::uint64_t total_accesses = 0;
+  /// Σ over aligned steps of the number of DISTINCT addresses among active
+  /// threads. This is the quantity the UMM actually charges (address groups
+  /// per warp): a thread whose buffer-pointer parity flipped once counts
+  /// every later step as "divergent", yet the warp still touches only ~2
+  /// address groups — semi-oblivious in the paper's cost sense.
+  std::uint64_t distinct_address_sum = 0;
+
+  double divergent_fraction() const noexcept {
+    return aligned_steps == 0 ? 0.0
+                              : double(divergent_steps) / double(aligned_steps);
+  }
+  /// Mean distinct addresses per step; 1.0 = fully oblivious, #threads =
+  /// fully serialized.
+  double mean_distinct_addresses() const noexcept {
+    return aligned_steps == 0
+               ? 1.0
+               : double(distinct_address_sum) / double(aligned_steps);
+  }
+};
+
+/// Align traces access-by-access and classify each time unit.
+ObliviousnessReport analyze_traces(const std::vector<ThreadTrace>& traces);
+
+/// Run `variant` on every input pair with an AddressTracer and collect the
+/// per-thread traces. `early_bits` as in GcdEngine::run. `span` is the
+/// per-thread logical working-set size used for the traces' buffer stride
+/// (must be >= limb capacity of the inputs).
+std::vector<ThreadTrace> collect_traces(
+    gcd::Variant variant,
+    std::span<const std::pair<mp::BigInt, mp::BigInt>> pairs,
+    std::size_t early_bits, std::size_t span);
+
+}  // namespace bulkgcd::umm

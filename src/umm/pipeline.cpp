@@ -1,0 +1,102 @@
+#include "umm/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace bulkgcd::umm {
+
+PipelineSimulator::PipelineSimulator(UmmConfig config) : config_(config) {
+  if (config_.width == 0 || config_.latency == 0) {
+    throw std::invalid_argument("PipelineSimulator: width and latency must be > 0");
+  }
+}
+
+PipelineResult PipelineSimulator::replay(const std::vector<ThreadTrace>& traces,
+                                         Layout layout, std::size_t span) const {
+  PipelineResult result;
+  const std::size_t threads = traces.size();
+  if (threads == 0) return result;
+  const std::size_t w = config_.width;
+  const std::size_t warps = (threads + w - 1) / w;
+
+  // Per-warp state: next access step and the cycle the warp may issue again
+  // (warp-synchronous: all member threads completed their previous request).
+  std::vector<std::size_t> step(warps, 0);
+  std::vector<std::uint64_t> ready(warps, 1);  // cycles are 1-based (Fig. 2)
+  std::vector<std::size_t> steps_left(warps, 0);
+  for (std::size_t warp = 0; warp < warps; ++warp) {
+    std::size_t longest = 0;
+    for (std::size_t t = warp * w; t < std::min(threads, (warp + 1) * w); ++t) {
+      longest = std::max(longest, traces[t].addresses.size());
+    }
+    steps_left[warp] = longest;
+  }
+
+  std::vector<std::uint64_t> groups;
+  groups.reserve(w);
+
+  std::uint64_t entry_cycle = 1;  // next free entry-port cycle
+  std::size_t rr = 0;             // round-robin pointer
+  std::uint64_t last_drain = 0;
+
+  auto pending = [&](std::size_t warp) { return step[warp] < steps_left[warp]; };
+
+  while (true) {
+    // Pick the next ready warp in round-robin order.
+    std::size_t chosen = warps;
+    std::uint64_t soonest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t k = 0; k < warps; ++k) {
+      const std::size_t warp = (rr + k) % warps;
+      if (!pending(warp)) continue;
+      if (ready[warp] <= entry_cycle) {
+        chosen = warp;
+        break;
+      }
+      soonest = std::min(soonest, ready[warp]);
+    }
+    if (chosen == warps) {
+      if (soonest == std::numeric_limits<std::uint64_t>::max()) break;  // done
+      result.idle_cycles += soonest - entry_cycle;
+      entry_cycle = soonest;  // stall until some warp drains
+      continue;
+    }
+
+    // Gather the warp's requests for its current step.
+    groups.clear();
+    const std::size_t begin = chosen * w;
+    const std::size_t end = std::min(threads, begin + w);
+    for (std::size_t t = begin; t < end; ++t) {
+      if (step[chosen] >= traces[t].addresses.size()) continue;
+      const std::uint32_t logical = traces[t].addresses[step[chosen]];
+      assert((span == 0 || logical < span) && "address exceeds span");
+      groups.push_back(map_address(layout, logical, t, threads, span) / w);
+    }
+    ++step[chosen];
+    rr = (chosen + 1) % warps;
+
+    if (groups.empty()) continue;  // all member threads already finished
+    std::sort(groups.begin(), groups.end());
+    const std::size_t distinct =
+        std::unique(groups.begin(), groups.end()) - groups.begin();
+
+    // The g distinct groups enter on consecutive cycles; the batch drains
+    // l − 1 cycles after its last entry (entry cycle counts as stage 1).
+    const std::uint64_t first_entry = entry_cycle;
+    const std::uint64_t last_entry = first_entry + distinct - 1;
+    const std::uint64_t drain = last_entry + config_.latency - 1;
+    entry_cycle = last_entry + 1;
+    ready[chosen] = drain + 1;
+    last_drain = std::max(last_drain, drain);
+
+    ++result.warp_dispatches;
+    result.stage_slots += distinct;
+    result.entry_cycles += distinct;
+  }
+
+  result.time_units = last_drain;
+  return result;
+}
+
+}  // namespace bulkgcd::umm

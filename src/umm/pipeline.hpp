@@ -1,0 +1,50 @@
+// Cycle-level UMM pipeline simulator (Figure 2, taken literally).
+//
+// UmmSimulator charges the paper's closed-form cost: every machine-wide
+// access step is a barrier costing (occupied stages) + l − 1. A real
+// pipelined memory has no such barrier — warps re-enter as soon as their
+// previous request drains, overlapping steps and hiding latency. This
+// simulator models exactly that: a serial entry port (one address group per
+// cycle), an l-stage drain, warp-synchronous reissue, and round-robin
+// scheduling among ready warps.
+//
+// Relationships validated in tests/pipeline_test.cpp:
+//   * Figure-2 worked example: exactly 8 time units;
+//   * pipelined time <= the Theorem-1 barrier bound on every trace;
+//   * with enough warps to saturate the entry port (p/w >= l), both models
+//     agree to within one pipeline drain — Theorem 1 is tight exactly in
+//     the regime the paper's bulk execution runs in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "umm/umm.hpp"
+
+namespace bulkgcd::umm {
+
+struct PipelineResult {
+  std::uint64_t time_units = 0;      ///< cycle the last request drains
+  std::uint64_t entry_cycles = 0;    ///< cycles the entry port was busy
+  std::uint64_t idle_cycles = 0;     ///< cycles no warp was ready
+  std::uint64_t warp_dispatches = 0;
+  std::uint64_t stage_slots = 0;     ///< Σ address groups over dispatches
+};
+
+class PipelineSimulator {
+ public:
+  explicit PipelineSimulator(UmmConfig config);
+
+  /// Replay per-thread traces (aligned by access index within each warp;
+  /// warps are independent). `span` as in UmmSimulator::replay.
+  PipelineResult replay(const std::vector<ThreadTrace>& traces, Layout layout,
+                        std::size_t span) const;
+
+  const UmmConfig& config() const noexcept { return config_; }
+
+ private:
+  UmmConfig config_;
+};
+
+}  // namespace bulkgcd::umm

@@ -1,0 +1,137 @@
+#include "umm/umm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bulkgcd::umm {
+
+UmmSimulator::UmmSimulator(UmmConfig config) : config_(config) {
+  if (config_.width == 0 || config_.latency == 0) {
+    throw std::invalid_argument("UmmSimulator: width and latency must be > 0");
+  }
+}
+
+std::uint64_t UmmSimulator::theorem1_time(std::size_t threads,
+                                          std::size_t steps) const noexcept {
+  const std::uint64_t warps =
+      (threads + config_.width - 1) / config_.width;
+  return (warps + config_.latency - 1) * steps;
+}
+
+ReplayResult UmmSimulator::replay(const std::vector<ThreadTrace>& traces,
+                                  Layout layout, std::size_t span) const {
+  ReplayResult result;
+  const std::size_t threads = traces.size();
+  if (threads == 0) return result;
+
+  std::size_t max_len = 0;
+  for (const auto& trace : traces) {
+    max_len = std::max(max_len, trace.addresses.size());
+  }
+
+  std::vector<std::uint64_t> groups;  // scratch: address groups of one warp
+  groups.reserve(config_.width);
+
+  for (std::size_t step = 0; step < max_len; ++step) {
+    std::uint64_t stages_this_step = 0;
+    bool any_active = false;
+    for (std::size_t warp_base = 0; warp_base < threads;
+         warp_base += config_.width) {
+      groups.clear();
+      const std::size_t warp_end =
+          std::min(warp_base + config_.width, threads);
+      for (std::size_t t = warp_base; t < warp_end; ++t) {
+        const auto& addrs = traces[t].addresses;
+        if (step >= addrs.size()) continue;  // thread finished: no request
+        assert((span == 0 || addrs[step] < span) &&
+               "logical address exceeds span");
+        const std::uint64_t global =
+            map_address(layout, addrs[step], t, threads, span);
+        groups.push_back(global / config_.width);
+      }
+      if (groups.empty()) continue;  // warp idle: not dispatched
+      std::sort(groups.begin(), groups.end());
+      const std::size_t distinct =
+          std::unique(groups.begin(), groups.end()) - groups.begin();
+      ++result.warp_dispatches;
+      result.stage_slots += distinct;
+      stages_this_step += distinct;
+      any_active = true;
+    }
+    if (any_active) {
+      // All warps' requests of this step enter the pipeline back to back:
+      // (occupied stages) + latency − 1 time units (paper's Figure-2 count).
+      result.time_units += stages_this_step + config_.latency - 1;
+      ++result.steps;
+    }
+  }
+  return result;
+}
+
+ReplayResult UmmSimulator::replay_iteration_aligned(
+    const std::vector<ThreadTrace>& traces, Layout layout,
+    std::size_t span) const {
+  ReplayResult result;
+  const std::size_t threads = traces.size();
+  if (threads == 0) return result;
+
+  std::size_t max_iters = 0;
+  for (const auto& trace : traces) {
+    max_iters = std::max(max_iters, trace.iteration_starts.size());
+  }
+
+  auto range_of = [](const ThreadTrace& trace, std::size_t k)
+      -> std::pair<std::size_t, std::size_t> {
+    if (k >= trace.iteration_starts.size()) return {0, 0};
+    const std::size_t begin = trace.iteration_starts[k];
+    const std::size_t end = k + 1 < trace.iteration_starts.size()
+                                ? trace.iteration_starts[k + 1]
+                                : trace.addresses.size();
+    return {begin, end};
+  };
+
+  std::vector<std::uint64_t> groups;
+  groups.reserve(config_.width);
+
+  for (std::size_t k = 0; k < max_iters; ++k) {
+    std::size_t max_len = 0;
+    for (const auto& trace : traces) {
+      const auto [begin, end] = range_of(trace, k);
+      max_len = std::max(max_len, end - begin);
+    }
+    for (std::size_t j = 0; j < max_len; ++j) {
+      std::uint64_t stages_this_step = 0;
+      bool any_active = false;
+      for (std::size_t warp_base = 0; warp_base < threads;
+           warp_base += config_.width) {
+        groups.clear();
+        const std::size_t warp_end =
+            std::min(warp_base + config_.width, threads);
+        for (std::size_t t = warp_base; t < warp_end; ++t) {
+          const auto [begin, end] = range_of(traces[t], k);
+          if (begin + j >= end) continue;  // lane predicated off
+          const std::uint32_t logical = traces[t].addresses[begin + j];
+          assert((span == 0 || logical < span) && "address exceeds span");
+          groups.push_back(map_address(layout, logical, t, threads, span) /
+                           config_.width);
+        }
+        if (groups.empty()) continue;
+        std::sort(groups.begin(), groups.end());
+        const std::size_t distinct =
+            std::unique(groups.begin(), groups.end()) - groups.begin();
+        ++result.warp_dispatches;
+        result.stage_slots += distinct;
+        stages_this_step += distinct;
+        any_active = true;
+      }
+      if (any_active) {
+        result.time_units += stages_this_step + config_.latency - 1;
+        ++result.steps;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bulkgcd::umm

@@ -1,0 +1,102 @@
+// The UMM (Unified Memory Machine) of Nakano [23], the cost model the paper
+// uses for all GPU claims (Section VI, Figure 2, Theorem 1).
+//
+// Model: memory addresses are partitioned into *address groups* of `width`
+// consecutive addresses; p threads are partitioned into warps of `width`
+// threads; warps are dispatched round-robin; a warp whose member requests
+// fall into g distinct address groups occupies g pipeline stages; a batch of
+// requests completes after (occupied stages) + latency − 1 time units, and a
+// thread may not issue again until its previous request completed.
+//
+// The simulator replays per-thread logical access traces (recorded by
+// gcd::AddressTracer) under a chosen memory layout and charges exactly this
+// cost. Theorem 1 — bulk execution of an oblivious algorithm with p threads
+// and t steps costs (p/width + latency − 1)·t — is validated against it in
+// tests/umm_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bulkgcd::umm {
+
+struct UmmConfig {
+  std::size_t width = 32;    ///< w: threads per warp == addresses per group
+  std::size_t latency = 100; ///< l: pipeline depth
+};
+
+/// One thread's logical access sequence. Logical addresses index the
+/// thread-private working set (two GCD buffers); the layout maps them to
+/// global machine addresses.
+struct ThreadTrace {
+  std::vector<std::uint32_t> addresses;
+  std::vector<bool> is_write;                   ///< parallel to addresses
+  std::vector<std::uint32_t> iteration_starts;  ///< algorithm-iteration marks
+};
+
+/// How the bulk execution arranges p thread-private arrays in global memory
+/// (the paper's Figure 3).
+enum class Layout {
+  kColumnWise,  ///< element i of thread t at address i·p + t → coalesced
+  kRowWise,     ///< element i of thread t at address t·span + i → serialized
+};
+
+constexpr const char* to_string(Layout layout) noexcept {
+  return layout == Layout::kColumnWise ? "column-wise" : "row-wise";
+}
+
+/// Global address of a thread's logical element under a layout.
+constexpr std::uint64_t map_address(Layout layout, std::uint32_t logical,
+                                    std::size_t thread, std::size_t threads,
+                                    std::size_t span) noexcept {
+  if (layout == Layout::kColumnWise) {
+    return std::uint64_t(logical) * threads + thread;
+  }
+  return std::uint64_t(thread) * span + logical;
+}
+
+struct ReplayResult {
+  std::uint64_t time_units = 0;   ///< total modelled time
+  std::uint64_t steps = 0;        ///< machine-wide access steps executed (t)
+  std::uint64_t warp_dispatches = 0;
+  std::uint64_t stage_slots = 0;  ///< Σ distinct address groups per dispatch
+  /// Fraction of warp dispatches that were perfectly coalesced (1 group).
+  double coalesced_fraction() const noexcept {
+    return warp_dispatches == 0
+               ? 1.0
+               : 1.0 - double(stage_slots - warp_dispatches) /
+                           double(stage_slots);
+  }
+};
+
+class UmmSimulator {
+ public:
+  explicit UmmSimulator(UmmConfig config);
+
+  /// Replay a bulk execution: thread k's i-th access is aligned with every
+  /// other thread's i-th access (lockstep; exhausted threads idle). `span`
+  /// must bound every logical address (per-thread working-set size).
+  /// Special case: Layout::kRowWise with span == 0 is the identity mapping
+  /// (logical addresses are already global) — used for hand-built traces.
+  ReplayResult replay(const std::vector<ThreadTrace>& traces, Layout layout,
+                      std::size_t span) const;
+
+  /// Like replay(), but time units are aligned per algorithm iteration
+  /// (using each trace's iteration_starts): thread k's j-th access of
+  /// iteration i lines up with every other thread's (i, j) access. This is
+  /// the lockstep a SIMT warp actually executes — predicated-off threads
+  /// idle — and is the model used for the Table-V GPU column.
+  ReplayResult replay_iteration_aligned(const std::vector<ThreadTrace>& traces,
+                                        Layout layout, std::size_t span) const;
+
+  /// Theorem 1 prediction: (p/w + l − 1) · t.
+  std::uint64_t theorem1_time(std::size_t threads, std::size_t steps) const noexcept;
+
+  const UmmConfig& config() const noexcept { return config_; }
+
+ private:
+  UmmConfig config_;
+};
+
+}  // namespace bulkgcd::umm

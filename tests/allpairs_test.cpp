@@ -1,0 +1,209 @@
+// All-pairs scheduler tests: the Section-VI block decomposition covers every
+// pair exactly once and recovers exactly the planted weak pairs, on both
+// engines and several group sizes.
+#include "bulk/allpairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "rsa/corpus.hpp"
+#include "rsa/prime.hpp"
+
+namespace bulkgcd::bulk {
+namespace {
+
+using gcd::Variant;
+using mp::BigInt;
+using rsa::CorpusSpec;
+using rsa::WeakCorpus;
+
+WeakCorpus test_corpus(std::size_t count, std::size_t weak, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.count = count;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = weak;
+  spec.seed = seed;
+  return rsa::generate_corpus(spec);
+}
+
+void expect_hits_match_ground_truth(const AllPairsResult& result,
+                                    const WeakCorpus& corpus) {
+  ASSERT_EQ(result.hits.size(), corpus.weak.size());
+  for (std::size_t k = 0; k < result.hits.size(); ++k) {
+    EXPECT_EQ(result.hits[k].i, corpus.weak[k].first);
+    EXPECT_EQ(result.hits[k].j, corpus.weak[k].second);
+    EXPECT_EQ(result.hits[k].factor, corpus.weak[k].shared_prime);
+  }
+}
+
+struct AllPairsCase {
+  EngineKind engine;
+  Variant variant;
+  std::size_t group_size;
+  bool early;
+};
+
+class AllPairsTest : public ::testing::TestWithParam<AllPairsCase> {};
+
+TEST_P(AllPairsTest, FindsExactlyThePlantedWeakPairs) {
+  const auto [engine, variant, group_size, early] = GetParam();
+  const WeakCorpus corpus = test_corpus(26, 4, 1234);
+  AllPairsConfig config;
+  config.engine = engine;
+  config.variant = variant;
+  config.group_size = group_size;
+  config.early_terminate = early;
+  config.warp_width = 8;
+  const AllPairsResult result = all_pairs_gcd(corpus.moduli, config);
+  EXPECT_EQ(result.pairs_tested, 26u * 25u / 2u);
+  expect_hits_match_ground_truth(result, corpus);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesVariantsGroups, AllPairsTest,
+    ::testing::Values(
+        AllPairsCase{EngineKind::kSimt, Variant::kApproximate, 8, true},
+        AllPairsCase{EngineKind::kSimt, Variant::kApproximate, 5, true},
+        AllPairsCase{EngineKind::kSimt, Variant::kApproximate, 32, false},
+        AllPairsCase{EngineKind::kSimt, Variant::kFastBinary, 8, true},
+        AllPairsCase{EngineKind::kSimt, Variant::kBinary, 8, true},
+        AllPairsCase{EngineKind::kScalar, Variant::kApproximate, 8, true},
+        AllPairsCase{EngineKind::kScalar, Variant::kOriginal, 8, true},
+        AllPairsCase{EngineKind::kScalar, Variant::kFast, 8, false}));
+
+TEST(AllPairsTest, GroupSizeLargerThanCorpusWorks) {
+  const WeakCorpus corpus = test_corpus(6, 1, 5);
+  AllPairsConfig config;
+  config.group_size = 1000;
+  const AllPairsResult result = all_pairs_gcd(corpus.moduli, config);
+  EXPECT_EQ(result.pairs_tested, 15u);
+  expect_hits_match_ground_truth(result, corpus);
+}
+
+TEST(AllPairsTest, GroupSizeOneDegeneratesToPairLoop) {
+  const WeakCorpus corpus = test_corpus(7, 1, 6);
+  AllPairsConfig config;
+  config.group_size = 1;
+  const AllPairsResult result = all_pairs_gcd(corpus.moduli, config);
+  EXPECT_EQ(result.pairs_tested, 21u);
+  expect_hits_match_ground_truth(result, corpus);
+}
+
+TEST(AllPairsTest, EmptyAndSingletonInputs) {
+  const AllPairsResult empty = all_pairs_gcd({});
+  EXPECT_EQ(empty.pairs_tested, 0u);
+  EXPECT_TRUE(empty.hits.empty());
+  const std::vector<BigInt> one = {BigInt(15)};
+  const AllPairsResult single = all_pairs_gcd(one);
+  EXPECT_EQ(single.pairs_tested, 0u);
+}
+
+TEST(AllPairsTest, DuplicateModuliAreReportedAsHits) {
+  const WeakCorpus corpus = test_corpus(5, 0, 7);
+  std::vector<BigInt> moduli = corpus.moduli;
+  moduli.push_back(moduli[2]);  // exact duplicate
+  const AllPairsResult result = all_pairs_gcd(moduli);
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_EQ(result.hits[0].i, 2u);
+  EXPECT_EQ(result.hits[0].j, 5u);
+  EXPECT_EQ(result.hits[0].factor, moduli[2]);  // gcd(n, n) = n
+}
+
+TEST(AllPairsTest, SingleThreadedPoolMatchesParallel) {
+  const WeakCorpus corpus = test_corpus(20, 3, 8);
+  AllPairsConfig config;
+  config.group_size = 4;
+  AllPairsConfig serial = config;
+  serial.pool_threads = 1;
+  const AllPairsResult a = all_pairs_gcd(corpus.moduli, config);
+  const AllPairsResult b = all_pairs_gcd(corpus.moduli, serial);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t k = 0; k < a.hits.size(); ++k) {
+    EXPECT_EQ(a.hits[k].factor, b.hits[k].factor);
+  }
+  EXPECT_EQ(a.pairs_tested, b.pairs_tested);
+}
+
+TEST(AllPairsTest, SimtStatsArePopulated) {
+  const WeakCorpus corpus = test_corpus(12, 1, 9);
+  AllPairsConfig config;
+  config.group_size = 4;
+  const AllPairsResult result = all_pairs_gcd(corpus.moduli, config);
+  EXPECT_GT(result.simt.lane_iterations, 0u);
+  EXPECT_GT(result.blocks_run, 0u);
+  EXPECT_GT(result.input_bytes, 0u);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.micros_per_gcd(), 0.0);
+}
+
+TEST(IncrementalProbeTest, FindsSharedFactorWithCorpusMember) {
+  const WeakCorpus corpus = test_corpus(12, 0, 10);
+  // Candidate shares a prime with corpus modulus #5: synthesize it by
+  // re-multiplying one of its factors. Recover the factor by batch-gcd-free
+  // construction: use the corpus member itself as the candidate first.
+  for (const auto engine : {EngineKind::kSimt, EngineKind::kScalar}) {
+    AllPairsConfig config;
+    config.engine = engine;
+    config.group_size = 4;
+    const auto hits = probe_incremental(corpus.moduli[5], corpus.moduli, config);
+    ASSERT_EQ(hits.size(), 1u) << "engine " << int(engine);
+    EXPECT_EQ(hits[0].corpus_index, 5u);
+    EXPECT_EQ(hits[0].factor, corpus.moduli[5]);  // gcd(n, n) = n
+  }
+}
+
+TEST(IncrementalProbeTest, CleanCandidateYieldsNoHits) {
+  const WeakCorpus corpus = test_corpus(10, 0, 11);
+  const WeakCorpus other = test_corpus(2, 0, 12);
+  const auto hits = probe_incremental(other.moduli[0], corpus.moduli);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(IncrementalProbeTest, MultipleHitsSortedByIndex) {
+  // Candidate sharing a prime with two corpus members: plant a weak pair and
+  // probe with one of its members (it hits the partner AND itself).
+  const WeakCorpus corpus = test_corpus(14, 1, 13);
+  const auto& weak = corpus.weak[0];
+  const auto hits = probe_incremental(corpus.moduli[weak.first], corpus.moduli);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].corpus_index, weak.first);
+  EXPECT_EQ(hits[0].factor, corpus.moduli[weak.first]);  // itself
+  EXPECT_EQ(hits[1].corpus_index, weak.second);
+  EXPECT_EQ(hits[1].factor, weak.shared_prime);
+}
+
+TEST(IncrementalProbeTest, EmptyCorpusAndZeroCandidate) {
+  EXPECT_TRUE(probe_incremental(BigInt(15), {}).empty());
+  const WeakCorpus corpus = test_corpus(4, 0, 14);
+  EXPECT_TRUE(probe_incremental(BigInt(), corpus.moduli).empty());
+}
+
+TEST(IncrementalProbeTest, AgreesWithFullSweepAfterAppend) {
+  // Appending the candidate and re-running the full sweep must find exactly
+  // the incremental hits (restricted to pairs involving the candidate).
+  WeakCorpus corpus = test_corpus(10, 1, 15);
+  const auto& weak = corpus.weak[0];
+  // Candidate: the planted shared prime times a fresh 64-bit partner, so it
+  // collides with both members of the weak pair.
+  Xoshiro256 rng(77);
+  const mp::BigInt partner = rsa::random_prime(rng, 64);
+  const mp::BigInt cand = weak.shared_prime * partner;
+
+  const auto inc = probe_incremental(cand, corpus.moduli);
+  ASSERT_EQ(inc.size(), 2u);  // both members of the planted weak pair
+  EXPECT_EQ(inc[0].corpus_index, weak.first);
+  EXPECT_EQ(inc[1].corpus_index, weak.second);
+  EXPECT_EQ(inc[0].factor, weak.shared_prime);
+
+  std::vector<mp::BigInt> extended = corpus.moduli;
+  extended.push_back(cand);
+  const auto sweep = all_pairs_gcd(extended);
+  std::size_t candidate_hits = 0;
+  for (const auto& hit : sweep.hits) {
+    if (hit.j == extended.size() - 1) ++candidate_hits;
+  }
+  EXPECT_EQ(candidate_hits, inc.size());
+}
+
+}  // namespace
+}  // namespace bulkgcd::bulk

@@ -1,0 +1,148 @@
+// Batch-GCD (product/remainder tree) tests: tree invariants against GMP and
+// agreement with the pairwise attack on planted corpora.
+#include "batchgcd/batchgcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bulk/allpairs.hpp"
+#include "gmp_oracle.hpp"
+#include "rsa/corpus.hpp"
+
+namespace bulkgcd::batchgcd {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::gmp_gcd;
+using bulkgcd::test::random_odd;
+using mp::BigInt;
+
+TEST(ProductTreeTest, RootIsTheFullProduct) {
+  Xoshiro256 rng(121);
+  std::vector<BigInt> values;
+  BigInt expected(1);
+  for (int i = 0; i < 13; ++i) {  // odd count exercises the promoted node
+    values.push_back(random_odd<std::uint32_t>(rng, 100));
+    expected = expected * values.back();
+  }
+  const ProductTree tree = build_product_tree(values);
+  EXPECT_EQ(tree.back().size(), 1u);
+  EXPECT_EQ(tree.back()[0], expected);
+  EXPECT_EQ(tree.front().size(), values.size());
+}
+
+TEST(ProductTreeTest, EveryParentIsProductOfChildren) {
+  Xoshiro256 rng(122);
+  std::vector<BigInt> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(random_odd<std::uint32_t>(rng, 80));
+  }
+  const ProductTree tree = build_product_tree(values);
+  for (std::size_t level = 0; level + 1 < tree.size(); ++level) {
+    const auto& children = tree[level];
+    const auto& parents = tree[level + 1];
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      if (2 * i + 1 < children.size()) {
+        EXPECT_EQ(parents[i], children[2 * i] * children[2 * i + 1]);
+      } else {
+        EXPECT_EQ(parents[i], children[2 * i]);
+      }
+    }
+  }
+}
+
+TEST(ProductTreeTest, SingleElementAndEmpty) {
+  const std::vector<BigInt> one = {BigInt(17)};
+  const ProductTree tree = build_product_tree(one);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0][0], BigInt(17));
+  EXPECT_THROW(build_product_tree({}), std::invalid_argument);
+}
+
+TEST(RemainderTreeTest, LeavesAreRootModSquares) {
+  Xoshiro256 rng(123);
+  std::vector<BigInt> values;
+  for (int i = 0; i < 9; ++i) {
+    values.push_back(random_odd<std::uint32_t>(rng, 120));
+  }
+  const ProductTree tree = build_product_tree(values);
+  const auto residues = remainder_tree_mod_squares(tree);
+  ASSERT_EQ(residues.size(), values.size());
+  const BigInt& root = tree.back()[0];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(residues[i], root % (values[i] * values[i])) << "leaf " << i;
+  }
+}
+
+TEST(BatchGcdTest, FindsExactlyThePlantedWeakModuli) {
+  rsa::CorpusSpec spec;
+  spec.count = 20;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 3;
+  spec.seed = 31;
+  const rsa::WeakCorpus corpus = rsa::generate_corpus(spec);
+
+  const BatchGcdResult result = batch_gcd(corpus.moduli);
+  std::set<std::size_t> expected_weak;
+  for (const auto& weak : corpus.weak) {
+    expected_weak.insert(weak.first);
+    expected_weak.insert(weak.second);
+  }
+  const auto found = weak_indices(result);
+  EXPECT_EQ(std::set<std::size_t>(found.begin(), found.end()), expected_weak);
+  for (const auto& weak : corpus.weak) {
+    EXPECT_EQ(result.gcds[weak.first], weak.shared_prime);
+    EXPECT_EQ(result.gcds[weak.second], weak.shared_prime);
+  }
+}
+
+TEST(BatchGcdTest, CleanCorpusYieldsAllOnes) {
+  rsa::CorpusSpec spec;
+  spec.count = 12;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 0;
+  spec.seed = 32;
+  const rsa::WeakCorpus corpus = rsa::generate_corpus(spec);
+  const BatchGcdResult result = batch_gcd(corpus.moduli);
+  EXPECT_TRUE(weak_indices(result).empty());
+  for (const auto& g : result.gcds) EXPECT_EQ(g, BigInt(1));
+}
+
+TEST(BatchGcdTest, DuplicatedModulusIsFullyWeak) {
+  Xoshiro256 rng(124);
+  rsa::CorpusSpec spec;
+  spec.count = 6;
+  spec.modulus_bits = 128;
+  spec.seed = 33;
+  auto corpus = rsa::generate_corpus(spec);
+  corpus.moduli.push_back(corpus.moduli[0]);  // duplicate key
+  const BatchGcdResult result = batch_gcd(corpus.moduli);
+  // gcd(n, P/n) where n appears twice is n itself.
+  EXPECT_EQ(result.gcds[0], corpus.moduli[0]);
+  EXPECT_EQ(result.gcds.back(), corpus.moduli[0]);
+}
+
+TEST(BatchGcdTest, AgreesWithAllPairsSweep) {
+  rsa::CorpusSpec spec;
+  spec.count = 18;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 2;
+  spec.seed = 34;
+  const rsa::WeakCorpus corpus = rsa::generate_corpus(spec);
+
+  const BatchGcdResult batch = batch_gcd(corpus.moduli);
+  const bulk::AllPairsResult pairwise = bulk::all_pairs_gcd(corpus.moduli);
+
+  std::set<std::size_t> batch_weak;
+  for (const auto i : weak_indices(batch)) batch_weak.insert(i);
+  std::set<std::size_t> pairwise_weak;
+  for (const auto& hit : pairwise.hits) {
+    pairwise_weak.insert(hit.i);
+    pairwise_weak.insert(hit.j);
+  }
+  EXPECT_EQ(batch_weak, pairwise_weak);
+}
+
+}  // namespace
+}  // namespace bulkgcd::batchgcd

@@ -1,0 +1,125 @@
+// Core utilities: PRNG statistical sanity and thread-pool behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+
+namespace bulkgcd {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSameSeed) {
+  Xoshiro256 a(5), b(5), c(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(5);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(8);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int histogram[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(kBuckets)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets / 5);
+  }
+}
+
+TEST(XoshiroTest, SplitProducesIndependentStream) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::logic_error("bad"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  const double t0 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  // busy-wait a tiny bit
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.seconds(), t0);
+  EXPECT_GE(timer.micros(), t0 * 1e6);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values from the SplitMix64 definition with seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+}  // namespace
+}  // namespace bulkgcd

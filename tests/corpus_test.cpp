@@ -1,0 +1,180 @@
+// Weak-corpus generator tests: ground truth really holds, both backends
+// produce valid primes, generation is deterministic in the seed.
+#include "rsa/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmp_oracle.hpp"
+#include "rsa/prime.hpp"
+
+namespace bulkgcd::rsa {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::gmp_gcd;
+using bulkgcd::test::to_mpz;
+using mp::BigInt;
+
+TEST(CorpusTest, GroundTruthPairsShareExactlyTheRecordedPrime) {
+  CorpusSpec spec;
+  spec.count = 24;
+  spec.modulus_bits = 256;
+  spec.weak_pairs = 4;
+  spec.seed = 7;
+  const WeakCorpus corpus = generate_corpus(spec);
+  ASSERT_EQ(corpus.moduli.size(), 24u);
+  ASSERT_EQ(corpus.weak.size(), 4u);
+  for (const auto& weak : corpus.weak) {
+    ASSERT_LT(weak.first, weak.second);
+    const BigInt g = gmp_gcd(corpus.moduli[weak.first], corpus.moduli[weak.second]);
+    EXPECT_EQ(g, weak.shared_prime);
+    EXPECT_EQ(weak.shared_prime.bit_length(), 128u);
+  }
+}
+
+TEST(CorpusTest, NonWeakPairsAreCoprime) {
+  CorpusSpec spec;
+  spec.count = 16;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 2;
+  spec.seed = 8;
+  const WeakCorpus corpus = generate_corpus(spec);
+  std::set<std::pair<std::size_t, std::size_t>> weak_set;
+  for (const auto& weak : corpus.weak) weak_set.insert({weak.first, weak.second});
+  for (std::size_t i = 0; i < corpus.moduli.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.moduli.size(); ++j) {
+      const BigInt g = gmp_gcd(corpus.moduli[i], corpus.moduli[j]);
+      if (weak_set.count({i, j})) {
+        EXPECT_GT(g, BigInt(1));
+      } else {
+        EXPECT_EQ(g, BigInt(1)) << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, ModuliHaveExactBitLength) {
+  CorpusSpec spec;
+  spec.count = 8;
+  spec.modulus_bits = 192;
+  spec.weak_pairs = 1;
+  const WeakCorpus corpus = generate_corpus(spec);
+  for (const auto& n : corpus.moduli) {
+    EXPECT_EQ(n.bit_length(), 192u);
+    EXPECT_TRUE(n.is_odd());
+  }
+}
+
+TEST(CorpusTest, DeterministicInSeed) {
+  CorpusSpec spec;
+  spec.count = 8;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 1;
+  spec.seed = 99;
+  const WeakCorpus a = generate_corpus(spec);
+  const WeakCorpus b = generate_corpus(spec);
+  EXPECT_EQ(a.moduli, b.moduli);
+  spec.seed = 100;
+  const WeakCorpus c = generate_corpus(spec);
+  EXPECT_NE(a.moduli, c.moduli);
+}
+
+TEST(CorpusTest, ValidatesSpec) {
+  CorpusSpec spec;
+  spec.count = 4;
+  spec.weak_pairs = 3;  // needs 6 moduli
+  EXPECT_THROW(generate_corpus(spec), std::invalid_argument);
+  spec = {};
+  spec.count = 1;
+  EXPECT_THROW(generate_corpus(spec), std::invalid_argument);
+  spec = {};
+  spec.modulus_bits = 129;
+  EXPECT_THROW(generate_corpus(spec), std::invalid_argument);
+}
+
+TEST(CorpusBackendTest, NativeAndGmpPrimesAreBothPrime) {
+  if (!gmp_backend_available()) GTEST_SKIP() << "GMP backend not compiled in";
+  Xoshiro256 rng(9);
+  for (const CorpusBackend backend : {CorpusBackend::kNative, CorpusBackend::kGmp}) {
+    Xoshiro256 stream = rng.split();
+    const auto primes = generate_primes(stream, 6, 128, backend);
+    ASSERT_EQ(primes.size(), 6u);
+    for (const auto& p : primes) {
+      EXPECT_EQ(p.bit_length(), 128u);
+      EXPECT_TRUE(p.bit(126));  // top two bits forced
+      EXPECT_NE(mpz_probab_prime_p(to_mpz(p).get(), 32), 0) << p.to_dec();
+    }
+  }
+}
+
+TEST(CorpusBackendTest, AutoSelectsNativeForSmallModuli) {
+  // kAuto must work regardless of GMP availability for small sizes.
+  Xoshiro256 rng(10);
+  const auto primes = generate_primes(rng, 2, 64, CorpusBackend::kAuto);
+  ASSERT_EQ(primes.size(), 2u);
+  Xoshiro256 check(11);
+  EXPECT_TRUE(is_probable_prime(primes[0], check));
+}
+
+TEST(LowEntropyCorpusTest, GroundTruthMatchesActualGcds) {
+  LowEntropySpec spec;
+  spec.count = 20;
+  spec.modulus_bits = 128;
+  spec.pool_size = 12;  // heavy collisions
+  spec.seed = 41;
+  const LowEntropyCorpus corpus = generate_low_entropy_corpus(spec);
+  ASSERT_EQ(corpus.moduli.size(), 20u);
+  EXPECT_LE(corpus.distinct_primes_used, spec.pool_size);
+  std::set<std::pair<std::size_t, std::size_t>> weak(
+      corpus.weak_pairs.begin(), corpus.weak_pairs.end());
+  for (std::size_t i = 0; i < corpus.moduli.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.moduli.size(); ++j) {
+      const BigInt g = gmp_gcd(corpus.moduli[i], corpus.moduli[j]);
+      EXPECT_EQ(g > BigInt(1), weak.count({i, j}) == 1)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(LowEntropyCorpusTest, BirthdayStatisticsMatchExpectation) {
+  // Mean observed weak pairs over several seeds must track the closed form.
+  LowEntropySpec spec;
+  spec.count = 24;
+  spec.modulus_bits = 64;
+  spec.pool_size = 64;
+  const double expected = expected_weak_pairs(spec);
+  double observed = 0;
+  const int kRuns = 12;
+  for (int run = 0; run < kRuns; ++run) {
+    spec.seed = 100 + run;
+    observed += double(generate_low_entropy_corpus(spec).weak_pairs.size());
+  }
+  observed /= kRuns;
+  EXPECT_NEAR(observed, expected, std::max(3.0, 0.35 * expected));
+  EXPECT_GT(expected, 10.0);  // the regime is collision-rich by design
+}
+
+TEST(LowEntropyCorpusTest, LargePoolMeansFewCollisions) {
+  LowEntropySpec spec;
+  spec.count = 12;
+  spec.modulus_bits = 64;
+  spec.pool_size = 4096;
+  spec.seed = 7;
+  EXPECT_LT(expected_weak_pairs(spec), 0.2);
+  const LowEntropyCorpus corpus = generate_low_entropy_corpus(spec);
+  EXPECT_LE(corpus.weak_pairs.size(), 1u);
+}
+
+TEST(LowEntropyCorpusTest, ValidatesSpec) {
+  LowEntropySpec spec;
+  spec.pool_size = 1;
+  EXPECT_THROW(generate_low_entropy_corpus(spec), std::invalid_argument);
+  spec = {};
+  spec.modulus_bits = 65;
+  EXPECT_THROW(generate_low_entropy_corpus(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bulkgcd::rsa

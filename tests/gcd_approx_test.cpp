@@ -1,0 +1,302 @@
+// Property tests for the paper's approx(X, Y) quotient approximation:
+// soundness (α·D^β ≤ ⌊X/Y⌋), tightness enough to make progress, exact case
+// routing, and agreement between the limb-level and the value-level
+// (runtime-d reference) implementations.
+#include "gcd/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gcd/algorithms.hpp"
+#include "gcd/reference.hpp"
+#include "gmp_oracle.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::gcd {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::random_value;
+using mp::BigInt;
+
+template <typename Limb>
+class ApproxTest : public ::testing::Test {};
+
+using LimbTypes = ::testing::Types<std::uint16_t, std::uint32_t, std::uint64_t>;
+TYPED_TEST_SUITE(ApproxTest, LimbTypes);
+
+/// α·D^β as a BigIntT for exact comparisons.
+template <typename Limb>
+mp::BigIntT<Limb> approx_value(const ApproxResult<Limb>& a) {
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  mp::BigIntT<Limb> v;
+  Wide alpha = a.alpha;
+  // alpha < 2^(2d) always; build from up to two limbs.
+  std::vector<Limb> limbs;
+  while (alpha != 0) {
+    limbs.push_back(Limb(alpha));
+    alpha >>= mp::limb_bits<Limb>;
+  }
+  v = mp::BigIntT<Limb>::from_limbs(limbs);
+  return v << (a.beta * mp::limb_bits<Limb>);
+}
+
+TYPED_TEST(ApproxTest, AlphaDBetaNeverExceedsTrueQuotient) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t bx = 1 + rng.below(300);
+    const std::size_t by = 1 + rng.below(bx);
+    Big x = random_value<Limb>(rng, bx);
+    Big y = random_value<Limb>(rng, by);
+    if (x < y) std::swap(x, y);
+    if (y.is_zero()) continue;
+    const auto a = approx(x.data(), x.size(), y.data(), y.size());
+    const Big approximation = approx_value<Limb>(a);
+    const Big q = x / y;
+    EXPECT_LE(approximation, q)
+        << "case " << to_string(a.which) << " x=" << x.to_hex()
+        << " y=" << y.to_hex();
+    EXPECT_GE(approximation, Big(1)) << "case " << to_string(a.which);
+  }
+}
+
+TYPED_TEST(ApproxTest, AlphaFitsOneWordOutsideCase1) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(32);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t bx = 1 + rng.below(260);
+    const std::size_t by = 1 + rng.below(bx);
+    Big x = random_value<Limb>(rng, bx);
+    Big y = random_value<Limb>(rng, by);
+    if (x < y) std::swap(x, y);
+    if (y.is_zero()) continue;
+    const auto a = approx(x.data(), x.size(), y.data(), y.size());
+    if (a.which != ApproxCase::k1) {
+      EXPECT_LT(a.alpha, mp::limb_base<Limb>) << to_string(a.which);
+    } else {
+      EXPECT_EQ(a.beta, 0u);
+      // Case 1 is the exact quotient (can exceed one word).
+      EXPECT_EQ(approx_value<Limb>(a), x / y);
+    }
+  }
+}
+
+TYPED_TEST(ApproxTest, CaseRoutingMatchesWordCounts) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(33);
+  const int d = mp::limb_bits<Limb>;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t bx = 1 + rng.below(12 * d);
+    const std::size_t by = 1 + rng.below(bx);
+    Big x = random_value<Limb>(rng, bx);
+    Big y = random_value<Limb>(rng, by);
+    if (x < y) std::swap(x, y);
+    if (y.is_zero()) continue;
+    const auto a = approx(x.data(), x.size(), y.data(), y.size());
+    const std::size_t lx = x.size(), ly = y.size();
+    switch (a.which) {
+      case ApproxCase::k1: EXPECT_LE(lx, 2u); break;
+      case ApproxCase::k2A:
+      case ApproxCase::k2B: EXPECT_GT(lx, 2u); EXPECT_EQ(ly, 1u); break;
+      case ApproxCase::k3A:
+      case ApproxCase::k3B: EXPECT_GT(lx, 2u); EXPECT_EQ(ly, 2u); break;
+      case ApproxCase::k4A:
+      case ApproxCase::k4B:
+      case ApproxCase::k4C: EXPECT_GT(lx, 2u); EXPECT_GT(ly, 2u); break;
+      default: FAIL();
+    }
+    if (a.which == ApproxCase::k4C) EXPECT_EQ(lx, ly);
+  }
+}
+
+TEST(ApproxPaperExamplesTest, SectionThreeWorkedExamples) {
+  // All numeric examples from Section III use d = 4-bit words; check them
+  // through the runtime-d reference (the limb engine cannot express d = 4).
+  const unsigned d = 4;
+  struct Case {
+    const char* x;
+    const char* y;
+    std::uint64_t alpha;
+    std::size_t beta;
+    ApproxCase which;
+  };
+  const Case cases[] = {
+      {"223", "45", 4, 0, ApproxCase::k1},
+      {"2345", "4", 2, 2, ApproxCase::k2A},
+      {"1234", "12", 6, 1, ApproxCase::k2B},
+      {"2345", "59", 2, 1, ApproxCase::k3A},
+      {"2345", "231", 9, 0, ApproxCase::k3B},
+      {"54321", "1234", 2, 1, ApproxCase::k4A},
+      {"54321", "4000", 13, 0, ApproxCase::k4B},
+      {"55555", "1234", 2, 1, ApproxCase::k4A},  // the introduction example
+  };
+  for (const auto& c : cases) {
+    const auto a = ref_approx(mp::BigInt::from_dec(c.x),
+                              mp::BigInt::from_dec(c.y), d);
+    EXPECT_EQ(a.alpha, c.alpha) << c.x << " / " << c.y;
+    EXPECT_EQ(a.beta, c.beta) << c.x << " / " << c.y;
+    EXPECT_EQ(a.which, c.which) << c.x << " / " << c.y;
+  }
+}
+
+TEST(ApproxReferenceAgreementTest, LimbAndValueLevelAgreeAtD32) {
+  Xoshiro256 rng(34);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t bx = 1 + rng.below(512);
+    const std::size_t by = 1 + rng.below(bx);
+    mp::BigInt x = random_value<std::uint32_t>(rng, bx);
+    mp::BigInt y = random_value<std::uint32_t>(rng, by);
+    if (x < y) std::swap(x, y);
+    if (y.is_zero()) continue;
+    const auto limb_level = approx(x.data(), x.size(), y.data(), y.size());
+    const auto value_level = ref_approx(x, y, 32);
+    EXPECT_EQ(std::uint64_t(limb_level.alpha), value_level.alpha);
+    EXPECT_EQ(limb_level.beta, value_level.beta);
+    EXPECT_EQ(limb_level.which, value_level.which);
+  }
+}
+
+TEST(ApproxCase4OnlyTest, AgreesWithFullApproxOnLargeOperands) {
+  Xoshiro256 rng(35);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t bx = 97 + rng.below(300);  // > 3 words of 32 bits
+    const std::size_t by = 97 + rng.below(bx - 96);
+    mp::BigInt x = random_value<std::uint32_t>(rng, bx);
+    mp::BigInt y = random_value<std::uint32_t>(rng, by);
+    if (x < y) std::swap(x, y);
+    const auto full = approx(x.data(), x.size(), y.data(), y.size());
+    const auto restricted =
+        approx_case4_only(x.data(), x.size(), y.data(), y.size());
+    EXPECT_EQ(full.alpha, restricted.alpha);
+    EXPECT_EQ(full.beta, restricted.beta);
+    EXPECT_EQ(full.which, restricted.which);
+  }
+}
+
+TYPED_TEST(ApproxTest, ReductionMakesProgress) {
+  // One Approximate step with the returned (α, β) must shrink X enough that
+  // the do-loop terminates: the paper's argument is that X − Y·α·D^β < X and
+  // the result after the swap keeps max(X, Y) strictly decreasing across two
+  // iterations. We check the single-step contraction X' < X here.
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(36);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t bx = 2 + rng.below(200);
+    const std::size_t by = 1 + rng.below(bx);
+    Big x = random_value<Limb>(rng, bx);
+    Big y = random_value<Limb>(rng, by);
+    if (x < y) std::swap(x, y);
+    if (y.is_zero() || x == y) continue;
+    if (x.is_even()) x += Big(1);
+    if (y.is_even()) y += Big(1);
+    if (x < y) std::swap(x, y);
+    if (x == y) continue;
+    const auto a = approx(x.data(), x.size(), y.data(), y.size());
+    Big update;
+    if (a.beta == 0) {
+      auto alpha = a.alpha;
+      if (alpha % 2 == 0) --alpha;
+      update = x - y * approx_value<Limb>({alpha, 0, a.which});
+    } else {
+      update = (x + y) - y * approx_value<Limb>(a);
+    }
+    update.strip_trailing_zeros();
+    EXPECT_LT(update, x);
+  }
+}
+
+TEST(ApproxDirectedCasesTest, ConstructedInputsHitEachBranchAtD32) {
+  using Big = mp::BigInt;
+  const auto probe = [](const Big& x, const Big& y) {
+    return approx(x.data(), x.size(), y.data(), y.size());
+  };
+  // Case 2-A: 3-limb X with top limb >= 1-limb Y.
+  {
+    const Big x = (Big(9) << 64) + Big(12345);
+    const Big y(5);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k2A);
+    EXPECT_EQ(a.alpha, 9u / 5u);
+    EXPECT_EQ(a.beta, 2u);
+  }
+  // Case 2-B: 3-limb X with top limb < 1-limb Y.
+  {
+    const Big x = (Big(3) << 64) + (Big(7) << 32) + Big(1);
+    const Big y(0xFFFFFFFDu);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k2B);
+    EXPECT_EQ(std::uint64_t(a.alpha), ((3ull << 32) | 7ull) / 0xFFFFFFFDull);
+    EXPECT_EQ(a.beta, 1u);
+  }
+  // Case 3-A: x1x2 >= y1y2 with a 2-limb Y.
+  {
+    const Big x = (Big(0x10) << 96) + Big(99);
+    const Big y = (Big(0x0F) << 32) + Big(3);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k3A);
+    EXPECT_EQ(std::uint64_t(a.alpha), (0x10ull << 32) / ((0x0Full << 32) | 3));
+    EXPECT_EQ(a.beta, 2u);
+  }
+  // Case 3-B: x1x2 < y1y2.
+  {
+    const Big x = (Big(0x0E) << 64) + Big(42);
+    const Big y = (Big(0x0F) << 32) + Big(3);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k3B);
+    EXPECT_EQ(std::uint64_t(a.alpha), (0x0Eull << 32) / (0x0Full + 1));
+    EXPECT_EQ(a.beta, 0u);
+  }
+  // Case 4-A with beta > 0: larger X by two limbs.
+  {
+    const Big x = (Big(0x20) << 192) + Big(7);
+    const Big y = (Big(0x10) << 96) + Big(5);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k4A);
+    EXPECT_EQ(std::uint64_t(a.alpha), (0x20ull << 32) / ((0x10ull << 32) + 1));
+    EXPECT_EQ(a.beta, 3u);
+  }
+  // Case 4-B: equal two-word prefixes, X longer.
+  {
+    const Big x = (Big(0x10) << 192) + Big(7);
+    const Big y = (Big(0x10) << 96) + Big(5);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k4B);
+    EXPECT_EQ(std::uint64_t(a.alpha), (0x10ull << 32) / (0x10ull + 1));
+    EXPECT_EQ(a.beta, 2u);
+  }
+  // Case 4-C: equal sizes and equal prefixes.
+  {
+    const Big x = (Big(0x10) << 96) + Big(9);
+    const Big y = (Big(0x10) << 96) + Big(5);
+    const auto a = probe(x, y);
+    EXPECT_EQ(a.which, ApproxCase::k4C);
+    EXPECT_EQ(std::uint64_t(a.alpha), 1u);
+    EXPECT_EQ(a.beta, 0u);
+  }
+}
+
+TEST(ApproxDirectedCasesTest, BetaPositivePathRunsEndToEnd) {
+  // Size-mismatched odd operands force beta > 0 on the very first iteration
+  // (Case 4-A with lX > lY); the full engine must still produce the GMP gcd
+  // and report the beta_nonzero statistic.
+  Xoshiro256 rng(39);
+  int beta_runs = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    mp::BigInt x = random_value<std::uint32_t>(rng, 400);
+    mp::BigInt y = random_value<std::uint32_t>(rng, 180);
+    if (x.is_even()) x += mp::BigInt(1);
+    if (y.is_even()) y += mp::BigInt(1);
+    GcdStats st;
+    const mp::BigInt g = gcd_odd(x, y, Variant::kApproximate, &st);
+    EXPECT_EQ(g, bulkgcd::test::gmp_gcd(x, y));
+    if (st.beta_nonzero > 0) ++beta_runs;
+  }
+  EXPECT_GT(beta_runs, 20);  // nearly every size-mismatched pair hits it
+}
+
+}  // namespace
+}  // namespace bulkgcd::gcd

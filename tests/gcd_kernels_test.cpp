@@ -1,0 +1,200 @@
+// Fused-kernel unit tests: each streaming kernel is validated against a
+// naive BigInt formulation, the rare fallback paths are forced, and the
+// Section-IV memory-access bounds (3·s/d + O(1), 4·s/d for β > 0) are
+// checked with the counting tracer.
+#include "gcd/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gcd/algorithms.hpp"
+#include "gmp_oracle.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::gcd {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::random_odd;
+using bulkgcd::test::random_value;
+using mp::BigInt;
+
+template <typename Limb>
+class KernelsTest : public ::testing::Test {};
+
+using LimbTypes = ::testing::Types<std::uint16_t, std::uint32_t, std::uint64_t>;
+TYPED_TEST_SUITE(KernelsTest, LimbTypes);
+
+template <typename Limb>
+std::vector<Limb> to_buffer(const mp::BigIntT<Limb>& v, std::size_t cap) {
+  std::vector<Limb> buf(cap, Limb{0});
+  std::copy(v.limbs().begin(), v.limbs().end(), buf.begin());
+  return buf;
+}
+
+TYPED_TEST(KernelsTest, FusedSubmulStripMatchesNaive) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(61);
+  NullTracer tracer;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Big y = random_odd<Limb>(rng, 1 + rng.below(200));
+    Limb alpha = Limb(rng()) | 1u;  // odd
+    // Build x >= y*alpha, odd: y*alpha is odd (odd·odd), pad with even.
+    const Big pad = random_value<Limb>(rng, 1 + rng.below(100)) << 1;
+    const Big x = y * Big(std::uint64_t(alpha)) + pad;
+    ASSERT_TRUE(x.is_odd());
+
+    auto buf = to_buffer(x, x.size() + 2);
+    const std::size_t lx = fused_submul_strip(buf.data(), x.size(), y.data(),
+                                              y.size(), alpha, tracer);
+    Big naive = x - y * Big(std::uint64_t(alpha));
+    naive.strip_trailing_zeros();
+    EXPECT_EQ(Big::from_limbs({buf.data(), lx}), naive);
+  }
+}
+
+TYPED_TEST(KernelsTest, FusedSubmulStripExactMultipleGivesZero) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(62);
+  NullTracer tracer;
+  const Big y = random_odd<Limb>(rng, 90);
+  const Limb alpha = Limb(rng()) | 1u;
+  const Big x = y * Big(std::uint64_t(alpha));  // odd*odd = odd
+  auto buf = to_buffer(x, x.size() + 2);
+  const std::size_t lx =
+      fused_submul_strip(buf.data(), x.size(), y.data(), y.size(), alpha, tracer);
+  EXPECT_EQ(lx, 0u);
+}
+
+TYPED_TEST(KernelsTest, FusedSubmulStripSlowPathWholeLimbShift) {
+  // Difference with >= d trailing zero bits forces the fallback: construct
+  // x = y*alpha + (odd << k·d) so the low limb of the difference is zero.
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  constexpr int LB = mp::limb_bits<Limb>;
+  Xoshiro256 rng(63);
+  NullTracer tracer;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Big y = random_odd<Limb>(rng, 50 + rng.below(100));
+    const Limb alpha = Limb(rng()) | 1u;
+    Big tail = random_odd<Limb>(rng, 30);
+    const std::size_t k = 1 + rng.below(3);
+    Big x = y * Big(std::uint64_t(alpha)) + (tail << (k * LB));
+    if (x.is_even()) continue;  // x parity: y*alpha odd + even shift = odd ✓
+    auto buf = to_buffer(x, x.size() + 2);
+    const std::size_t lx = fused_submul_strip(buf.data(), x.size(), y.data(),
+                                              y.size(), alpha, tracer);
+    EXPECT_EQ(Big::from_limbs({buf.data(), lx}), tail);  // tail already odd
+  }
+}
+
+TYPED_TEST(KernelsTest, FusedShiftedAddStripMatchesNaive) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  constexpr int LB = mp::limb_bits<Limb>;
+  Xoshiro256 rng(64);
+  NullTracer tracer;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Big y = random_odd<Limb>(rng, 1 + rng.below(120));
+    const Limb alpha =
+        Limb(std::max<std::uint64_t>(1, rng() & (mp::limb_base<Limb> - 1)));
+    const std::size_t beta = 1 + rng.below(4);
+    Big x = (y * Big(std::uint64_t(alpha))) << (beta * LB);
+    Big pad = random_value<Limb>(rng, 1 + rng.below(60));
+    x += pad;
+    if (x.is_even()) x += Big(1);
+    // Precondition of the kernel: lx + 1 >= ly + beta holds by construction.
+    auto buf = to_buffer(x, x.size() + 3);
+    const std::size_t lx = fused_submul_shifted_add_strip(
+        buf.data(), x.size(), y.data(), y.size(), alpha, beta, tracer);
+    Big naive = (x + y) - ((y * Big(std::uint64_t(alpha))) << (beta * LB));
+    naive.strip_trailing_zeros();
+    EXPECT_EQ(Big::from_limbs({buf.data(), lx}), naive)
+        << "beta=" << beta;
+  }
+}
+
+TYPED_TEST(KernelsTest, HalveAndSubHalve) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(65);
+  NullTracer tracer;
+  for (int trial = 0; trial < 100; ++trial) {
+    Big x = random_odd<Limb>(rng, 1 + rng.below(150));
+    Big even = x << 1;
+    auto buf = to_buffer(even, even.size() + 1);
+    const std::size_t n = halve(buf.data(), even.size(), tracer);
+    EXPECT_EQ(Big::from_limbs({buf.data(), n}), x);
+
+    Big y = random_odd<Limb>(rng, 1 + rng.below(x.bit_length()));
+    if (y > x) std::swap(x, y);
+    auto buf2 = to_buffer(x, x.size() + 1);
+    const std::size_t n2 =
+        sub_halve(buf2.data(), x.size(), y.data(), y.size(), tracer);
+    EXPECT_EQ(Big::from_limbs({buf2.data(), n2}), (x - y) >> 1);
+  }
+}
+
+TYPED_TEST(KernelsTest, AccessorHelpersAgreeWithSpanOps) {
+  using Limb = TypeParam;
+  using Big = mp::BigIntT<Limb>;
+  Xoshiro256 rng(66);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Big a = random_value<Limb>(rng, 1 + rng.below(200));
+    const Big b = random_value<Limb>(rng, 1 + rng.below(200));
+    EXPECT_EQ(acc_normalized_size(a.data(), a.size()),
+              mp::normalized_size(a.data(), a.size()));
+    EXPECT_EQ(acc_compare(a.data(), a.size(), b.data(), b.size()),
+              mp::compare(a.data(), a.size(), b.data(), b.size()));
+  }
+}
+
+TEST(MemoryAccessBoundTest, ThreeSOverDPlusConstantPerIteration) {
+  // Figure 1 / Section IV: one Approximate iteration reads X, reads Y and
+  // writes X once each — 3·s/d + O(1) limb accesses (β = 0 path).
+  Xoshiro256 rng(67);
+  const std::size_t bits = 1024;
+  const BigInt x = random_odd<std::uint32_t>(rng, bits);
+  const BigInt y = random_odd<std::uint32_t>(rng, bits);
+  GcdEngine<std::uint32_t> engine(bits / 32);
+  GcdStats st;
+  CountTracer tracer;
+  engine.run(Variant::kApproximate, x.limbs(), y.limbs(), bits / 2, &st, &tracer);
+  ASSERT_GT(st.iterations, 0u);
+  ASSERT_EQ(st.beta_nonzero, 0u);  // β > 0 has probability < 1e-8
+  const double per_iter = double(tracer.total()) / double(st.iterations);
+  // Limb counts shrink from s/d toward s/(2d) during the early-terminate
+  // run, so the mean sits below the 3·s/d bound; the constant term is small.
+  const double bound = 3.0 * double(bits) / 32.0 + 16.0;
+  EXPECT_LE(per_iter, bound);
+  EXPECT_GE(per_iter, 3.0 * double(bits) / 2.0 / 32.0);  // ≥ 3·(s/2)/d
+}
+
+TEST(MemoryAccessBoundTest, FastBinaryMatchesSameBound) {
+  Xoshiro256 rng(68);
+  const std::size_t bits = 1024;
+  const BigInt x = random_odd<std::uint32_t>(rng, bits);
+  const BigInt y = random_odd<std::uint32_t>(rng, bits);
+  GcdEngine<std::uint32_t> engine(bits / 32);
+  GcdStats st;
+  CountTracer tracer;
+  engine.run(Variant::kFastBinary, x.limbs(), y.limbs(), bits / 2, &st, &tracer);
+  const double per_iter = double(tracer.total()) / double(st.iterations);
+  EXPECT_LE(per_iter, 3.0 * double(bits) / 32.0 + 16.0);
+}
+
+TEST(MemoryAccessBoundTest, TracerIterationMarksMatchStats) {
+  Xoshiro256 rng(69);
+  const BigInt x = random_odd<std::uint32_t>(rng, 512);
+  const BigInt y = random_odd<std::uint32_t>(rng, 512);
+  GcdEngine<std::uint32_t> engine(16);
+  GcdStats st;
+  AddressTracer tracer(32);
+  engine.run(Variant::kApproximate, x.limbs(), y.limbs(), 0, &st, &tracer);
+  EXPECT_EQ(tracer.iteration_starts.size(), st.iterations);
+  EXPECT_FALSE(tracer.accesses.empty());
+}
+
+}  // namespace
+}  // namespace bulkgcd::gcd

@@ -1,0 +1,166 @@
+// Reference-implementation tests, including exact reproduction of the
+// paper's worked-example Tables I, II and III (d = 4-bit words).
+#include "gcd/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmp_oracle.hpp"
+
+namespace bulkgcd::gcd {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::gmp_gcd;
+using bulkgcd::test::random_odd;
+using mp::BigInt;
+
+const BigInt kX = BigInt::from_dec("1043915");
+const BigInt kY = BigInt::from_dec("768955");
+
+TEST(ReferenceTableOne, BinaryEuclidean24Iterations) {
+  const RefRun run = ref_binary(kX, kY, {0, true});
+  EXPECT_EQ(run.gcd, BigInt(5));
+  EXPECT_EQ(run.stats.iterations, 24u);
+  // First rows of Table I: X, Y then X ← (X−Y)/2 picture.
+  ASSERT_GE(run.trace.size(), 2u);
+  EXPECT_EQ(run.trace[0].x.to_binary_grouped(),
+            "1111,1110,1101,1100,1011");
+  EXPECT_EQ(run.trace[0].y.to_binary_grouped(),
+            "1011,1011,1011,1011,1011");
+}
+
+TEST(ReferenceTableOne, FastBinaryEuclidean16Iterations) {
+  const RefRun run = ref_fast_binary(kX, kY, {0, true});
+  EXPECT_EQ(run.gcd, BigInt(5));
+  EXPECT_EQ(run.stats.iterations, 16u);
+  // Row 2 of Table I (right): after one step Y = 0100,0011,0010,0001.
+  ASSERT_GE(run.trace.size(), 2u);
+  EXPECT_EQ(run.trace[1].y.to_binary_grouped(), "0100,0011,0010,0001");
+}
+
+TEST(ReferenceTableTwo, OriginalEuclideanQuotients) {
+  const RefRun run = ref_original(kX, kY, {0, true});
+  EXPECT_EQ(run.gcd, BigInt(5));
+  EXPECT_EQ(run.stats.iterations, 11u);
+  // Table II quotient column: 1, 2, 1, 3, 1, 10(bin)=2... The paper prints
+  // quotients in binary; decimal values of the first rows:
+  const std::uint64_t expected_q[] = {1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2};
+  ASSERT_EQ(run.trace.size(), 11u);
+  for (std::size_t i = 0; i < run.trace.size(); ++i) {
+    EXPECT_EQ(run.trace[i].quotient, expected_q[i]) << "row " << i + 1;
+  }
+}
+
+TEST(ReferenceTableTwo, FastEuclidean8Iterations) {
+  const RefRun run = ref_fast(kX, kY, {0, true});
+  EXPECT_EQ(run.gcd, BigInt(5));
+  EXPECT_EQ(run.stats.iterations, 8u);
+  // Table II (right) quotient column, forced odd: 1, 43, 9, 11, 1, 1, 1, 5.
+  const std::uint64_t expected_q[] = {1, 43, 9, 11, 1, 1, 1, 5};
+  ASSERT_EQ(run.trace.size(), 8u);
+  for (std::size_t i = 0; i < run.trace.size(); ++i) {
+    EXPECT_EQ(run.trace[i].quotient, expected_q[i]) << "row " << i + 1;
+  }
+}
+
+TEST(ReferenceTableThree, ApproximateEuclideanAtD4) {
+  // Table III: d = 4, D = 16; 9 iterations; the (α, β) and case columns.
+  const RefRun run = ref_approximate(kX, kY, 4, {0, true});
+  EXPECT_EQ(run.gcd, BigInt(5));
+  EXPECT_EQ(run.stats.iterations, 9u);
+
+  struct Row {
+    std::uint64_t alpha;
+    std::size_t beta;
+    ApproxCase which;
+  };
+  const Row expected[] = {
+      {1, 0, ApproxCase::k4A},  {2, 1, ApproxCase::k4A},
+      {3, 0, ApproxCase::k4A},  {7, 0, ApproxCase::k4B},
+      {1, 0, ApproxCase::k4A},  {3, 0, ApproxCase::k3B},
+      {1, 0, ApproxCase::k1},   {11, 0, ApproxCase::k1},
+      {3, 0, ApproxCase::k1},
+  };
+  ASSERT_EQ(run.trace.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(run.trace[i].alpha, expected[i].alpha) << "row " << i + 1;
+    EXPECT_EQ(run.trace[i].beta, expected[i].beta) << "row " << i + 1;
+    EXPECT_EQ(run.trace[i].which, expected[i].which) << "row " << i + 1;
+  }
+  // Row 3 of Table III: X = 1110,0110,1010,1111 after the β=1 step.
+  EXPECT_EQ(run.trace[2].x.to_binary_grouped(), "1110,0110,1010,1111");
+}
+
+TEST(ReferenceCorrectness, AllVariantsMatchGmpAcrossWordSizes) {
+  Xoshiro256 rng(71);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BigInt x = random_odd<std::uint32_t>(rng, 1 + rng.below(250));
+    const BigInt y = random_odd<std::uint32_t>(rng, 1 + rng.below(250));
+    const BigInt expected = gmp_gcd(x, y);
+    EXPECT_EQ(ref_original(x, y).gcd, expected);
+    EXPECT_EQ(ref_fast(x, y).gcd, expected);
+    EXPECT_EQ(ref_binary(x, y).gcd, expected);
+    EXPECT_EQ(ref_fast_binary(x, y).gcd, expected);
+    for (const unsigned d : {4u, 8u, 16u, 32u}) {
+      EXPECT_EQ(ref_approximate(x, y, d).gcd, expected) << "d=" << d;
+    }
+  }
+}
+
+TEST(ReferenceCorrectness, ApproximateIterationsShrinkWithWordSize) {
+  // Larger d gives better quotient approximations, hence fewer iterations
+  // (on average) — the rationale for the paper's choice d = 32.
+  Xoshiro256 rng(72);
+  std::uint64_t iters_by_d[4] = {0, 0, 0, 0};
+  const unsigned ds[4] = {4, 8, 16, 32};
+  for (int trial = 0; trial < 25; ++trial) {
+    const BigInt x = random_odd<std::uint32_t>(rng, 256);
+    const BigInt y = random_odd<std::uint32_t>(rng, 256);
+    for (int k = 0; k < 4; ++k) {
+      iters_by_d[k] += ref_approximate(x, y, ds[k]).stats.iterations;
+    }
+  }
+  EXPECT_GT(iters_by_d[0], iters_by_d[1]);
+  EXPECT_GT(iters_by_d[1], iters_by_d[2]);
+  // The d=16 → d=32 gap is tiny (both approximations are already near-exact,
+  // Table IV's (E)−(B) column); allow sampling noise.
+  EXPECT_LE(double(iters_by_d[3]), 1.01 * double(iters_by_d[2]));
+}
+
+TEST(ReferenceCorrectness, FastAndApproximateIterationCountsNearlyEqual) {
+  // Table IV: (E) − (B) is 0.001%–0.016% — approximate quotients are almost
+  // as good as exact ones at d = 32.
+  Xoshiro256 rng(73);
+  std::uint64_t fast_total = 0, approx_total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt x = random_odd<std::uint32_t>(rng, 512);
+    const BigInt y = random_odd<std::uint32_t>(rng, 512);
+    fast_total += ref_fast(x, y).stats.iterations;
+    approx_total += ref_approximate(x, y, 32).stats.iterations;
+  }
+  EXPECT_GE(approx_total, fast_total);
+  EXPECT_LE(double(approx_total - fast_total), 0.001 * double(fast_total));
+}
+
+TEST(ReferenceCorrectness, EarlyTerminateAgreesWithFullRunOnVerdict) {
+  Xoshiro256 rng(74);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigInt x = random_odd<std::uint32_t>(rng, 256);
+    const BigInt y = random_odd<std::uint32_t>(rng, 256);
+    const RefRun early = ref_approximate(x, y, 32, {128, false});
+    const BigInt g = gmp_gcd(x, y);
+    if (early.early_coprime) {
+      EXPECT_LT(g.bit_length(), 128u);  // no shared 128-bit factor
+    } else {
+      EXPECT_EQ(early.gcd, g);
+    }
+  }
+}
+
+TEST(ReferenceValidation, RefApproxRejectsBadWordSize) {
+  EXPECT_THROW(ref_approx(BigInt(10), BigInt(3), 1), std::invalid_argument);
+  EXPECT_THROW(ref_approx(BigInt(10), BigInt(3), 33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bulkgcd::gcd

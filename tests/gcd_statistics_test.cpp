@@ -1,0 +1,75 @@
+// Statistical-shape tests for Table IV's structural claims, asserted with
+// tolerances wide enough to be deterministic at small sample sizes:
+//   1. iterations scale linearly with the bit length;
+//   2. Binary ≈ 2 × FastBinary ≈ 4 × Approximate;
+//   3. early-terminate is half of non-terminate;
+//   4. Approximate ≈ Fast (the approximate quotient costs ~nothing).
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "gcd/algorithms.hpp"
+#include "rsa/corpus.hpp"
+
+namespace bulkgcd::gcd {
+namespace {
+
+using mp::BigInt;
+
+/// Mean iterations of `variant` over all pairs of a small fresh corpus.
+double mean_iterations(Variant variant, std::size_t bits, bool early,
+                       std::uint64_t seed) {
+  rsa::CorpusSpec spec;
+  spec.count = 10;
+  spec.modulus_bits = bits;
+  spec.seed = seed;
+  const auto corpus = rsa::generate_corpus(spec);
+  GcdEngine<std::uint32_t> engine(bits / 32 + 1);
+  RunningStats stats;
+  for (std::size_t i = 0; i < corpus.moduli.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.moduli.size(); ++j) {
+      GcdStats st;
+      engine.run(variant, corpus.moduli[i].limbs(), corpus.moduli[j].limbs(),
+                 early ? bits / 2 : 0, &st);
+      stats.add(double(st.iterations));
+    }
+  }
+  return stats.mean();
+}
+
+TEST(TableFourShapeTest, IterationsScaleLinearlyInBits) {
+  const double at256 = mean_iterations(Variant::kApproximate, 256, false, 1);
+  const double at512 = mean_iterations(Variant::kApproximate, 512, false, 2);
+  const double at1024 = mean_iterations(Variant::kApproximate, 1024, false, 3);
+  EXPECT_NEAR(at512 / at256, 2.0, 0.15);
+  EXPECT_NEAR(at1024 / at512, 2.0, 0.15);
+}
+
+TEST(TableFourShapeTest, VariantRatiosMatchThePaper) {
+  const std::size_t bits = 512;
+  const double binary = mean_iterations(Variant::kBinary, bits, false, 4);
+  const double fast_binary = mean_iterations(Variant::kFastBinary, bits, false, 4);
+  const double approximate = mean_iterations(Variant::kApproximate, bits, false, 4);
+  const double original = mean_iterations(Variant::kOriginal, bits, false, 4);
+  EXPECT_NEAR(binary / fast_binary, 2.0, 0.1);       // (C) ≈ 2·(D)
+  EXPECT_NEAR(binary / approximate, 3.8, 0.4);       // (C) ≈ 4·(E)
+  EXPECT_NEAR(original / approximate, 1.57, 0.1);    // (A)/(E) ≈ π²/6 ln2 ratio
+}
+
+TEST(TableFourShapeTest, EarlyTerminationHalvesEveryVariant) {
+  const std::size_t bits = 512;
+  for (const Variant variant : kAllVariants) {
+    const double full = mean_iterations(variant, bits, false, 5);
+    const double early = mean_iterations(variant, bits, true, 5);
+    EXPECT_NEAR(early / full, 0.5, 0.06) << to_string(variant);
+  }
+}
+
+TEST(TableFourShapeTest, ApproximateMatchesFastWithinTenth) {
+  const std::size_t bits = 512;
+  const double fast = mean_iterations(Variant::kFast, bits, false, 6);
+  const double approx = mean_iterations(Variant::kApproximate, bits, false, 6);
+  EXPECT_NEAR(approx, fast, 0.1);  // mean difference < 0.1 iterations
+}
+
+}  // namespace
+}  // namespace bulkgcd::gcd

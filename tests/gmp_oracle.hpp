@@ -1,0 +1,109 @@
+// GMP-backed test oracle: conversions between BigIntT<Limb> and mpz_t plus
+// tiny RAII sugar. GMP appears ONLY in tests (and the optional corpus
+// backend) — never in measured code paths.
+#pragma once
+
+#include <gmp.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::test {
+
+class Mpz {
+ public:
+  Mpz() { mpz_init(v_); }
+  explicit Mpz(unsigned long value) { mpz_init_set_ui(v_, value); }
+  explicit Mpz(const char* dec) { mpz_init_set_str(v_, dec, 10); }
+  Mpz(const Mpz& other) { mpz_init_set(v_, other.v_); }
+  Mpz(Mpz&& other) noexcept {
+    mpz_init(v_);
+    mpz_swap(v_, other.v_);
+  }
+  Mpz& operator=(Mpz other) noexcept {
+    mpz_swap(v_, other.v_);
+    return *this;
+  }
+  ~Mpz() { mpz_clear(v_); }
+
+  mpz_t& get() { return v_; }
+  const mpz_t& get() const { return v_; }
+
+  std::string to_dec() const {
+    char* raw = mpz_get_str(nullptr, 10, v_);
+    std::string out(raw);
+    void (*freefunc)(void*, size_t);
+    mp_get_memory_functions(nullptr, nullptr, &freefunc);
+    freefunc(raw, out.size() + 1);
+    return out;
+  }
+
+  friend bool operator==(const Mpz& a, const Mpz& b) {
+    return mpz_cmp(a.v_, b.v_) == 0;
+  }
+
+ private:
+  mpz_t v_;
+};
+
+template <mp::LimbType Limb>
+Mpz to_mpz(const mp::BigIntT<Limb>& value) {
+  Mpz out;
+  const auto limbs = value.limbs();
+  if (!limbs.empty()) {
+    mpz_import(out.get(), limbs.size(), -1 /*LSW first*/, sizeof(Limb),
+               0 /*native endian*/, 0, limbs.data());
+  }
+  return out;
+}
+
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> from_mpz(const Mpz& value) {
+  const std::size_t bits = mpz_sizeinbase(value.get(), 2);
+  if (mpz_sgn(value.get()) == 0) return {};
+  const std::size_t count = (bits + mp::limb_bits<Limb> - 1) / mp::limb_bits<Limb>;
+  std::vector<Limb> limbs(count, Limb{0});
+  std::size_t written = 0;
+  mpz_export(limbs.data(), &written, -1, sizeof(Limb), 0, 0, value.get());
+  limbs.resize(written);
+  return mp::BigIntT<Limb>::from_limbs(limbs);
+}
+
+/// Random BigInt with exactly `bits` bits (top bit set), any limb width.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> random_value(Xoshiro256& rng, std::size_t bits) {
+  if (bits == 0) return {};
+  const int lb = mp::limb_bits<Limb>;
+  const std::size_t count = (bits + lb - 1) / lb;
+  std::vector<Limb> limbs(count);
+  for (auto& limb : limbs) limb = Limb(rng());
+  const std::size_t top_bits = bits % lb == 0 ? std::size_t(lb) : bits % lb;
+  if (top_bits < std::size_t(lb)) {
+    limbs.back() &= Limb((typename mp::LimbTraits<Limb>::Wide{1} << top_bits) - 1);
+  }
+  limbs.back() |= Limb(typename mp::LimbTraits<Limb>::Wide{1} << (top_bits - 1));
+  return mp::BigIntT<Limb>::from_limbs(limbs);
+}
+
+/// Random odd BigInt with exactly `bits` bits.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> random_odd(Xoshiro256& rng, std::size_t bits) {
+  auto v = random_value<Limb>(rng, bits);
+  if (v.is_even()) v += mp::BigIntT<Limb>(1);
+  if (v.bit_length() > bits) v -= mp::BigIntT<Limb>(2);  // carried: step back
+  return v;
+}
+
+/// gcd via GMP.
+template <mp::LimbType Limb>
+mp::BigIntT<Limb> gmp_gcd(const mp::BigIntT<Limb>& a, const mp::BigIntT<Limb>& b) {
+  Mpz ga = to_mpz(a), gb = to_mpz(b), out;
+  mpz_gcd(out.get(), ga.get(), gb.get());
+  return from_mpz<Limb>(out);
+}
+
+}  // namespace bulkgcd::test

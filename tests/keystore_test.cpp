@@ -1,0 +1,114 @@
+// Keystore file-format tests: round trips, mixed files, comments, and
+// malformed-input rejection.
+#include "rsa/keystore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rng.hpp"
+#include "rsa/corpus.hpp"
+
+namespace bulkgcd::rsa {
+namespace {
+
+using mp::BigInt;
+
+class KeystoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("bulkgcd_keystore_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(KeystoreTest, ModuliRoundTrip) {
+  CorpusSpec spec;
+  spec.count = 8;
+  spec.modulus_bits = 128;
+  const auto corpus = generate_corpus(spec);
+  save_moduli(path_, corpus.moduli, "test corpus\nsecond comment line");
+  EXPECT_EQ(load_moduli(path_), corpus.moduli);
+}
+
+TEST_F(KeystoreTest, KeypairRoundTrip) {
+  Xoshiro256 rng(151);
+  std::vector<KeyPair> keys;
+  for (int i = 0; i < 3; ++i) keys.push_back(generate_keypair(rng, 128));
+  save_keypairs(path_, keys, "private material");
+  const auto loaded = load_keypairs(path_);
+  ASSERT_EQ(loaded.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(loaded[i].n, keys[i].n);
+    EXPECT_EQ(loaded[i].e, keys[i].e);
+    EXPECT_EQ(loaded[i].d, keys[i].d);
+    EXPECT_EQ(loaded[i].p, keys[i].p);
+    EXPECT_EQ(loaded[i].q, keys[i].q);
+  }
+}
+
+TEST_F(KeystoreTest, LoadModuliReadsKeypairModuli) {
+  Xoshiro256 rng(152);
+  const KeyPair key = generate_keypair(rng, 128);
+  save_keypairs(path_, {key});
+  const auto moduli = load_moduli(path_);
+  ASSERT_EQ(moduli.size(), 1u);
+  EXPECT_EQ(moduli[0], key.n);
+}
+
+TEST_F(KeystoreTest, MixedFileAndComments) {
+  std::ofstream out(path_);
+  out << "# harvested keys\n\n";
+  out << "modulus ff1\n";
+  out << "keypair 23 5 3 5 7\n";  // 35 = 5*7, e=5, d=3 (toy values)
+  out << "# trailing comment\n";
+  out.close();
+  const auto moduli = load_moduli(path_);
+  ASSERT_EQ(moduli.size(), 2u);
+  EXPECT_EQ(moduli[0], BigInt(0xff1));
+  EXPECT_EQ(moduli[1], BigInt(0x23));
+  const auto keys = load_keypairs(path_);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].q, BigInt(7));
+}
+
+TEST_F(KeystoreTest, RejectsMalformedRecords) {
+  {
+    std::ofstream out(path_);
+    out << "modulus\n";  // missing value
+  }
+  EXPECT_THROW(load_moduli(path_), std::runtime_error);
+  {
+    std::ofstream out(path_);
+    out << "certificate ff\n";  // unknown kind
+  }
+  EXPECT_THROW(load_moduli(path_), std::runtime_error);
+  {
+    std::ofstream out(path_);
+    out << "keypair 23 5 3\n";  // too few fields
+  }
+  EXPECT_THROW(load_keypairs(path_), std::runtime_error);
+}
+
+TEST_F(KeystoreTest, MissingFileThrows) {
+  EXPECT_THROW(load_moduli(path_ / "nope"), std::runtime_error);
+  EXPECT_THROW(save_moduli(path_ / "no" / "dir" / "file", {}),
+               std::runtime_error);
+}
+
+TEST_F(KeystoreTest, EmptyListsProduceLoadableFiles) {
+  save_moduli(path_, {});
+  EXPECT_TRUE(load_moduli(path_).empty());
+  save_keypairs(path_, {});
+  EXPECT_TRUE(load_keypairs(path_).empty());
+}
+
+}  // namespace
+}  // namespace bulkgcd::rsa

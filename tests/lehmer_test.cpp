@@ -1,0 +1,94 @@
+// Lehmer's GCD (extension baseline): correctness against GMP across sizes,
+// worst-case inputs, and the machine-word-work claim (few multiword
+// fallbacks on random inputs).
+#include "gcd/lehmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmp_oracle.hpp"
+
+namespace bulkgcd::gcd {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::gmp_gcd;
+using bulkgcd::test::random_value;
+using mp::BigInt;
+
+TEST(LehmerTest, MatchesGmpOnRandomInputs) {
+  Xoshiro256 rng(141);
+  for (int trial = 0; trial < 300; ++trial) {
+    const BigInt x = random_value<std::uint32_t>(rng, 1 + rng.below(2000));
+    const BigInt y = random_value<std::uint32_t>(rng, 1 + rng.below(2000));
+    EXPECT_EQ(gcd_lehmer(x, y), gmp_gcd(x, y))
+        << x.to_hex() << " " << y.to_hex();
+  }
+}
+
+TEST(LehmerTest, SharedFactorInputs) {
+  Xoshiro256 rng(142);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BigInt g = random_value<std::uint32_t>(rng, 1 + rng.below(400));
+    const BigInt x = g * random_value<std::uint32_t>(rng, 1 + rng.below(400));
+    const BigInt y = g * random_value<std::uint32_t>(rng, 1 + rng.below(400));
+    EXPECT_EQ(gcd_lehmer(x, y), gmp_gcd(x, y));
+  }
+}
+
+TEST(LehmerTest, EdgeCases) {
+  EXPECT_EQ(gcd_lehmer(BigInt(), BigInt()), BigInt());
+  EXPECT_EQ(gcd_lehmer(BigInt(42), BigInt()), BigInt(42));
+  EXPECT_EQ(gcd_lehmer(BigInt(), BigInt(42)), BigInt(42));
+  EXPECT_EQ(gcd_lehmer(BigInt(1), BigInt(1)), BigInt(1));
+  Xoshiro256 rng(143);
+  const BigInt big = random_value<std::uint32_t>(rng, 700);
+  EXPECT_EQ(gcd_lehmer(big, big), big);
+  EXPECT_EQ(gcd_lehmer(big, BigInt(1)), BigInt(1));
+}
+
+TEST(LehmerTest, FibonacciWorstCase) {
+  // Consecutive Fibonacci numbers maximize Euclid's step count (every
+  // quotient is 1) — the case Lehmer windows were invented for.
+  BigInt a(1), b(1);
+  for (int i = 0; i < 1200; ++i) {  // F_1200 has ~830 bits
+    BigInt c = a + b;
+    a = std::move(b);
+    b = std::move(c);
+  }
+  LehmerStats st;
+  EXPECT_EQ(gcd_lehmer(b, a, &st), BigInt(1));
+  ASSERT_GT(st.window_rounds, 0u);
+  // Each 62-bit window should absorb many simulated Euclid steps.
+  EXPECT_GT(st.simulated_steps / st.window_rounds, 20u);
+  EXPECT_LT(st.fallback_divisions, st.window_rounds);
+}
+
+TEST(LehmerTest, MostWorkStaysInMachineWords) {
+  Xoshiro256 rng(144);
+  const BigInt x = random_value<std::uint32_t>(rng, 4096);
+  const BigInt y = random_value<std::uint32_t>(rng, 4096);
+  LehmerStats st;
+  gcd_lehmer(x, y, &st);
+  EXPECT_GT(st.simulated_steps, 10 * std::max<std::uint64_t>(1, st.fallback_divisions));
+}
+
+TEST(LehmerTest, MismatchedSizes) {
+  Xoshiro256 rng(145);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt x = random_value<std::uint32_t>(rng, 3000);
+    const BigInt y = random_value<std::uint32_t>(rng, 1 + rng.below(64));
+    EXPECT_EQ(gcd_lehmer(x, y), gmp_gcd(x, y));
+  }
+}
+
+TEST(LehmerTest, PowersOfTwoAndEvenInputs) {
+  Xoshiro256 rng(146);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BigInt x = random_value<std::uint32_t>(rng, 500) << rng.below(80);
+    const BigInt y = random_value<std::uint32_t>(rng, 500) << rng.below(80);
+    EXPECT_EQ(gcd_lehmer(x, y), gmp_gcd(x, y));
+  }
+}
+
+}  // namespace
+}  // namespace bulkgcd::gcd

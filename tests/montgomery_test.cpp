@@ -1,0 +1,122 @@
+// Montgomery arithmetic tests: domain round trips, products and
+// exponentiation against GMP and the divmod-based modpow, plus the speed
+// rationale (it must match, not just be fast).
+#include "rsa/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmp_oracle.hpp"
+#include "rsa/modmath.hpp"
+#include "rsa/prime.hpp"
+#include "rsa/rsa.hpp"
+
+namespace bulkgcd::rsa {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::Mpz;
+using bulkgcd::test::random_odd;
+using bulkgcd::test::random_value;
+using bulkgcd::test::to_mpz;
+using mp::BigInt;
+
+TEST(MontgomeryTest, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(MontgomeryContext{BigInt(10)}, std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext{BigInt(1)}, std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext{BigInt()}, std::invalid_argument);
+  EXPECT_NO_THROW(MontgomeryContext{BigInt(3)});
+}
+
+TEST(MontgomeryTest, DomainRoundTrip) {
+  Xoshiro256 rng(131);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigInt n = random_odd<std::uint32_t>(rng, 3 + rng.below(400));
+    if (n <= BigInt(1)) continue;
+    const MontgomeryContext ctx(n);
+    const BigInt a = random_value<std::uint32_t>(rng, 1 + rng.below(300)) % n;
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a) << "n=" << n.to_hex();
+  }
+}
+
+TEST(MontgomeryTest, ProductMatchesPlainModMul) {
+  Xoshiro256 rng(132);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigInt n = random_odd<std::uint32_t>(rng, 3 + rng.below(300));
+    if (n <= BigInt(1)) continue;
+    const MontgomeryContext ctx(n);
+    const BigInt a = random_value<std::uint32_t>(rng, 400) % n;
+    const BigInt b = random_value<std::uint32_t>(rng, 400) % n;
+    const BigInt expected = (a * b) % n;
+    const BigInt got =
+        ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, expected) << "n=" << n.to_hex();
+  }
+}
+
+TEST(MontgomeryTest, PowMatchesGmpAndPlainModPow) {
+  Xoshiro256 rng(133);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BigInt n = random_odd<std::uint32_t>(rng, 3 + rng.below(300));
+    if (n <= BigInt(1)) continue;
+    const MontgomeryContext ctx(n);
+    const BigInt base = random_value<std::uint32_t>(rng, 1 + rng.below(350));
+    const BigInt exp = random_value<std::uint32_t>(rng, 1 + rng.below(120));
+    const BigInt got = ctx.pow(base, exp);
+    EXPECT_EQ(got, modpow(base, exp, n));
+    Mpz expected;
+    mpz_powm(expected.get(), to_mpz(base).get(), to_mpz(exp).get(),
+             to_mpz(n).get());
+    EXPECT_EQ(to_mpz(got), expected);
+  }
+}
+
+TEST(MontgomeryTest, PowEdgeCases) {
+  const MontgomeryContext ctx(BigInt(9));
+  EXPECT_EQ(ctx.pow(BigInt(5), BigInt()), BigInt(1));      // x^0
+  EXPECT_EQ(ctx.pow(BigInt(), BigInt(5)), BigInt());       // 0^k
+  EXPECT_EQ(ctx.pow(BigInt(12), BigInt(2)), BigInt());     // 12 ≡ 3, 9 ≡ 0
+  const MontgomeryContext tiny(BigInt(3));
+  EXPECT_EQ(tiny.pow(BigInt(2), BigInt(1000)), BigInt(1));  // 2^even mod 3
+}
+
+TEST(MontgomeryTest, AdversarialModuli) {
+  // All-ones limbs and values just below the modulus stress the final
+  // conditional subtraction.
+  Xoshiro256 rng(134);
+  for (const std::size_t bits : {32u, 64u, 96u, 512u}) {
+    std::vector<std::uint32_t> limbs(bits / 32, 0xFFFFFFFFu);
+    const BigInt n = BigInt::from_limbs(limbs);  // 2^bits − 1 (odd)
+    const MontgomeryContext ctx(n);
+    const BigInt a = n - BigInt(1);
+    const BigInt b = n - BigInt(2);
+    const BigInt expected = (a * b) % n;
+    EXPECT_EQ(ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b))), expected)
+        << bits;
+    // Fermat-ish sanity on a known prime close to a power of two.
+  }
+  const BigInt p = (BigInt(1) << 89) - BigInt(1);  // Mersenne prime
+  const MontgomeryContext ctx(p);
+  EXPECT_EQ(ctx.pow(BigInt(3), p - BigInt(1)), BigInt(1));  // Fermat
+}
+
+TEST(MontgomeryTest, FermatLittleTheoremOnGeneratedPrimes) {
+  Xoshiro256 rng(135);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigInt p = random_prime(rng, 192);
+    const MontgomeryContext ctx(p);
+    const BigInt a = random_value<std::uint32_t>(rng, 150) % p;
+    if (a.is_zero()) continue;
+    EXPECT_EQ(ctx.pow(a, p - BigInt(1)), BigInt(1));
+  }
+}
+
+TEST(MontgomeryTest, RsaRoundTripThroughContext) {
+  Xoshiro256 rng(136);
+  const KeyPair key = generate_keypair(rng, 512);
+  const MontgomeryContext ctx(key.n);
+  const BigInt msg = random_value<std::uint32_t>(rng, 400) % key.n;
+  EXPECT_EQ(ctx.pow(ctx.pow(msg, key.e), key.d), msg);
+}
+
+}  // namespace
+}  // namespace bulkgcd::rsa

@@ -1,0 +1,172 @@
+// Algebraic stress tests for the multiprecision layer: identities that must
+// hold for ALL inputs, driven with adversarial shapes (all-ones limbs, long
+// zero runs, single bits, huge size imbalances). These complement the
+// GMP-oracle tests with self-consistency that would catch a broken oracle
+// conversion too.
+#include <gtest/gtest.h>
+
+#include "gmp_oracle.hpp"
+#include "mp/bigint.hpp"
+#include "mp/karatsuba.hpp"
+
+namespace bulkgcd::mp {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::random_value;
+
+/// Adversarial value generator: mixes random, all-ones, single-bit, and
+/// zero-run-heavy shapes.
+template <typename Limb>
+BigIntT<Limb> adversarial(Xoshiro256& rng) {
+  using Big = BigIntT<Limb>;
+  const std::size_t bits = 1 + rng.below(600);
+  switch (rng.below(6)) {
+    case 0:
+      return random_value<Limb>(rng, bits);
+    case 1: {  // 2^bits - 1: all ones
+      return (Big(1) << bits) - Big(1);
+    }
+    case 2:  // single bit
+      return Big(1) << bits;
+    case 3: {  // low ones, long zero run, high ones
+      return ((Big(1) << (bits / 3 + 1)) - Big(1)) +
+             (random_value<Limb>(rng, bits / 3 + 1) << (2 * bits / 3 + 2));
+    }
+    case 4:  // small value
+      return Big(rng.below(16));
+    default:  // random with stripped low bits
+      return random_value<Limb>(rng, bits) << rng.below(100);
+  }
+}
+
+template <typename Limb>
+class MpStressTest : public ::testing::Test {};
+using LimbTypes = ::testing::Types<std::uint16_t, std::uint32_t, std::uint64_t>;
+TYPED_TEST_SUITE(MpStressTest, LimbTypes);
+
+TYPED_TEST(MpStressTest, RingIdentities) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(171);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    const Big b = adversarial<Limb>(rng);
+    const Big c = adversarial<Limb>(rng);
+    // commutativity / associativity / distributivity
+    ASSERT_EQ(a + b, b + a);
+    ASSERT_EQ(a * b, b * a);
+    ASSERT_EQ((a + b) + c, a + (b + c));
+    ASSERT_EQ((a * b) * c, a * (b * c));
+    ASSERT_EQ(a * (b + c), a * b + a * c);
+    // additive cancellation
+    ASSERT_EQ((a + b) - b, a);
+  }
+}
+
+TYPED_TEST(MpStressTest, DivModInvariants) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(172);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    Big b = adversarial<Limb>(rng);
+    if (b.is_zero()) b = Big(3);
+    const auto [q, r] = Big::divmod(a, b);
+    ASSERT_EQ(q * b + r, a);
+    ASSERT_LT(r, b);
+    // (a*b) / b == a exactly
+    ASSERT_EQ((a * b) / b, a);
+    ASSERT_TRUE(((a * b) % b).is_zero());
+    // ((a*b) + r) / b == a with remainder r (r < b)
+    ASSERT_EQ((a * b + r) / b, a);
+    ASSERT_EQ((a * b + r) % b, r);
+  }
+}
+
+TYPED_TEST(MpStressTest, ShiftMulEquivalence) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(173);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    const std::size_t k = rng.below(200);
+    ASSERT_EQ(a << k, a * (Big(1) << k));
+    ASSERT_EQ((a << k) >> k, a);
+    // floor division by 2^k == right shift
+    ASSERT_EQ(a >> k, a / (Big(1) << k));
+  }
+}
+
+TYPED_TEST(MpStressTest, StringsRoundTripAdversarial) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(174);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    ASSERT_EQ(Big::from_hex(a.to_hex()), a);
+    ASSERT_EQ(Big::from_dec(a.to_dec()), a);
+  }
+}
+
+TYPED_TEST(MpStressTest, ComparisonIsATotalOrder) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(175);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    const Big b = adversarial<Limb>(rng);
+    // exactly one of <, ==, > holds
+    const int rels = int(a < b) + int(a == b) + int(a > b);
+    ASSERT_EQ(rels, 1);
+    if (a < b) {
+      ASSERT_LT(a + Big(0), b);
+      ASSERT_LE(a, b - Big(1));  // integers: a < b implies a <= b-1
+    }
+    // adding anything nonzero grows the value
+    const Big c = adversarial<Limb>(rng);
+    if (!c.is_zero()) ASSERT_GT(a + c, a);
+  }
+}
+
+TYPED_TEST(MpStressTest, KaratsubaSchoolbookConsistencyAdversarial) {
+  using Limb = TypeParam;
+  Xoshiro256 rng(176);
+  for (int trial = 0; trial < 40; ++trial) {
+    // sizes straddling the Karatsuba threshold on both sides
+    const std::size_t bits_a =
+        mp::limb_bits<Limb> * (kKaratsubaThreshold - 2 + rng.below(8));
+    const auto a = random_value<Limb>(rng, bits_a) << rng.below(64);
+    const auto b = random_value<Limb>(rng, 1 + rng.below(2 * bits_a));
+    const auto kara = mul_karatsuba(a.data(), a.size(), b.data(), b.size());
+    std::vector<Limb> school(a.size() + b.size());
+    school.resize(
+        mul_schoolbook(school.data(), a.data(), a.size(), b.data(), b.size()));
+    ASSERT_EQ(kara, school);
+  }
+}
+
+TYPED_TEST(MpStressTest, BitLengthAndTrailingZerosConsistency) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  Xoshiro256 rng(177);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Big a = adversarial<Limb>(rng);
+    if (a.is_zero()) continue;
+    const std::size_t bl = a.bit_length();
+    ASSERT_TRUE(a.bit(bl - 1));
+    ASSERT_FALSE(a.bit(bl));
+    ASSERT_GE(Big(1) << bl, a);
+    ASSERT_LE(Big(1) << (bl - 1), a);
+    const std::size_t tz = a.trailing_zero_bits();
+    ASSERT_TRUE(a.bit(tz));
+    if (tz > 0) ASSERT_FALSE(a.bit(tz - 1));
+    Big stripped = a;
+    stripped.strip_trailing_zeros();
+    ASSERT_EQ(stripped << tz, a);
+    ASSERT_TRUE(stripped.is_odd());
+  }
+}
+
+}  // namespace
+}  // namespace bulkgcd::mp

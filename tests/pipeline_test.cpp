@@ -1,0 +1,118 @@
+// Cycle-level pipeline simulator vs the closed-form UMM model.
+#include "umm/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "rsa/prime.hpp"
+#include "umm/oblivious.hpp"
+
+namespace bulkgcd::umm {
+namespace {
+
+std::vector<ThreadTrace> oblivious_traces(std::size_t threads, std::size_t steps) {
+  std::vector<ThreadTrace> traces(threads);
+  for (auto& trace : traces) {
+    for (std::size_t i = 0; i < steps; ++i) {
+      trace.addresses.push_back(std::uint32_t(i % 64));
+    }
+  }
+  return traces;
+}
+
+TEST(PipelineTest, FigureTwoWorkedExampleExact) {
+  // W(0) → 3 groups, W(1) → 1 group, w = 4, l = 5: 8 time units.
+  const PipelineSimulator sim({4, 5});
+  std::vector<ThreadTrace> traces(8);
+  const std::uint32_t w0[4] = {3, 4, 6, 8};
+  const std::uint32_t w1[4] = {12, 13, 14, 15};
+  for (int i = 0; i < 4; ++i) {
+    traces[i].addresses.push_back(w0[i]);
+    traces[4 + i].addresses.push_back(w1[i]);
+  }
+  const auto result = sim.replay(traces, Layout::kRowWise, 0);
+  EXPECT_EQ(result.time_units, 8u);
+  EXPECT_EQ(result.warp_dispatches, 2u);
+  EXPECT_EQ(result.stage_slots, 4u);
+  EXPECT_EQ(result.idle_cycles, 0u);
+}
+
+TEST(PipelineTest, NeverSlowerThanTheBarrierModel) {
+  Xoshiro256 rng(201);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t w = 4u << rng.below(3);
+    const std::size_t l = 2 + rng.below(60);
+    const std::size_t p = w * (1 + rng.below(12));
+    const std::size_t t = 1 + rng.below(40);
+    // Random (non-oblivious) traces with ragged lengths.
+    std::vector<ThreadTrace> traces(p);
+    for (auto& trace : traces) {
+      const std::size_t len = t == 1 ? 1 : t - rng.below(t / 2 + 1);
+      for (std::size_t i = 0; i < len; ++i) {
+        trace.addresses.push_back(std::uint32_t(rng.below(64)));
+      }
+    }
+    const UmmSimulator barrier({w, l});
+    const PipelineSimulator pipeline({w, l});
+    const auto b = barrier.replay(traces, Layout::kColumnWise, 64);
+    const auto q = pipeline.replay(traces, Layout::kColumnWise, 64);
+    EXPECT_LE(q.time_units, b.time_units)
+        << "w=" << w << " l=" << l << " p=" << p << " t=" << t;
+    EXPECT_EQ(q.stage_slots, b.stage_slots);  // same total work
+  }
+}
+
+TEST(PipelineTest, MatchesTheoremOneWhenEntryPortSaturates) {
+  // With p/w >= l the serialized entry port is the bottleneck; the barrier
+  // model and the pipeline agree to within one drain (l − 1 cycles).
+  const std::size_t w = 8, l = 10, p = 16 * w, t = 30;  // p/w = 16 > l = 10
+  const UmmSimulator barrier({w, l});
+  const PipelineSimulator pipeline({w, l});
+  const auto traces = oblivious_traces(p, t);
+  const auto q = pipeline.replay(traces, Layout::kColumnWise, 64);
+  EXPECT_LE(q.time_units, barrier.theorem1_time(p, t));
+  // The entry port passes p/w groups per step and only the final drain is
+  // exposed: time = (p/w)·t + (l − 1) exactly in the saturated regime.
+  EXPECT_EQ(q.time_units, std::uint64_t(p / w) * t + l - 1);
+}
+
+TEST(PipelineTest, LatencyBoundWhenFewWarps) {
+  // A single warp cannot hide latency at all: every step costs a full
+  // drain, so time ≈ t·l (the barrier model says the same).
+  const std::size_t w = 32, l = 50, t = 20;
+  const PipelineSimulator sim({w, l});
+  const auto traces = oblivious_traces(w, t);  // exactly one warp
+  const auto result = sim.replay(traces, Layout::kColumnWise, 64);
+  EXPECT_EQ(result.time_units, std::uint64_t(t) * l);
+  EXPECT_GT(result.idle_cycles, 0u);  // the entry port starves
+}
+
+TEST(PipelineTest, RealGcdTracesColumnBeatsRow) {
+  Xoshiro256 rng(202);
+  std::vector<std::pair<mp::BigInt, mp::BigInt>> pairs;
+  for (int i = 0; i < 16; ++i) {
+    pairs.emplace_back(
+        rsa::random_prime(rng, 64) * rsa::random_prime(rng, 64),
+        rsa::random_prime(rng, 64) * rsa::random_prime(rng, 64));
+  }
+  const auto traces = collect_traces(gcd::Variant::kApproximate, pairs, 64, 8);
+  const PipelineSimulator sim({8, 20});
+  const auto col = sim.replay(traces, Layout::kColumnWise, 16);
+  const auto row = sim.replay(traces, Layout::kRowWise, 16);
+  EXPECT_LT(col.time_units, row.time_units);
+}
+
+TEST(PipelineTest, ValidatesConfig) {
+  EXPECT_THROW(PipelineSimulator({0, 5}), std::invalid_argument);
+  EXPECT_THROW(PipelineSimulator({4, 0}), std::invalid_argument);
+}
+
+TEST(PipelineTest, EmptyTraces) {
+  const PipelineSimulator sim({4, 5});
+  EXPECT_EQ(sim.replay({}, Layout::kColumnWise, 8).time_units, 0u);
+  std::vector<ThreadTrace> empty(4);
+  EXPECT_EQ(sim.replay(empty, Layout::kColumnWise, 8).time_units, 0u);
+}
+
+}  // namespace
+}  // namespace bulkgcd::umm

@@ -1,0 +1,201 @@
+// RSA substrate tests: modular math vs GMP, Miller-Rabin vs GMP, keygen,
+// encrypt/decrypt round trips, private-key recovery from a GCD hit.
+#include "rsa/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmp_oracle.hpp"
+#include "rsa/modmath.hpp"
+#include "rsa/prime.hpp"
+
+namespace bulkgcd::rsa {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::from_mpz;
+using bulkgcd::test::Mpz;
+using bulkgcd::test::random_odd;
+using bulkgcd::test::random_value;
+using bulkgcd::test::to_mpz;
+using mp::BigInt;
+
+TEST(ModMathTest, ModPowMatchesGmp) {
+  Xoshiro256 rng(81);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BigInt base = random_value<std::uint32_t>(rng, 1 + rng.below(200));
+    const BigInt exp = random_value<std::uint32_t>(rng, 1 + rng.below(100));
+    BigInt mod = random_value<std::uint32_t>(rng, 2 + rng.below(200));
+    if (mod <= BigInt(1)) mod = BigInt(7);
+    Mpz expected;
+    mpz_powm(expected.get(), to_mpz(base).get(), to_mpz(exp).get(),
+             to_mpz(mod).get());
+    EXPECT_EQ(to_mpz(modpow(base, exp, mod)), expected);
+  }
+}
+
+TEST(ModMathTest, ModPowEdgeCases) {
+  EXPECT_EQ(modpow(BigInt(5), BigInt(), BigInt(7)), BigInt(1));   // x^0 = 1
+  EXPECT_EQ(modpow(BigInt(5), BigInt(3), BigInt(1)), BigInt());   // mod 1
+  EXPECT_EQ(modpow(BigInt(), BigInt(5), BigInt(7)), BigInt());    // 0^k
+  EXPECT_THROW(modpow(BigInt(2), BigInt(2), BigInt()), std::domain_error);
+}
+
+TEST(ModMathTest, ModInvMatchesGmp) {
+  Xoshiro256 rng(82);
+  int tested = 0;
+  while (tested < 60) {
+    const BigInt a = random_value<std::uint32_t>(rng, 1 + rng.below(150));
+    const BigInt m = random_odd<std::uint32_t>(rng, 2 + rng.below(150));
+    Mpz inv;
+    const int ok = mpz_invert(inv.get(), to_mpz(a).get(), to_mpz(m).get());
+    if (!ok || m <= BigInt(1)) {
+      EXPECT_THROW(modinv(a, m), std::domain_error);
+      continue;
+    }
+    const BigInt result = modinv(a, m);
+    EXPECT_EQ(to_mpz(result), inv);
+    EXPECT_EQ((a * result) % m, BigInt(1) % m);
+    ++tested;
+  }
+}
+
+TEST(ModMathTest, ModInvRejectsNonCoprime) {
+  EXPECT_THROW(modinv(BigInt(6), BigInt(9)), std::domain_error);
+  EXPECT_THROW(modinv(BigInt(4), BigInt(1)), std::domain_error);
+}
+
+TEST(PrimeTest, SmallPrimesSieveIsCorrect) {
+  const auto& primes = small_primes();
+  ASSERT_FALSE(primes.empty());
+  EXPECT_EQ(primes.front(), 3u);
+  EXPECT_EQ(primes.back(), 65521u);  // largest prime below 2^16
+  // Spot-check membership: primes in, composites and 2 out (odd-only sieve).
+  EXPECT_TRUE(std::binary_search(primes.begin(), primes.end(), 7919u));
+  EXPECT_TRUE(std::binary_search(primes.begin(), primes.end(), 3u));
+  EXPECT_FALSE(std::binary_search(primes.begin(), primes.end(), 2u));
+  EXPECT_FALSE(std::binary_search(primes.begin(), primes.end(), 65535u));
+  EXPECT_FALSE(std::binary_search(primes.begin(), primes.end(), 561u));
+  // π(2^16) = 6542; this list omits 2.
+  EXPECT_EQ(primes.size(), 6541u);
+}
+
+TEST(PrimeTest, ModU32AgreesWithDivision) {
+  Xoshiro256 rng(83);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigInt v = random_value<std::uint32_t>(rng, 1 + rng.below(300));
+    std::uint32_t p = std::uint32_t(rng()) | 1u;
+    if (p < 3) p = 3;
+    const BigInt expected = v % BigInt(std::uint64_t(p));
+    EXPECT_EQ(mod_u32(v, p), std::uint32_t(expected.to_u64()));
+  }
+}
+
+TEST(PrimeTest, MillerRabinAgreesWithGmpOnRandomOdds) {
+  Xoshiro256 rng(84);
+  for (int trial = 0; trial < 150; ++trial) {
+    const BigInt n = random_odd<std::uint32_t>(rng, 20 + rng.below(100));
+    const bool ours = is_probable_prime(n, rng);
+    const bool gmp = mpz_probab_prime_p(to_mpz(n).get(), 32) != 0;
+    EXPECT_EQ(ours, gmp) << n.to_dec();
+  }
+}
+
+TEST(PrimeTest, MillerRabinKnownValues) {
+  Xoshiro256 rng(85);
+  EXPECT_TRUE(is_probable_prime(BigInt(2), rng));
+  EXPECT_TRUE(is_probable_prime(BigInt(65537), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(1), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(561), rng));      // Carmichael
+  EXPECT_FALSE(is_probable_prime(BigInt(341550071728321ull), rng));  // strong pseudoprime to several bases
+  // 2^89 − 1 is a Mersenne prime.
+  const BigInt mersenne = (BigInt(1) << 89) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(mersenne, rng));
+  EXPECT_FALSE(is_probable_prime(mersenne * BigInt(3), rng));
+}
+
+TEST(PrimeTest, RandomPrimeHasRequestedShape) {
+  Xoshiro256 rng(86);
+  for (const std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.bit(bits - 1));
+    EXPECT_TRUE(p.bit(bits - 2));  // top two bits forced
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_NE(mpz_probab_prime_p(to_mpz(p).get(), 32), 0);
+  }
+}
+
+TEST(KeygenTest, KeypairInvariants) {
+  Xoshiro256 rng(87);
+  const KeyPair key = generate_keypair(rng, 256);
+  EXPECT_EQ(key.n, key.p * key.q);
+  EXPECT_EQ(key.n.bit_length(), 256u);
+  EXPECT_EQ(key.e, BigInt(65537));
+  const BigInt phi = (key.p - BigInt(1)) * (key.q - BigInt(1));
+  EXPECT_EQ((key.e * key.d) % phi, BigInt(1));
+}
+
+TEST(KeygenTest, RejectsBadModulusSize) {
+  Xoshiro256 rng(88);
+  EXPECT_THROW(generate_keypair(rng, 15), std::invalid_argument);
+  EXPECT_THROW(generate_keypair(rng, 8), std::invalid_argument);
+}
+
+TEST(EncryptDecryptTest, RoundTripsRandomMessages) {
+  Xoshiro256 rng(89);
+  const KeyPair key = generate_keypair(rng, 256);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BigInt message = random_value<std::uint32_t>(rng, 200);
+    const BigInt cipher = encrypt(message, key.n, key.e);
+    EXPECT_NE(cipher, message);
+    EXPECT_EQ(decrypt(cipher, key.n, key.d), message);
+  }
+}
+
+TEST(EncryptDecryptTest, MessageMustBeSmallerThanModulus) {
+  Xoshiro256 rng(90);
+  const KeyPair key = generate_keypair(rng, 128);
+  EXPECT_THROW(encrypt(key.n, key.n, key.e), std::invalid_argument);
+}
+
+TEST(RecoveryTest, RecoverPrivateKeyFromFactor) {
+  Xoshiro256 rng(91);
+  const KeyPair original = generate_keypair(rng, 256);
+  const KeyPair recovered = recover_private_key(original.n, original.e, original.p);
+  EXPECT_EQ(recovered.d, original.d);
+  EXPECT_EQ(recovered.p * recovered.q, original.n);
+  // And the recovered key actually decrypts.
+  const BigInt message(123456789);
+  const BigInt cipher = encrypt(message, original.n, original.e);
+  EXPECT_EQ(decrypt(cipher, recovered.n, recovered.d), message);
+}
+
+TEST(RecoveryTest, RejectsNonFactors) {
+  Xoshiro256 rng(92);
+  const KeyPair key = generate_keypair(rng, 128);
+  EXPECT_THROW(recover_private_key(key.n, key.e, BigInt(17)),
+               std::invalid_argument);
+  EXPECT_THROW(recover_private_key(key.n, key.e, BigInt(1)),
+               std::invalid_argument);
+  EXPECT_THROW(recover_private_key(key.n, key.e, key.n),
+               std::invalid_argument);
+}
+
+TEST(MessageCodecTest, AsciiRoundTrip) {
+  const std::string text = "ATTACK AT DAWN";
+  const BigInt encoded = encode_message(text);
+  EXPECT_EQ(decode_message(encoded), text);
+  EXPECT_EQ(decode_message(encode_message("")), "");
+}
+
+TEST(MessageCodecTest, EndToEndThroughRsa) {
+  Xoshiro256 rng(93);
+  const KeyPair key = generate_keypair(rng, 256);
+  const std::string text = "weak keys leak";
+  const BigInt cipher = encrypt(encode_message(text), key.n, key.e);
+  EXPECT_EQ(decode_message(decrypt(cipher, key.n, key.d)), text);
+}
+
+}  // namespace
+}  // namespace bulkgcd::rsa
