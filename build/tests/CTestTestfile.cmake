@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_span_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/gcd_approx_test[1]_include.cmake")
+include("/root/repo/build/tests/gcd_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/gcd_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/gcd_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/gcd_statistics_test[1]_include.cmake")
+include("/root/repo/build/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/montgomery_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/umm_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/allpairs_test[1]_include.cmake")
+include("/root/repo/build/tests/batchgcd_test[1]_include.cmake")
+include("/root/repo/build/tests/lehmer_test[1]_include.cmake")
+include("/root/repo/build/tests/keystore_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/pem_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
