@@ -10,6 +10,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/batchgcd/batchgcd.cpp" "src/CMakeFiles/bulkgcd.dir/batchgcd/batchgcd.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/batchgcd/batchgcd.cpp.o.d"
   "/root/repo/src/bulk/allpairs.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/allpairs.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/allpairs.cpp.o.d"
+  "/root/repo/src/bulk/block_grid.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/block_grid.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/block_grid.cpp.o.d"
+  "/root/repo/src/bulk/scan_driver.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/scan_driver.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/scan_driver.cpp.o.d"
   "/root/repo/src/bulk/simt.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/simt.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/simt.cpp.o.d"
   "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/bulkgcd.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/core/thread_pool.cpp.o.d"
   "/root/repo/src/gcd/lehmer.cpp" "src/CMakeFiles/bulkgcd.dir/gcd/lehmer.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/gcd/lehmer.cpp.o.d"

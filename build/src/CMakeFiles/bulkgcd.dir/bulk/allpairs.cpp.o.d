@@ -169,7 +169,7 @@ src/CMakeFiles/bulkgcd.dir/bulk/allpairs.cpp.o: \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
- /root/repo/src/core/thread_pool.hpp \
+ /root/repo/src/bulk/block_grid.hpp /root/repo/src/core/thread_pool.hpp \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \

@@ -20,6 +20,7 @@ include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
 include("/root/repo/build/tests/simt_test[1]_include.cmake")
 include("/root/repo/build/tests/layout_test[1]_include.cmake")
 include("/root/repo/build/tests/allpairs_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_driver_test[1]_include.cmake")
 include("/root/repo/build/tests/batchgcd_test[1]_include.cmake")
 include("/root/repo/build/tests/lehmer_test[1]_include.cmake")
 include("/root/repo/build/tests/keystore_test[1]_include.cmake")

@@ -1,0 +1,163 @@
+// Resumable all-pairs scan CLI — the production shape of the paper's attack:
+// load (or synthesize) a moduli corpus, sweep every pair with checkpointing,
+// live progress, and crash recovery. Kill it mid-run and start it again with
+// the same arguments: it picks up from the last committed chunk.
+//
+//   $ ./resumable_scan --generate 256 512 4        # demo corpus, then scan
+//   $ ./resumable_scan harvested.keys              # scan a keystore file
+//
+// Options:
+//   --checkpoint <path>    checkpoint journal (default: <corpus>.ckpt)
+//   --chunk-blocks <n>     blocks per durable work unit (default 64)
+//   --group-size <r>       moduli per block group (default 64)
+//   --engine simt|scalar   bulk engine (default simt)
+//   --threads <n>          worker threads (default: hardware)
+//   --stop-after <n>       commit at most n chunks then exit 3 (time-sliced
+//                          mode; rerun to continue)
+//   --discard-checkpoint   start fresh if the checkpoint belongs to a
+//                          different corpus or scan geometry
+//   --generate <count> <bits> <weak> synthesize a corpus into corpus.keys
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "bulkgcd.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [<moduli-file>] [--generate <count> <bits> <weak>]\n"
+               "          [--checkpoint <path>] [--chunk-blocks <n>]\n"
+               "          [--group-size <r>] [--engine simt|scalar]\n"
+               "          [--threads <n>] [--stop-after <n>]\n"
+               "          [--discard-checkpoint]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bulkgcd;
+
+  std::string corpus_path;
+  std::string checkpoint_path;
+  bulk::ScanConfig config;
+  std::size_t gen_count = 0, gen_bits = 512, gen_weak = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--generate") {
+      gen_count = std::strtoull(next("--generate"), nullptr, 10);
+      gen_bits = std::strtoull(next("--generate bits"), nullptr, 10);
+      gen_weak = std::strtoull(next("--generate weak"), nullptr, 10);
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next("--checkpoint");
+    } else if (arg == "--chunk-blocks") {
+      config.chunk_blocks = std::strtoull(next("--chunk-blocks"), nullptr, 10);
+    } else if (arg == "--group-size") {
+      config.pairs.group_size =
+          std::strtoull(next("--group-size"), nullptr, 10);
+    } else if (arg == "--engine") {
+      const std::string engine = next("--engine");
+      if (engine == "simt") {
+        config.pairs.engine = bulk::EngineKind::kSimt;
+      } else if (engine == "scalar") {
+        config.pairs.engine = bulk::EngineKind::kScalar;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--threads") {
+      config.pairs.pool_threads = std::strtoull(next("--threads"), nullptr, 10);
+    } else if (arg == "--stop-after") {
+      config.stop_after_chunks =
+          std::strtoull(next("--stop-after"), nullptr, 10);
+    } else if (arg == "--discard-checkpoint") {
+      config.discard_mismatched_checkpoint = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      corpus_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (corpus_path.empty() && gen_count == 0) return usage(argv[0]);
+
+  std::vector<mp::BigInt> moduli;
+  if (gen_count > 0) {
+    if (corpus_path.empty()) corpus_path = "corpus.keys";
+    rsa::CorpusSpec spec;
+    spec.count = gen_count;
+    spec.modulus_bits = gen_bits;
+    spec.weak_pairs = gen_weak;
+    spec.seed = 20150525;  // the paper's conference date, for reproducibility
+    std::printf("generating %zu %zu-bit moduli (%zu weak pairs) -> %s\n",
+                gen_count, gen_bits, gen_weak, corpus_path.c_str());
+    moduli = rsa::generate_corpus(spec).moduli;
+    rsa::save_moduli(corpus_path, moduli, "resumable_scan demo corpus");
+  } else {
+    try {
+      moduli = rsa::load_moduli(corpus_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("loaded %zu moduli from %s\n", moduli.size(),
+                corpus_path.c_str());
+  }
+
+  if (checkpoint_path.empty()) checkpoint_path = corpus_path + ".ckpt";
+  config.checkpoint = checkpoint_path;
+
+  bulk::StreamProgressSink sink;
+  config.sink = &sink;
+  config.progress_every = 4;
+
+  std::printf("corpus digest %016llx, checkpoint %s\n",
+              (unsigned long long)rsa::corpus_digest(moduli),
+              checkpoint_path.c_str());
+
+  bulk::ScanReport report;
+  try {
+    report = bulk::run_resumable_scan(moduli, config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "(pass --discard-checkpoint to restart this scan from "
+                 "scratch, or delete %s)\n",
+                 e.what(), checkpoint_path.c_str());
+    return 2;
+  }
+
+  std::printf("\n%s after %.2fs: %llu/%llu chunks, %llu pairs, %zu hits",
+              report.complete ? "complete" : "interrupted",
+              report.result.seconds, (unsigned long long)report.chunks_done,
+              (unsigned long long)report.chunks_total,
+              (unsigned long long)report.result.pairs_tested,
+              report.result.hits.size());
+  if (report.resumed) std::printf(" (resumed)");
+  std::printf("\n");
+  for (const auto& hit : report.result.hits) {
+    std::printf("  keys %zu and %zu share a %zu-bit prime %s\n", hit.i, hit.j,
+                hit.factor.bit_length(), hit.factor.to_hex().c_str());
+  }
+  for (const auto& q : report.quarantined) {
+    std::printf("  QUARANTINED chunk %zu: %s\n", q.chunk_index,
+                q.error.c_str());
+  }
+  if (!report.complete) {
+    std::printf("rerun with the same arguments to continue from %s\n",
+                checkpoint_path.c_str());
+    return 3;
+  }
+  return report.quarantined.empty() ? 0 : 1;
+}

@@ -3,25 +3,11 @@
 #include <algorithm>
 #include <mutex>
 
+#include "bulk/block_grid.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 
 namespace bulkgcd::bulk {
-
-namespace {
-
-struct Block {
-  std::size_t i, j;
-};
-
-struct LocalState {
-  std::vector<FactorHit> hits;
-  std::uint64_t pairs = 0;
-  SimtStats simt;
-  gcd::GcdStats scalar;
-};
-
-}  // namespace
 
 AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
                              const AllPairsConfig& config) {
@@ -30,78 +16,23 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   if (m < 2) return result;
 
   std::size_t cap = 0;
-  std::size_t bits = 0;
-  for (const auto& n : moduli) {
-    cap = std::max(cap, n.size());
-    bits = std::max(bits, n.bit_length());
+  std::vector<std::size_t> bits(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    cap = std::max(cap, moduli[i].size());
+    bits[i] = moduli[i].bit_length();
   }
-  const std::size_t early_bits = config.early_terminate ? bits / 2 : 0;
-  const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size, m));
-  const std::size_t groups = (m + r - 1) / r;
+  const BlockGrid grid(m, config.group_size);
 
-  std::vector<Block> blocks;
-  blocks.reserve(groups * (groups + 1) / 2);
-  for (std::size_t i = 0; i < groups; ++i) {
-    for (std::size_t j = i; j < groups; ++j) blocks.push_back({i, j});
-  }
-  result.blocks_run = blocks.size();
-  result.input_bytes = m * cap * sizeof(std::uint32_t);
+  result.blocks_run = grid.block_count();
+  result.input_bytes = m * cap * sizeof(ScanLimb);
 
   std::mutex merge_mutex;
   Timer timer;
 
   auto process_chunk = [&](std::size_t lo, std::size_t hi) {
-    LocalState local;
-    gcd::GcdEngine<std::uint32_t> scalar_engine(cap);
-    SimtBatch<std::uint32_t, ColumnMatrix> batch(r, cap, config.warp_width);
-
-    auto record = [&](std::size_t a, std::size_t b, const mp::BigInt& g) {
-      if (g > mp::BigInt(1)) local.hits.push_back({a, b, g});
-    };
-
-    for (std::size_t bi = lo; bi < hi; ++bi) {
-      const auto [i, j] = blocks[bi];
-      const std::size_t i_begin = i * r, i_end = std::min(i_begin + r, m);
-      const std::size_t j_begin = j * r, j_end = std::min(j_begin + r, m);
-
-      for (std::size_t jj = j_begin; jj < j_end; ++jj) {
-        const std::size_t u = jj - j_begin;
-        // Lanes: group-i members paired against n_jj this round. For the
-        // diagonal block only k < u is live (each unordered pair once).
-        const std::size_t k_end = (i == j) ? std::min(u, i_end - i_begin)
-                                           : i_end - i_begin;
-        if (k_end == 0) continue;
-
-        if (config.engine == EngineKind::kSimt) {
-          for (std::size_t k = 0; k < r; ++k) {
-            if (k < k_end) {
-              batch.load(k, moduli[i_begin + k].limbs(), moduli[jj].limbs());
-            } else {
-              batch.disable(k);
-            }
-          }
-          batch.run(config.variant, early_bits);
-          for (std::size_t k = 0; k < k_end; ++k) {
-            ++local.pairs;
-            if (!batch.early_coprime(k)) {
-              record(i_begin + k, jj, batch.gcd_of(k));
-            }
-          }
-        } else {
-          for (std::size_t k = 0; k < k_end; ++k) {
-            ++local.pairs;
-            const auto run = scalar_engine.run(
-                config.variant, moduli[i_begin + k].limbs(),
-                moduli[jj].limbs(), early_bits, &local.scalar);
-            if (!run.early_coprime) {
-              record(i_begin + k, jj,
-                     mp::BigInt::from_limbs(run.gcd));
-            }
-          }
-        }
-      }
-    }
-    if (config.engine == EngineKind::kSimt) local.simt = batch.stats();
+    BlockSweeper sweeper(moduli, bits, grid, config, cap);
+    sweeper.run_blocks(lo, hi);
+    auto local = sweeper.take();
 
     std::lock_guard lock(merge_mutex);
     result.pairs_tested += local.pairs;
@@ -113,12 +44,12 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   };
 
   if (config.pool_threads == 1) {
-    process_chunk(0, blocks.size());
+    process_chunk(0, grid.block_count());
   } else if (config.pool_threads == 0) {
-    global_pool().parallel_for(0, blocks.size(), process_chunk);
+    global_pool().parallel_for(0, grid.block_count(), process_chunk);
   } else {
     ThreadPool pool(config.pool_threads);
-    pool.parallel_for(0, blocks.size(), process_chunk);
+    pool.parallel_for(0, grid.block_count(), process_chunk);
   }
 
   result.seconds = timer.seconds();
@@ -136,12 +67,18 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   if (corpus.empty() || candidate.is_zero()) return hits;
 
   std::size_t cap = candidate.size();
-  std::size_t bits = candidate.bit_length();
-  for (const auto& n : corpus) {
-    cap = std::max(cap, n.size());
-    bits = std::max(bits, n.bit_length());
+  const std::size_t cand_bits = candidate.bit_length();
+  std::vector<std::size_t> bits(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    cap = std::max(cap, corpus[i].size());
+    bits[i] = corpus[i].bit_length();
   }
-  const std::size_t early_bits = config.early_terminate ? bits / 2 : 0;
+  // Section V: the early-terminate threshold is a property of each PAIR, so
+  // each corpus member gets min(bits(candidate), bits(member))/2 rather than
+  // a corpus-wide bound that misses hits among the smaller keys.
+  auto early = [&](std::size_t i) {
+    return config.early_terminate ? std::min(cand_bits, bits[i]) / 2 : 0;
+  };
   const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size,
                                                           corpus.size()));
   std::mutex merge_mutex;
@@ -150,18 +87,19 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
                                                                  std::size_t hi) {
     std::vector<IncrementalHit> local;
     if (config.engine == EngineKind::kSimt) {
-      SimtBatch<std::uint32_t, ColumnMatrix> batch(r, cap, config.warp_width);
+      SimtBatch<ScanLimb, ColumnMatrix> batch(r, cap, config.warp_width);
       for (std::size_t block = lo; block < hi; ++block) {
         const std::size_t begin = block * r;
         const std::size_t end = std::min(begin + r, corpus.size());
         for (std::size_t k = 0; k < r; ++k) {
           if (begin + k < end) {
-            batch.load(k, corpus[begin + k].limbs(), candidate.limbs());
+            batch.load(k, corpus[begin + k].limbs(), candidate.limbs(),
+                       early(begin + k));
           } else {
             batch.disable(k);
           }
         }
-        batch.run(config.variant, early_bits);
+        batch.run(config.variant);
         for (std::size_t k = 0; begin + k < end; ++k) {
           if (batch.early_coprime(k)) continue;
           auto g = batch.gcd_of(k);
@@ -169,13 +107,13 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
         }
       }
     } else {
-      gcd::GcdEngine<std::uint32_t> engine(cap);
+      gcd::GcdEngine<ScanLimb> engine(cap);
       for (std::size_t block = lo; block < hi; ++block) {
         const std::size_t begin = block * r;
         const std::size_t end = std::min(begin + r, corpus.size());
         for (std::size_t i = begin; i < end; ++i) {
           const auto run = engine.run(config.variant, corpus[i].limbs(),
-                                      candidate.limbs(), early_bits);
+                                      candidate.limbs(), early(i));
           if (run.early_coprime) continue;
           auto g = mp::BigInt::from_limbs(run.gcd);
           if (g > mp::BigInt(1)) local.push_back({i, std::move(g)});

@@ -1,0 +1,106 @@
+#include "bulk/block_grid.hpp"
+
+#include <cmath>
+
+namespace bulkgcd::bulk {
+
+BlockGrid::Block BlockGrid::block(std::size_t index) const noexcept {
+  // Row i starts at offset(i) = i·g − i·(i−1)/2. Invert with the quadratic
+  // formula in double precision, then fix up (the sqrt can be off by one
+  // ulp for huge grids).
+  const double g = double(groups);
+  const double t = double(index);
+  std::size_t i = std::size_t(
+      std::max(0.0, std::floor(g + 0.5 - std::sqrt((g + 0.5) * (g + 0.5) -
+                                                   2.0 * t))));
+  auto offset = [this](std::size_t row) {
+    return row * groups - row * (row - 1) / 2;
+  };
+  while (i > 0 && offset(i) > index) --i;
+  while (i + 1 < groups && offset(i + 1) <= index) ++i;
+  return {i, i + (index - offset(i))};
+}
+
+std::uint64_t BlockGrid::pairs_in_block(Block b) const noexcept {
+  const std::uint64_t ni = group_size(b.i);
+  if (b.i == b.j) return ni * (ni - 1) / 2;
+  return ni * std::uint64_t(group_size(b.j));
+}
+
+std::uint64_t BlockGrid::pairs_in_range(std::size_t lo,
+                                        std::size_t hi) const noexcept {
+  std::uint64_t pairs = 0;
+  for (std::size_t b = lo; b < hi; ++b) pairs += pairs_in_block(block(b));
+  return pairs;
+}
+
+BlockSweeper::BlockSweeper(std::span<const mp::BigInt> moduli,
+                           std::span<const std::size_t> bit_lengths,
+                           const BlockGrid& grid, const AllPairsConfig& config,
+                           std::size_t capacity_limbs)
+    : moduli_(moduli),
+      bits_(bit_lengths),
+      grid_(grid),
+      config_(config),
+      scalar_engine_(capacity_limbs),
+      batch_(grid.r, capacity_limbs, config.warp_width) {}
+
+void BlockSweeper::run_block(std::size_t block_index) {
+  const auto [i, j] = grid_.block(block_index);
+  const std::size_t r = grid_.r;
+  const std::size_t i_begin = i * r, i_end = std::min(i_begin + r, grid_.m);
+  const std::size_t j_begin = j * r, j_end = std::min(j_begin + r, grid_.m);
+
+  auto record = [&](std::size_t a, std::size_t b, mp::BigInt g) {
+    if (g > mp::BigInt(1)) out_.hits.push_back({a, b, std::move(g)});
+  };
+
+  for (std::size_t jj = j_begin; jj < j_end; ++jj) {
+    const std::size_t u = jj - j_begin;
+    // Lanes: group-i members paired against n_jj this round. For the
+    // diagonal block only k < u is live (each unordered pair once).
+    const std::size_t k_end =
+        (i == j) ? std::min(u, i_end - i_begin) : i_end - i_begin;
+    if (k_end == 0) continue;
+
+    if (config_.engine == EngineKind::kSimt) {
+      for (std::size_t k = 0; k < r; ++k) {
+        if (k < k_end) {
+          batch_.load(k, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
+                      pair_early_bits(i_begin + k, jj));
+        } else {
+          batch_.disable(k);
+        }
+      }
+      batch_.run(config_.variant);
+      for (std::size_t k = 0; k < k_end; ++k) {
+        ++out_.pairs;
+        if (!batch_.early_coprime(k)) {
+          record(i_begin + k, jj, batch_.gcd_of(k));
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < k_end; ++k) {
+        ++out_.pairs;
+        const auto run = scalar_engine_.run(
+            config_.variant, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
+            pair_early_bits(i_begin + k, jj), &out_.scalar);
+        if (!run.early_coprime) {
+          record(i_begin + k, jj, mp::BigInt::from_limbs(run.gcd));
+        }
+      }
+    }
+  }
+}
+
+BlockSweeper::Output BlockSweeper::take() {
+  if (config_.engine == EngineKind::kSimt) {
+    out_.simt = batch_.stats();
+    batch_.reset_stats();
+  }
+  Output result = std::move(out_);
+  out_ = Output{};
+  return result;
+}
+
+}  // namespace bulkgcd::bulk

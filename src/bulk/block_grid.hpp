@@ -1,0 +1,105 @@
+// Geometry of the Section-VI block triangle plus a reusable per-worker
+// sweeper, shared by the one-shot all_pairs_gcd() and the resumable
+// ScanDriver so both enumerate exactly the same pairs with exactly the same
+// per-pair early-terminate rule (Section V defines the RSA bit size s per
+// key pair, NOT per corpus — a corpus-wide threshold silently drops hits
+// between small moduli whenever a larger key is present).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bulk/allpairs.hpp"
+#include "gcd/algorithms.hpp"
+
+namespace bulkgcd::bulk {
+
+/// The limb type both bulk engines are instantiated with; memory-traffic
+/// accounting (AllPairsResult::input_bytes) derives from it.
+using ScanLimb = std::uint32_t;
+
+/// Upper-triangle block decomposition of the m×m pair matrix into
+/// ⌈m/r⌉ groups of r. Blocks are indexed row-major: (0,0), (0,1), …,
+/// (0,g−1), (1,1), … — the enumeration order all_pairs_gcd has always used.
+struct BlockGrid {
+  std::size_t m = 0;       ///< corpus size
+  std::size_t r = 1;       ///< group size (lanes per block)
+  std::size_t groups = 0;  ///< ⌈m/r⌉
+
+  BlockGrid() = default;
+  BlockGrid(std::size_t corpus_size, std::size_t group_size)
+      : m(corpus_size),
+        r(std::max<std::size_t>(
+              1, std::min(group_size, std::max<std::size_t>(1, corpus_size)))),
+        groups((corpus_size + r - 1) / r) {}
+
+  std::size_t block_count() const noexcept {
+    return groups * (groups + 1) / 2;
+  }
+  std::uint64_t total_pairs() const noexcept {
+    return std::uint64_t(m) * (m - 1) / 2;
+  }
+  std::size_t group_size(std::size_t g) const noexcept {
+    return std::min(r, m - g * r);
+  }
+
+  struct Block {
+    std::size_t i, j;
+  };
+
+  /// Inverse of the row-major triangle enumeration (closed form + fixup, so
+  /// it stays O(1) even for million-block grids).
+  Block block(std::size_t index) const noexcept;
+
+  /// Pairs tested inside one block (diagonal blocks test each unordered
+  /// intra-group pair once).
+  std::uint64_t pairs_in_block(Block b) const noexcept;
+
+  /// Pairs covered by the block range [lo, hi).
+  std::uint64_t pairs_in_range(std::size_t lo, std::size_t hi) const noexcept;
+};
+
+/// Per-worker sweep state: one scalar engine + one SIMT batch, reused across
+/// the blocks a worker processes. Accumulates hits, pair counts, and engine
+/// statistics; take() hands them over and resets.
+class BlockSweeper {
+ public:
+  struct Output {
+    std::vector<FactorHit> hits;
+    std::uint64_t pairs = 0;
+    SimtStats simt;
+    gcd::GcdStats scalar;
+  };
+
+  /// bit_lengths must hold bit_length() of every modulus (precomputed once
+  /// per scan so per-pair thresholds are O(1)).
+  BlockSweeper(std::span<const mp::BigInt> moduli,
+               std::span<const std::size_t> bit_lengths, const BlockGrid& grid,
+               const AllPairsConfig& config, std::size_t capacity_limbs);
+
+  void run_block(std::size_t block_index);
+  void run_blocks(std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) run_block(b);
+  }
+
+  Output take();
+
+ private:
+  std::size_t pair_early_bits(std::size_t a, std::size_t b) const noexcept {
+    return config_.early_terminate
+               ? std::min(bits_[a], bits_[b]) / 2
+               : 0;
+  }
+
+  std::span<const mp::BigInt> moduli_;
+  std::span<const std::size_t> bits_;
+  BlockGrid grid_;
+  AllPairsConfig config_;
+  gcd::GcdEngine<ScanLimb> scalar_engine_;
+  SimtBatch<ScanLimb, ColumnMatrix> batch_;
+  Output out_;
+};
+
+}  // namespace bulkgcd::bulk

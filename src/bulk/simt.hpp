@@ -71,6 +71,9 @@ class SimtBatch {
   static constexpr int LB = mp::limb_bits<Limb>;
 
  public:
+  /// Sentinel for load(): the lane inherits run()'s batch-wide early_bits.
+  static constexpr std::size_t kInheritEarlyBits = std::size_t(-1);
+
   /// capacity_limbs: max limb count of any input value.
   SimtBatch(std::size_t lanes, std::size_t capacity_limbs,
             std::size_t warp_width = 32)
@@ -81,6 +84,8 @@ class SimtBatch {
         mat_b_(lanes, cap_),
         lx_(lanes, 0),
         ly_(lanes, 0),
+        early_(lanes, kInheritEarlyBits),
+        eff_early_(lanes, 0),
         swapped_(lanes, 0),
         active_(lanes, 0) {
     if (warp_width == 0) throw std::invalid_argument("warp width must be > 0");
@@ -94,8 +99,13 @@ class SimtBatch {
   }
 
   /// Load one pair into a lane (and mark it active). Values must be odd.
-  void load(std::size_t lane, std::span<const Limb> x, std::span<const Limb> y) {
+  /// early_bits: per-lane early-terminate threshold (Section V defines s per
+  /// key pair, so mixed-size batches need a per-lane value); the default
+  /// inherits the batch-wide threshold passed to run().
+  void load(std::size_t lane, std::span<const Limb> x, std::span<const Limb> y,
+            std::size_t early_bits = kInheritEarlyBits) {
     assert(lane < lanes_);
+    early_[lane] = early_bits;
     if (x.size() > capacity() || y.size() > capacity()) {
       throw std::length_error("SimtBatch: input exceeds capacity");
     }
@@ -123,10 +133,10 @@ class SimtBatch {
         variant != gcd::Variant::kApproximate) {
       throw std::invalid_argument("SimtBatch: unsupported variant");
     }
-    // Section V: with early termination both operands keep >= early_bits
-    // bits, so when that guarantees > 2 words the restricted Case-4-only
-    // approx (the paper's actual CUDA kernel) is used.
-    section_v_ = early_bits >= 3u * std::size_t(LB);
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      eff_early_[lane] =
+          early_[lane] == kInheritEarlyBits ? early_bits : early_[lane];
+    }
     bool any = true;
     while (any) {
       any = false;
@@ -137,7 +147,7 @@ class SimtBatch {
         std::size_t active_count = 0;
         for (std::size_t lane = base; lane < end; ++lane) {
           if (!active_[lane]) continue;
-          if (!lane_keeps_going(lane, early_bits)) {
+          if (!lane_keeps_going(lane)) {
             active_[lane] = 0;
             continue;
           }
@@ -194,14 +204,23 @@ class SimtBatch {
     std::swap(lx_[lane], ly_[lane]);
   }
 
-  bool lane_keeps_going(std::size_t lane, std::size_t early_bits) noexcept {
+  bool lane_keeps_going(std::size_t lane) noexcept {
     if (ly_[lane] == 0) return false;
+    const std::size_t early_bits = eff_early_[lane];
     if (early_bits == 0) return true;
     auto y = y_lane(lane);
     const std::size_t top = ly_[lane] - 1;
     const std::size_t bits =
         top * LB + (LB - std::countl_zero(y[top]));
     return bits >= early_bits;
+  }
+
+  /// Section V: with early termination both operands keep >= early_bits
+  /// bits, so when that guarantees > 2 words the restricted Case-4-only
+  /// approx (the paper's actual CUDA kernel) is used. Per lane, since
+  /// lanes may carry different thresholds in a mixed-size batch.
+  bool section_v_lane(std::size_t lane) const noexcept {
+    return eff_early_[lane] >= 3u * std::size_t(LB);
   }
 
   /// One algorithm iteration on one lane; returns the branch id taken
@@ -245,9 +264,9 @@ class SimtBatch {
   int step_approximate(std::size_t lane) {
     auto x = x_lane(lane);
     auto y = y_lane(lane);
-    const auto ar =
-        section_v_ ? gcd::approx_case4_only(x, lx_[lane], y, ly_[lane])
-                   : gcd::approx(x, lx_[lane], y, ly_[lane]);
+    const auto ar = section_v_lane(lane)
+                        ? gcd::approx_case4_only(x, lx_[lane], y, ly_[lane])
+                        : gcd::approx(x, lx_[lane], y, ly_[lane]);
     stats_.gcd.count_case(ar.which);
     ++stats_.gcd.divisions;
     int branch;
@@ -294,8 +313,9 @@ class SimtBatch {
   std::size_t lanes_, cap_, warp_;
   Matrix<Limb> mat_a_, mat_b_;
   std::vector<std::size_t> lx_, ly_;
+  std::vector<std::size_t> early_;      ///< per-lane override from load()
+  std::vector<std::size_t> eff_early_;  ///< resolved threshold for this run()
   std::vector<std::uint8_t> swapped_, active_;
-  bool section_v_ = false;  ///< Case-4-only approx active (Section V kernel)
   SimtStats stats_;
   gcd::NullTracer null_tracer_;
 };

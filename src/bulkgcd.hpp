@@ -10,6 +10,7 @@
 //   rsa::MontgomeryContext              fast modular exponentiation
 //   rsa::save_moduli / load_moduli      keystore file I/O
 //   bulk::all_pairs_gcd                 the paper's bulk attack (Section VI)
+//   bulk::run_resumable_scan            checkpointed, fault-tolerant scan
 //   bulk::probe_incremental             one-new-key incremental scan
 //   bulk::SimtBatch                     warp-lockstep execution engine
 //   batchgcd::batch_gcd                 Bernstein product/remainder tree
@@ -21,6 +22,8 @@
 
 #include "batchgcd/batchgcd.hpp"
 #include "bulk/allpairs.hpp"
+#include "bulk/block_grid.hpp"
+#include "bulk/scan_driver.hpp"
 #include "bulk/simt.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"

@@ -5,6 +5,11 @@
 
 namespace bulkgcd {
 
+namespace {
+/// Pool whose worker_loop is running on this thread (nullptr outside pools).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,7 +29,12 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::inside_pool() const noexcept {
+  return tls_worker_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -42,6 +52,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t, std::size_t)>& body,
                               std::size_t chunks) {
   if (begin >= end) return;
+  if (inside_pool()) {
+    // Nested use from a worker: the outer parallel_for may already occupy
+    // every worker, so enqueued chunks would never run and the future waits
+    // below would deadlock. Degrade to inline execution.
+    body(begin, end);
+    return;
+  }
   if (chunks == 0) chunks = size();
   const std::size_t n = end - begin;
   chunks = std::min(chunks, n);

@@ -43,9 +43,18 @@ class ThreadPool {
   /// Split [begin, end) into contiguous chunks (one per worker by default)
   /// and run `body(chunk_begin, chunk_end)` on the pool; blocks until done.
   /// Exceptions from chunks propagate (first one wins).
+  ///
+  /// Safe to call from inside one of this pool's own workers: nested calls
+  /// run the body inline on the calling thread instead of enqueueing work
+  /// that could never be picked up (every worker blocked on futures of tasks
+  /// only they could run — a guaranteed deadlock once the outer level
+  /// saturates the pool).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t chunks = 0);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool inside_pool() const noexcept;
 
  private:
   void worker_loop();

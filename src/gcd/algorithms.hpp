@@ -362,15 +362,18 @@ struct PairProbe {
   mp::BigIntT<Limb> factor;  ///< the common divisor when shares_factor
 };
 
-/// Early-terminate GCD of two s-bit RSA moduli (Section V): stops as soon as
+/// Early-terminate GCD of two RSA moduli (Section V): stops as soon as
 /// Y drops below s/2 bits, which proves coprimality for products of two
-/// ~s/2-bit primes.
+/// ~s/2-bit primes. s is the bit size of the SMALLER modulus: a shared prime
+/// divides both, so its size is bounded by the smaller key's prime size —
+/// taking the larger modulus would declare mixed-size pairs coprime without
+/// testing them.
 template <mp::LimbType Limb>
 PairProbe<Limb> probe_moduli_pair(const mp::BigIntT<Limb>& n1,
                                   const mp::BigIntT<Limb>& n2,
                                   Variant variant = Variant::kApproximate,
                                   GcdStats* stats = nullptr) {
-  const std::size_t s = std::max(n1.bit_length(), n2.bit_length());
+  const std::size_t s = std::min(n1.bit_length(), n2.bit_length());
   GcdEngine<Limb> engine(std::max(n1.size(), n2.size()));
   const auto result = engine.run(variant, n1.limbs(), n2.limbs(), s / 2, stats);
   PairProbe<Limb> probe;

@@ -38,6 +38,23 @@ void write_comment(std::ofstream& out, const std::string& comment) {
 
 }  // namespace
 
+std::uint64_t corpus_digest(std::span<const mp::BigInt> moduli) noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  auto mix_u64 = [&](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((v >> (8 * byte)) & 0xff)) * kPrime;
+    }
+  };
+  mix_u64(moduli.size());
+  for (const auto& n : moduli) {
+    mix_u64(n.size());
+    for (const auto limb : n.limbs()) mix_u64(limb);
+  }
+  return h;
+}
+
 void save_moduli(const std::filesystem::path& path,
                  const std::vector<mp::BigInt>& moduli,
                  const std::string& comment) {

@@ -10,12 +10,21 @@
 // Files may mix both record kinds; loaders filter by what they need.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "rsa/rsa.hpp"
 
 namespace bulkgcd::rsa {
+
+/// Order-sensitive 64-bit FNV-1a digest of a moduli list (limb data plus
+/// per-modulus length plus count). The resumable scan driver stores it in
+/// checkpoint headers to bind a checkpoint to the exact corpus it was taken
+/// against — resuming against a reordered, grown, or edited corpus would
+/// silently mislabel hit indices otherwise.
+std::uint64_t corpus_digest(std::span<const mp::BigInt> moduli) noexcept;
 
 /// Write moduli as `modulus <hex>` lines. Throws std::runtime_error on I/O
 /// failure.

@@ -109,6 +109,62 @@ TEST(AllPairsTest, DuplicateModuliAreReportedAsHits) {
   EXPECT_EQ(result.hits[0].factor, moduli[2]);  // gcd(n, n) = n
 }
 
+TEST(AllPairsTest, MixedSizeCorpusRecoversSmallPairSharedFactor) {
+  // Regression: the early-terminate threshold is per PAIR (Section V defines
+  // the RSA bit size s per key pair). The seed code derived it from the
+  // corpus-wide max bit length, so for two 256-bit moduli sharing a prime in
+  // a corpus that also holds 512-bit bystanders, early_bits = 256 >= the
+  // operands' size and the probe declared them coprime without testing —
+  // silently dropping real shared factors on exactly the heterogeneous
+  // corpora a real-world harvest produces.
+  Xoshiro256 rng(4242);
+  const BigInt shared = rsa::random_prime(rng, 128);
+  const BigInt p1 = rsa::random_prime(rng, 128);
+  const BigInt p2 = rsa::random_prime(rng, 128);
+  std::vector<BigInt> moduli = {
+      shared * p1,  // 256-bit weak modulus
+      shared * p2,  // 256-bit weak modulus
+      rsa::random_prime(rng, 256) * rsa::random_prime(rng, 256),  // bystander
+      rsa::random_prime(rng, 256) * rsa::random_prime(rng, 256),  // bystander
+      rsa::random_prime(rng, 256) * rsa::random_prime(rng, 256),  // bystander
+  };
+  for (const auto engine : {EngineKind::kSimt, EngineKind::kScalar}) {
+    AllPairsConfig config;
+    config.engine = engine;
+    config.early_terminate = true;
+    config.group_size = 4;
+    config.warp_width = 8;
+    const AllPairsResult result = all_pairs_gcd(moduli, config);
+    ASSERT_EQ(result.hits.size(), 1u) << "engine " << int(engine);
+    EXPECT_EQ(result.hits[0].i, 0u);
+    EXPECT_EQ(result.hits[0].j, 1u);
+    EXPECT_EQ(result.hits[0].factor, shared);
+  }
+}
+
+TEST(IncrementalProbeTest, MixedSizeCorpusFindsSmallCandidateHit) {
+  // Same per-pair threshold regression for the incremental path: a small
+  // candidate probed against a corpus holding larger members must still hit
+  // its small partner.
+  Xoshiro256 rng(5252);
+  const BigInt shared = rsa::random_prime(rng, 128);
+  const std::vector<BigInt> corpus = {
+      shared * rsa::random_prime(rng, 128),                       // small weak
+      rsa::random_prime(rng, 256) * rsa::random_prime(rng, 256),  // big clean
+      rsa::random_prime(rng, 256) * rsa::random_prime(rng, 256),  // big clean
+  };
+  const BigInt candidate = shared * rsa::random_prime(rng, 128);
+  for (const auto engine : {EngineKind::kSimt, EngineKind::kScalar}) {
+    AllPairsConfig config;
+    config.engine = engine;
+    config.group_size = 2;
+    const auto hits = probe_incremental(candidate, corpus, config);
+    ASSERT_EQ(hits.size(), 1u) << "engine " << int(engine);
+    EXPECT_EQ(hits[0].corpus_index, 0u);
+    EXPECT_EQ(hits[0].factor, shared);
+  }
+}
+
 TEST(AllPairsTest, SingleThreadedPoolMatchesParallel) {
   const WeakCorpus corpus = test_corpus(20, 3, 8);
   AllPairsConfig config;

@@ -84,6 +84,51 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A parallel_for issued from inside a pool worker used to enqueue chunks
+  // no idle worker could ever run (every worker blocked on the inner
+  // futures) — a guaranteed deadlock once the outer level saturated the
+  // pool. Nested calls must detect the in-pool caller and execute inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner_sum{0};
+  std::atomic<int> outer_chunks{0};
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    ++outer_chunks;
+    EXPECT_TRUE(pool.inside_pool());
+    pool.parallel_for(lo, hi, [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t i = ilo; i < ihi; ++i) inner_sum += int(i);
+    });
+  });
+  EXPECT_EQ(inner_sum.load(), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_GT(outer_chunks.load(), 0);
+  EXPECT_FALSE(pool.inside_pool());  // the test thread is not a worker
+}
+
+TEST(ThreadPoolTest, NestedGlobalPoolUseCompletes) {
+  // global_pool() is shared by every subsystem, so library code can end up
+  // calling parallel_for from a task that is itself running on the global
+  // pool (e.g. corpus generation inside a scan chunk).
+  std::atomic<int> count{0};
+  global_pool().parallel_for(0, 64, [&](std::size_t lo, std::size_t hi) {
+    global_pool().parallel_for(lo, hi, [&](std::size_t ilo, std::size_t ihi) {
+      count += int(ihi - ilo);
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForStillPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t, std::size_t) {
+                          pool.parallel_for(0, 2, [](std::size_t, std::size_t) {
+                            throw std::runtime_error("nested boom");
+                          });
+                        }),
+      std::runtime_error);
+}
+
 TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
   ThreadPool pool(2);
   EXPECT_THROW(

@@ -79,6 +79,89 @@ TEST_F(KeystoreTest, MixedFileAndComments) {
   EXPECT_EQ(keys[0].q, BigInt(7));
 }
 
+TEST_F(KeystoreTest, CrlfTerminatedFilesLoadCleanly) {
+  // Harvested key lists routinely arrive with Windows line endings; both
+  // loaders must treat the trailing \r as insignificant whitespace.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "# exported from a windows box\r\n";
+    out << "modulus ff1\r\n";
+    out << "keypair 23 5 3 5 7\r\n";
+    out << "\r\n";
+  }
+  const auto moduli = load_moduli(path_);
+  ASSERT_EQ(moduli.size(), 2u);
+  EXPECT_EQ(moduli[0], BigInt(0xff1));
+  EXPECT_EQ(moduli[1], BigInt(0x23));
+  const auto keys = load_keypairs(path_);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].n, BigInt(0x23));
+  EXPECT_EQ(keys[0].q, BigInt(7));
+}
+
+TEST_F(KeystoreTest, BlankAndCommentOnlyFilesLoadEmpty) {
+  {
+    std::ofstream out(path_);
+    out << "\n   \n\t\n# only comments here\n#another\n\n";
+  }
+  EXPECT_TRUE(load_moduli(path_).empty());
+  EXPECT_TRUE(load_keypairs(path_).empty());
+}
+
+TEST_F(KeystoreTest, MixedRecordRoundTripPreservesBothKinds) {
+  Xoshiro256 rng(153);
+  const KeyPair key = generate_keypair(rng, 128);
+  CorpusSpec spec;
+  spec.count = 3;
+  spec.modulus_bits = 128;
+  spec.seed = 154;
+  const auto corpus = generate_corpus(spec);
+  {
+    // Mixed file: moduli then keypairs then more moduli, with comments.
+    std::ofstream out(path_);
+    out << "# mixed harvest\n";
+    out << "modulus " << corpus.moduli[0].to_hex() << "\n";
+    out << "keypair " << key.n.to_hex() << " " << key.e.to_hex() << " "
+        << key.d.to_hex() << " " << key.p.to_hex() << " " << key.q.to_hex()
+        << "\n";
+    out << "modulus " << corpus.moduli[1].to_hex() << "\n";
+    out << "modulus " << corpus.moduli[2].to_hex() << "\n";
+  }
+  const auto moduli = load_moduli(path_);
+  ASSERT_EQ(moduli.size(), 4u);  // 3 plain + the keypair's n
+  EXPECT_EQ(moduli[0], corpus.moduli[0]);
+  EXPECT_EQ(moduli[1], key.n);
+  const auto keys = load_keypairs(path_);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].d, key.d);
+}
+
+TEST_F(KeystoreTest, CorpusDigestBindsToContentAndOrder) {
+  CorpusSpec spec;
+  spec.count = 6;
+  spec.modulus_bits = 128;
+  spec.seed = 155;
+  const auto corpus = generate_corpus(spec);
+  const std::uint64_t digest = corpus_digest(corpus.moduli);
+  EXPECT_EQ(corpus_digest(corpus.moduli), digest);  // deterministic
+
+  std::vector<BigInt> reordered = corpus.moduli;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(corpus_digest(reordered), digest);  // order-sensitive
+
+  std::vector<BigInt> grown = corpus.moduli;
+  grown.push_back(corpus.moduli[0]);
+  EXPECT_NE(corpus_digest(grown), digest);  // length-sensitive
+
+  // Digest survives a keystore round trip: save + load yields the same
+  // corpus identity, so checkpoints stay valid across restarts that reload
+  // the moduli from disk.
+  save_moduli(path_, corpus.moduli);
+  EXPECT_EQ(corpus_digest(load_moduli(path_)), digest);
+
+  EXPECT_NE(corpus_digest({}), 0u);  // empty corpus has a stable non-zero tag
+}
+
 TEST_F(KeystoreTest, RejectsMalformedRecords) {
   {
     std::ofstream out(path_);

@@ -1,0 +1,339 @@
+// Resumable scan driver tests: checkpoint/resume equivalence with the
+// one-shot sweep, kill-and-resume determinism, retry-with-isolation,
+// quarantine durability, corpus-digest validation, torn-tail recovery, and
+// structured progress reporting.
+#include "bulk/scan_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "bulk/block_grid.hpp"
+#include "rsa/corpus.hpp"
+#include "rsa/keystore.hpp"
+
+namespace bulkgcd::bulk {
+namespace {
+
+using mp::BigInt;
+using rsa::CorpusSpec;
+using rsa::WeakCorpus;
+
+WeakCorpus test_corpus(std::size_t count, std::size_t weak, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.count = count;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = weak;
+  spec.seed = seed;
+  return rsa::generate_corpus(spec);
+}
+
+void expect_same_hits(const std::vector<FactorHit>& a,
+                      const std::vector<FactorHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].i, b[k].i);
+    EXPECT_EQ(a[k].j, b[k].j);
+    EXPECT_EQ(a[k].factor, b[k].factor);
+  }
+}
+
+class ScanDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("bulkgcd_scan_ckpt_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  std::filesystem::path path_;
+};
+
+TEST(BlockGridTest, BlockIndexingMatchesRowMajorEnumeration) {
+  for (const auto [m, r] : {std::pair<std::size_t, std::size_t>{26, 8},
+                            {26, 5}, {7, 1}, {6, 1000}, {100, 7}}) {
+    const BlockGrid grid(m, r);
+    std::size_t index = 0;
+    std::uint64_t pairs = 0;
+    for (std::size_t i = 0; i < grid.groups; ++i) {
+      for (std::size_t j = i; j < grid.groups; ++j, ++index) {
+        const auto b = grid.block(index);
+        ASSERT_EQ(b.i, i) << "m=" << m << " r=" << r << " index=" << index;
+        ASSERT_EQ(b.j, j);
+        pairs += grid.pairs_in_block(b);
+      }
+    }
+    EXPECT_EQ(index, grid.block_count());
+    EXPECT_EQ(pairs, grid.total_pairs());
+    EXPECT_EQ(grid.pairs_in_range(0, grid.block_count()), grid.total_pairs());
+  }
+}
+
+TEST_F(ScanDriverTest, NoCheckpointMatchesAllPairsSweep) {
+  const WeakCorpus corpus = test_corpus(26, 4, 101);
+  ScanConfig config;
+  config.pairs.group_size = 8;
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  const AllPairsResult direct = all_pairs_gcd(corpus.moduli, config.pairs);
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.result.pairs_tested, direct.pairs_tested);
+  expect_same_hits(report.result.hits, direct.hits);
+}
+
+TEST_F(ScanDriverTest, KillAndResumeReportsSameHitSet) {
+  const WeakCorpus corpus = test_corpus(26, 4, 102);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 3;
+  config.checkpoint = path_;
+  // Uninterrupted reference run (no checkpoint involved).
+  ScanConfig uninterrupted = config;
+  uninterrupted.checkpoint.clear();
+  const ScanReport reference = run_resumable_scan(corpus.moduli, uninterrupted);
+  ASSERT_TRUE(reference.complete);
+  ASSERT_FALSE(reference.result.hits.empty());
+
+  // Interrupt after every single chunk: the worst-case kill schedule.
+  config.stop_after_chunks = 1;
+  ScanReport report;
+  int runs = 0;
+  do {
+    report = run_resumable_scan(corpus.moduli, config);
+    ASSERT_LT(++runs, 500) << "scan never completed";
+  } while (!report.complete);
+
+  EXPECT_GT(runs, 2);  // the interruption actually happened
+  EXPECT_TRUE(report.resumed);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(report.chunks_done, report.chunks_total);
+  EXPECT_EQ(report.result.pairs_tested, reference.result.pairs_tested);
+  expect_same_hits(report.result.hits, reference.result.hits);
+}
+
+TEST_F(ScanDriverTest, ResumeAfterCleanCompletionIsANoop) {
+  const WeakCorpus corpus = test_corpus(12, 2, 103);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  const ScanReport first = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(first.complete);
+  const ScanReport second = run_resumable_scan(corpus.moduli, config);
+  EXPECT_TRUE(second.complete);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.chunks_done_this_run, 0u);
+  EXPECT_EQ(second.result.pairs_tested, first.result.pairs_tested);
+  expect_same_hits(second.result.hits, first.result.hits);
+}
+
+TEST_F(ScanDriverTest, FirstAttemptFailureFallsBackToScalarEngine) {
+  const WeakCorpus corpus = test_corpus(16, 2, 104);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.chunk_hook = [](std::size_t, int attempt) {
+    if (attempt == 0) throw std::runtime_error("injected first-attempt fault");
+  };
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  const AllPairsResult direct = all_pairs_gcd(corpus.moduli, config.pairs);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.quarantined.empty());
+  // Every chunk ran on the scalar retry path; the hit set is identical.
+  EXPECT_GT(report.result.scalar.iterations, 0u);
+  expect_same_hits(report.result.hits, direct.hits);
+}
+
+TEST_F(ScanDriverTest, ChunkFailingTwiceIsQuarantinedNotFatal) {
+  const WeakCorpus corpus = test_corpus(16, 0, 105);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.chunk_hook = [](std::size_t chunk, int) {
+    if (chunk == 1) throw std::runtime_error("poisoned chunk");
+  };
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].chunk_index, 1u);
+  EXPECT_NE(report.quarantined[0].error.find("poisoned chunk"),
+            std::string::npos);
+  EXPECT_EQ(report.chunks_done + 1, report.chunks_total);
+
+  // Quarantine is durable: a resume without the fault does NOT silently
+  // re-run the chunk — an operator re-runs it deliberately.
+  ScanConfig clean = config;
+  clean.chunk_hook = nullptr;
+  const ScanReport resumed = run_resumable_scan(corpus.moduli, clean);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  ASSERT_EQ(resumed.quarantined.size(), 1u);
+  EXPECT_EQ(resumed.chunks_done_this_run, 0u);
+}
+
+TEST_F(ScanDriverTest, CheckpointRejectsDifferentCorpus) {
+  const WeakCorpus corpus_a = test_corpus(16, 1, 106);
+  const WeakCorpus corpus_b = test_corpus(16, 1, 107);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.stop_after_chunks = 2;
+  const ScanReport partial = run_resumable_scan(corpus_a.moduli, config);
+  ASSERT_FALSE(partial.complete);
+
+  config.stop_after_chunks = 0;
+  EXPECT_THROW(run_resumable_scan(corpus_b.moduli, config),
+               std::runtime_error);
+
+  config.discard_mismatched_checkpoint = true;
+  const ScanReport fresh = run_resumable_scan(corpus_b.moduli, config);
+  EXPECT_TRUE(fresh.complete);
+  EXPECT_FALSE(fresh.resumed);
+  const AllPairsResult direct = all_pairs_gcd(corpus_b.moduli, config.pairs);
+  expect_same_hits(fresh.result.hits, direct.hits);
+}
+
+TEST_F(ScanDriverTest, CheckpointRejectsChangedScanGeometry) {
+  const WeakCorpus corpus = test_corpus(16, 1, 108);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.stop_after_chunks = 1;
+  ASSERT_FALSE(run_resumable_scan(corpus.moduli, config).complete);
+
+  ScanConfig changed = config;
+  changed.stop_after_chunks = 0;
+  changed.chunk_blocks = 5;  // different work-unit geometry
+  EXPECT_THROW(run_resumable_scan(corpus.moduli, changed), std::runtime_error);
+}
+
+TEST_F(ScanDriverTest, TornTailIsDiscardedOnResume) {
+  const WeakCorpus corpus = test_corpus(20, 3, 109);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.stop_after_chunks = 3;
+  const ScanReport partial = run_resumable_scan(corpus.moduli, config);
+  ASSERT_FALSE(partial.complete);
+
+  // Simulate a crash mid-write: a record header with a truncated body.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    const char torn[] = {1, 0x07, 0x00, 0x00};
+    out.write(torn, sizeof(torn));
+  }
+
+  config.stop_after_chunks = 0;
+  const ScanReport resumed = run_resumable_scan(corpus.moduli, config);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  const AllPairsResult direct = all_pairs_gcd(corpus.moduli, config.pairs);
+  EXPECT_EQ(resumed.result.pairs_tested, direct.pairs_tested);
+  expect_same_hits(resumed.result.hits, direct.hits);
+}
+
+TEST_F(ScanDriverTest, SingleThreadedDriverMatchesParallel) {
+  const WeakCorpus corpus = test_corpus(20, 3, 110);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 3;
+  ScanConfig serial = config;
+  serial.pairs.pool_threads = 1;
+  const ScanReport a = run_resumable_scan(corpus.moduli, config);
+  const ScanReport b = run_resumable_scan(corpus.moduli, serial);
+  EXPECT_EQ(a.result.pairs_tested, b.result.pairs_tested);
+  expect_same_hits(a.result.hits, b.result.hits);
+}
+
+TEST_F(ScanDriverTest, EmptyAndSingletonCorpusCompleteImmediately) {
+  EXPECT_TRUE(run_resumable_scan({}, {}).complete);
+  const std::vector<BigInt> one = {BigInt(15)};
+  const ScanReport report = run_resumable_scan(one, {});
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.result.pairs_tested, 0u);
+}
+
+class CountingSink : public ProgressSink {
+ public:
+  void on_progress(const ScanProgress& p) override {
+    EXPECT_GE(p.pairs_done, last_pairs_done_);
+    last_pairs_done_ = p.pairs_done;
+    last_ = p;
+    ++progress_records_;
+  }
+  void on_hit(const FactorHit&) override { ++hits_; }
+  void on_quarantine(std::size_t, const std::string&) override {
+    ++quarantines_;
+  }
+
+  std::size_t progress_records_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t quarantines_ = 0;
+  std::uint64_t last_pairs_done_ = 0;
+  ScanProgress last_;
+};
+
+TEST_F(ScanDriverTest, ProgressSinkSeesCommitsHitsAndTotals) {
+  const WeakCorpus corpus = test_corpus(20, 3, 111);
+  CountingSink sink;
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.pairs.pool_threads = 1;  // deterministic commit order
+  config.chunk_blocks = 2;
+  config.sink = &sink;
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(sink.progress_records_, 1u);
+  EXPECT_EQ(sink.hits_, report.result.hits.size());
+  EXPECT_EQ(sink.quarantines_, 0u);
+  EXPECT_EQ(sink.last_.pairs_done, sink.last_.pairs_total);
+  EXPECT_EQ(sink.last_.pairs_total, 20u * 19u / 2u);
+  EXPECT_EQ(sink.last_.chunks_done, report.chunks_total);
+  EXPECT_EQ(sink.last_.blocks_done, sink.last_.blocks_total);
+}
+
+TEST_F(ScanDriverTest, MixedSizeCorpusRecoversSmallKeyHitsThroughDriver) {
+  // End-to-end regression for the per-pair early-terminate threshold: the
+  // planted shared prime lives in the SMALL moduli while larger bystanders
+  // raise the corpus-wide maximum.
+  const WeakCorpus small = test_corpus(8, 2, 112);   // 128-bit moduli
+  CorpusSpec big_spec;
+  big_spec.count = 4;
+  big_spec.modulus_bits = 256;
+  big_spec.seed = 113;
+  const WeakCorpus big = rsa::generate_corpus(big_spec);
+
+  std::vector<BigInt> moduli = small.moduli;
+  moduli.insert(moduli.end(), big.moduli.begin(), big.moduli.end());
+
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.stop_after_chunks = 1;  // and survive interruption while at it
+  ScanReport report;
+  int runs = 0;
+  do {
+    report = run_resumable_scan(moduli, config);
+    ASSERT_LT(++runs, 500);
+  } while (!report.complete);
+
+  ASSERT_EQ(report.result.hits.size(), small.weak.size());
+  for (std::size_t k = 0; k < small.weak.size(); ++k) {
+    EXPECT_EQ(report.result.hits[k].i, small.weak[k].first);
+    EXPECT_EQ(report.result.hits[k].j, small.weak[k].second);
+    EXPECT_EQ(report.result.hits[k].factor, small.weak[k].shared_prime);
+  }
+}
+
+}  // namespace
+}  // namespace bulkgcd::bulk
