@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quotient.dir/bench_ablation_quotient.cpp.o"
+  "CMakeFiles/bench_ablation_quotient.dir/bench_ablation_quotient.cpp.o.d"
+  "bench_ablation_quotient"
+  "bench_ablation_quotient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quotient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

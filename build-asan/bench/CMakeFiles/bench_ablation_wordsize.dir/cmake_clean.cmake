@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wordsize.dir/bench_ablation_wordsize.cpp.o"
+  "CMakeFiles/bench_ablation_wordsize.dir/bench_ablation_wordsize.cpp.o.d"
+  "bench_ablation_wordsize"
+  "bench_ablation_wordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

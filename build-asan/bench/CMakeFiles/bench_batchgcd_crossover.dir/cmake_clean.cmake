@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batchgcd_crossover.dir/bench_batchgcd_crossover.cpp.o"
+  "CMakeFiles/bench_batchgcd_crossover.dir/bench_batchgcd_crossover.cpp.o.d"
+  "bench_batchgcd_crossover"
+  "bench_batchgcd_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchgcd_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_probability.dir/bench_beta_probability.cpp.o"
+  "CMakeFiles/bench_beta_probability.dir/bench_beta_probability.cpp.o.d"
+  "bench_beta_probability"
+  "bench_beta_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

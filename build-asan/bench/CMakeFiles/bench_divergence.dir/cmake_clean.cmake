@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_divergence.dir/bench_divergence.cpp.o"
+  "CMakeFiles/bench_divergence.dir/bench_divergence.cpp.o.d"
+  "bench_divergence"
+  "bench_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iteration_distribution.dir/bench_iteration_distribution.cpp.o"
+  "CMakeFiles/bench_iteration_distribution.dir/bench_iteration_distribution.cpp.o.d"
+  "bench_iteration_distribution"
+  "bench_iteration_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowentropy_birthday.dir/bench_lowentropy_birthday.cpp.o"
+  "CMakeFiles/bench_lowentropy_birthday.dir/bench_lowentropy_birthday.cpp.o.d"
+  "bench_lowentropy_birthday"
+  "bench_lowentropy_birthday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowentropy_birthday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

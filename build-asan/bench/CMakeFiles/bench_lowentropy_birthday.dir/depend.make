@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lowentropy_birthday.
+# This may be replaced when dependencies are built.

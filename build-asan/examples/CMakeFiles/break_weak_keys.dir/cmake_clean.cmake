@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/break_weak_keys.dir/break_weak_keys.cpp.o"
+  "CMakeFiles/break_weak_keys.dir/break_weak_keys.cpp.o.d"
+  "break_weak_keys"
+  "break_weak_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/break_weak_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

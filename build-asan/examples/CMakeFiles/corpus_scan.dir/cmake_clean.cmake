@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_scan.dir/corpus_scan.cpp.o"
+  "CMakeFiles/corpus_scan.dir/corpus_scan.cpp.o.d"
+  "corpus_scan"
+  "corpus_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resumable_scan.dir/resumable_scan.cpp.o"
+  "CMakeFiles/resumable_scan.dir/resumable_scan.cpp.o.d"
+  "resumable_scan"
+  "resumable_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resumable_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

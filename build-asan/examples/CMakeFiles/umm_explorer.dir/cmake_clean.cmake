@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umm_explorer.dir/umm_explorer.cpp.o"
+  "CMakeFiles/umm_explorer.dir/umm_explorer.cpp.o.d"
+  "umm_explorer"
+  "umm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakscan.dir/weakscan.cpp.o"
+  "CMakeFiles/weakscan.dir/weakscan.cpp.o.d"
+  "weakscan"
+  "weakscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batchgcd/batchgcd.cpp" "src/CMakeFiles/bulkgcd.dir/batchgcd/batchgcd.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/batchgcd/batchgcd.cpp.o.d"
+  "/root/repo/src/bulk/allpairs.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/allpairs.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/allpairs.cpp.o.d"
+  "/root/repo/src/bulk/block_grid.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/block_grid.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/block_grid.cpp.o.d"
+  "/root/repo/src/bulk/scan_driver.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/scan_driver.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/scan_driver.cpp.o.d"
+  "/root/repo/src/bulk/simt.cpp" "src/CMakeFiles/bulkgcd.dir/bulk/simt.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/bulk/simt.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/bulkgcd.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/core/thread_pool.cpp.o.d"
+  "/root/repo/src/gcd/lehmer.cpp" "src/CMakeFiles/bulkgcd.dir/gcd/lehmer.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/gcd/lehmer.cpp.o.d"
+  "/root/repo/src/gcd/reference.cpp" "src/CMakeFiles/bulkgcd.dir/gcd/reference.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/gcd/reference.cpp.o.d"
+  "/root/repo/src/mp/bigint.cpp" "src/CMakeFiles/bulkgcd.dir/mp/bigint.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/mp/bigint.cpp.o.d"
+  "/root/repo/src/rsa/barrett.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/barrett.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/barrett.cpp.o.d"
+  "/root/repo/src/rsa/corpus.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/corpus.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/corpus.cpp.o.d"
+  "/root/repo/src/rsa/keystore.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/keystore.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/keystore.cpp.o.d"
+  "/root/repo/src/rsa/montgomery.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/montgomery.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/montgomery.cpp.o.d"
+  "/root/repo/src/rsa/pem.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/pem.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/pem.cpp.o.d"
+  "/root/repo/src/rsa/prime.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/prime.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/prime.cpp.o.d"
+  "/root/repo/src/rsa/rsa.cpp" "src/CMakeFiles/bulkgcd.dir/rsa/rsa.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/rsa/rsa.cpp.o.d"
+  "/root/repo/src/umm/oblivious.cpp" "src/CMakeFiles/bulkgcd.dir/umm/oblivious.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/umm/oblivious.cpp.o.d"
+  "/root/repo/src/umm/pipeline.cpp" "src/CMakeFiles/bulkgcd.dir/umm/pipeline.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/umm/pipeline.cpp.o.d"
+  "/root/repo/src/umm/umm.cpp" "src/CMakeFiles/bulkgcd.dir/umm/umm.cpp.o" "gcc" "src/CMakeFiles/bulkgcd.dir/umm/umm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

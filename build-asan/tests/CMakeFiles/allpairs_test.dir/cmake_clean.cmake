@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allpairs_test.dir/allpairs_test.cpp.o"
+  "CMakeFiles/allpairs_test.dir/allpairs_test.cpp.o.d"
+  "allpairs_test"
+  "allpairs_test.pdb"
+  "allpairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allpairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

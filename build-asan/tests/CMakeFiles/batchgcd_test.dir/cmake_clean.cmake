@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchgcd_test.dir/batchgcd_test.cpp.o"
+  "CMakeFiles/batchgcd_test.dir/batchgcd_test.cpp.o.d"
+  "batchgcd_test"
+  "batchgcd_test.pdb"
+  "batchgcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchgcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

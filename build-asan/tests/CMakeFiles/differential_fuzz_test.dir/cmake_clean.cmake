@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_fuzz_test.dir/differential_fuzz_test.cpp.o"
+  "CMakeFiles/differential_fuzz_test.dir/differential_fuzz_test.cpp.o.d"
+  "differential_fuzz_test"
+  "differential_fuzz_test.pdb"
+  "differential_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_algorithms_test.dir/gcd_algorithms_test.cpp.o"
+  "CMakeFiles/gcd_algorithms_test.dir/gcd_algorithms_test.cpp.o.d"
+  "gcd_algorithms_test"
+  "gcd_algorithms_test.pdb"
+  "gcd_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

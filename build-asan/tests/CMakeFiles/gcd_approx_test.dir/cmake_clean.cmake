@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_approx_test.dir/gcd_approx_test.cpp.o"
+  "CMakeFiles/gcd_approx_test.dir/gcd_approx_test.cpp.o.d"
+  "gcd_approx_test"
+  "gcd_approx_test.pdb"
+  "gcd_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

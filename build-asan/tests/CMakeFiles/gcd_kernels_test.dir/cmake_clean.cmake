@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_kernels_test.dir/gcd_kernels_test.cpp.o"
+  "CMakeFiles/gcd_kernels_test.dir/gcd_kernels_test.cpp.o.d"
+  "gcd_kernels_test"
+  "gcd_kernels_test.pdb"
+  "gcd_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_reference_test.dir/gcd_reference_test.cpp.o"
+  "CMakeFiles/gcd_reference_test.dir/gcd_reference_test.cpp.o.d"
+  "gcd_reference_test"
+  "gcd_reference_test.pdb"
+  "gcd_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

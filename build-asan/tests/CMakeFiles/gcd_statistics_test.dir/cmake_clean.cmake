@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_statistics_test.dir/gcd_statistics_test.cpp.o"
+  "CMakeFiles/gcd_statistics_test.dir/gcd_statistics_test.cpp.o.d"
+  "gcd_statistics_test"
+  "gcd_statistics_test.pdb"
+  "gcd_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystore_test.dir/keystore_test.cpp.o"
+  "CMakeFiles/keystore_test.dir/keystore_test.cpp.o.d"
+  "keystore_test"
+  "keystore_test.pdb"
+  "keystore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehmer_test.dir/lehmer_test.cpp.o"
+  "CMakeFiles/lehmer_test.dir/lehmer_test.cpp.o.d"
+  "lehmer_test"
+  "lehmer_test.pdb"
+  "lehmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

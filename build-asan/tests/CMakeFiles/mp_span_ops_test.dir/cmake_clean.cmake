@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_span_ops_test.dir/mp_span_ops_test.cpp.o"
+  "CMakeFiles/mp_span_ops_test.dir/mp_span_ops_test.cpp.o.d"
+  "mp_span_ops_test"
+  "mp_span_ops_test.pdb"
+  "mp_span_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_span_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pem_test.dir/pem_test.cpp.o"
+  "CMakeFiles/pem_test.dir/pem_test.cpp.o.d"
+  "pem_test"
+  "pem_test.pdb"
+  "pem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_driver_test.dir/scan_driver_test.cpp.o"
+  "CMakeFiles/scan_driver_test.dir/scan_driver_test.cpp.o.d"
+  "scan_driver_test"
+  "scan_driver_test.pdb"
+  "scan_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umm_test.dir/umm_test.cpp.o"
+  "CMakeFiles/umm_test.dir/umm_test.cpp.o.d"
+  "umm_test"
+  "umm_test.pdb"
+  "umm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

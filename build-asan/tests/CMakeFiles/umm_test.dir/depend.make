@@ -1,0 +1,2 @@
+# Empty dependencies file for umm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mp_span_ops_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mp_bigint_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gcd_approx_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gcd_kernels_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gcd_algorithms_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gcd_reference_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gcd_statistics_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/montgomery_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/umm_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simt_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/layout_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/allpairs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/scan_driver_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/batchgcd_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lehmer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/keystore_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/differential_fuzz_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mp_stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
