@@ -1,0 +1,120 @@
+// A/B benchmark for the staged-corpus sweep path: CorpusPanels + bulk batch
+// refresh + lane-serial execution versus the per-lane load + lockstep round
+// loop it replaces. Prints a table and writes BENCH_allpairs.json so CI can
+// archive the perf trajectory of the all-pairs hot path.
+//
+// Defaults match the acceptance setup: 1024 × 512-bit moduli, group size 64,
+// Approximate Euclidean with early termination. Scale with
+//   BULKGCD_BENCH_MODULI        — corpus size (default 1024)
+//   BULKGCD_BENCH_STAGING_BITS  — modulus size (default 512)
+//   BULKGCD_BENCH_REPS          — sweep repetitions, best-of (default 3)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "bulk/allpairs.hpp"
+
+namespace {
+
+struct SweepSample {
+  double seconds = 0.0;
+  double pairs_per_second = 0.0;
+  double us_per_gcd = 0.0;
+  std::uint64_t pairs = 0;
+  std::size_t hits = 0;
+};
+
+SweepSample measure(std::span<const bulkgcd::mp::BigInt> moduli, bool staged,
+                    std::size_t reps) {
+  bulkgcd::bulk::AllPairsConfig config;
+  config.staged = staged;
+  SweepSample best;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto result = bulkgcd::bulk::all_pairs_gcd(moduli, config);
+    if (best.seconds == 0.0 || result.seconds < best.seconds) {
+      best.seconds = result.seconds;
+      best.pairs = result.pairs_tested;
+      best.pairs_per_second =
+          result.seconds > 0 ? double(result.pairs_tested) / result.seconds
+                             : 0.0;
+      best.us_per_gcd = result.micros_per_gcd();
+      best.hits = result.hits.size();
+    }
+  }
+  return best;
+}
+
+void put_sample(std::string& json, const char* key, const SweepSample& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"seconds\": %.6f, \"pairs_per_second\": %.1f, "
+                "\"us_per_gcd\": %.4f, \"pairs\": %llu, \"hits\": %zu}",
+                key, s.seconds, s.pairs_per_second, s.us_per_gcd,
+                (unsigned long long)s.pairs, s.hits);
+  json += buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bulkgcd;
+
+  const std::size_t m = bench::env_size("BULKGCD_BENCH_MODULI", 1024);
+  const std::size_t bits = bench::env_size("BULKGCD_BENCH_STAGING_BITS", 512);
+  const std::size_t reps = bench::env_size("BULKGCD_BENCH_REPS", 3);
+
+  bench::banner("bench_staging — staged corpus panels vs per-lane reloads",
+                "Section VI block sweep; staging added on top of the paper");
+  std::printf("corpus: %zu moduli x %zu bits, group size 64, approximate "
+              "euclidean, early terminate, best of %zu\n\n",
+              m, bits, reps);
+
+  const auto& moduli = bench::corpus(bits, m);
+
+  const SweepSample unstaged = measure(moduli, /*staged=*/false, reps);
+  const SweepSample staged = measure(moduli, /*staged=*/true, reps);
+  const double speedup = unstaged.pairs_per_second > 0
+                             ? staged.pairs_per_second /
+                                   unstaged.pairs_per_second
+                             : 0.0;
+
+  bench::Table table({"path", "pairs", "seconds", "pairs/s", "us/gcd"});
+  table.add_row({"unstaged (per-lane load + lockstep)",
+                 bench::fmt_u(unstaged.pairs), bench::fmt(unstaged.seconds, 3),
+                 bench::fmt(unstaged.pairs_per_second, 0),
+                 bench::fmt(unstaged.us_per_gcd, 3)});
+  table.add_row({"staged (panels + lane-serial)", bench::fmt_u(staged.pairs),
+                 bench::fmt(staged.seconds, 3),
+                 bench::fmt(staged.pairs_per_second, 0),
+                 bench::fmt(staged.us_per_gcd, 3)});
+  table.print();
+  std::printf("\nstaged / unstaged speedup: %.2fx\n", speedup);
+  if (staged.pairs != unstaged.pairs || staged.hits != unstaged.hits) {
+    std::printf("!! staged and unstaged sweeps disagree on pairs/hits\n");
+    return 1;
+  }
+
+  std::string json = "{\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"benchmark\": \"bench_staging\",\n  \"moduli\": %zu,\n"
+                  "  \"modulus_bits\": %zu,\n  \"group_size\": 64,\n"
+                  "  \"variant\": \"approximate\",\n  \"repetitions\": %zu,\n",
+                  m, bits, reps);
+    json += buf;
+  }
+  put_sample(json, "unstaged", unstaged);
+  json += ",\n";
+  put_sample(json, "staged", staged);
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\n  \"speedup\": %.3f\n}\n", speedup);
+    json += buf;
+  }
+  std::ofstream out("BENCH_allpairs.json");
+  out << json;
+  std::printf("wrote BENCH_allpairs.json\n");
+  return 0;
+}

@@ -74,4 +74,16 @@ std::vector<std::size_t> weak_indices(const BatchGcdResult& result) {
   return out;
 }
 
+std::vector<std::size_t> full_modulus_indices(
+    const BatchGcdResult& result, std::span<const mp::BigInt> moduli) {
+  std::vector<std::size_t> out;
+  const std::size_t n = std::min(result.gcds.size(), moduli.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.gcds[i] > mp::BigInt(1) && result.gcds[i] == moduli[i]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
 }  // namespace bulkgcd::batchgcd

@@ -41,4 +41,11 @@ BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli);
 /// Indices i with gcds[i] > 1 (weak moduli).
 std::vector<std::size_t> weak_indices(const BatchGcdResult& result);
 
+/// Indices i with gcds[i] == n_i: the batch-GCD analogue of
+/// FactorHit::full_modulus. A duplicated modulus (or one sharing both primes
+/// with the rest of the corpus) shows up weak, but n_i / gcds[i] == 1, so
+/// these keys cannot be factored from the batch result alone.
+std::vector<std::size_t> full_modulus_indices(const BatchGcdResult& result,
+                                              std::span<const mp::BigInt> moduli);
+
 }  // namespace bulkgcd::batchgcd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "bulk/block_grid.hpp"
 #include "core/thread_pool.hpp"
@@ -26,11 +27,20 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   result.blocks_run = grid.block_count();
   result.input_bytes = m * cap * sizeof(ScanLimb);
 
+  // Stage the corpus once (the paper's single host→device copy); every
+  // worker's sweeper then refreshes its batch from the shared read-only
+  // panels.
+  std::optional<CorpusPanels<ScanLimb>> panels;
+  if (config.engine == EngineKind::kSimt && config.staged) {
+    panels.emplace(moduli, grid.r, cap + kBatchPadLimbs);
+  }
+
   std::mutex merge_mutex;
   Timer timer;
 
   auto process_chunk = [&](std::size_t lo, std::size_t hi) {
-    BlockSweeper sweeper(moduli, bits, grid, config, cap);
+    BlockSweeper sweeper(moduli, bits, grid, config, cap,
+                         panels ? &*panels : nullptr);
     sweeper.run_blocks(lo, hi);
     auto local = sweeper.take();
 
@@ -81,7 +91,21 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   };
   const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size,
                                                           corpus.size()));
+  // Stage the corpus once; each probe block then refreshes its batch with a
+  // bulk panel copy + candidate broadcast (group g == probe block g).
+  std::optional<CorpusPanels<ScanLimb>> panels;
+  if (config.engine == EngineKind::kSimt && config.staged) {
+    panels.emplace(corpus, r, cap + kBatchPadLimbs);
+  }
   std::mutex merge_mutex;
+
+  auto push_hit = [&](std::vector<IncrementalHit>& local, std::size_t i,
+                      mp::BigInt g) {
+    if (g > mp::BigInt(1)) {
+      const bool full = g == corpus[i] || g == candidate;
+      local.push_back({i, std::move(g), full});
+    }
+  };
 
   global_pool().parallel_for(0, (corpus.size() + r - 1) / r, [&](std::size_t lo,
                                                                  std::size_t hi) {
@@ -91,19 +115,29 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
       for (std::size_t block = lo; block < hi; ++block) {
         const std::size_t begin = block * r;
         const std::size_t end = std::min(begin + r, corpus.size());
-        for (std::size_t k = 0; k < r; ++k) {
-          if (begin + k < end) {
-            batch.load(k, corpus[begin + k].limbs(), candidate.limbs(),
-                       early(begin + k));
-          } else {
-            batch.disable(k);
+        if (panels) {
+          batch.load_panel(panels->panel(block), panels->sizes(block),
+                           panels->rows(block));
+          batch.broadcast_y(candidate.limbs());
+          for (std::size_t k = 0; begin + k < end; ++k) {
+            batch.reset_lane_state(k, early(begin + k));
           }
+          for (std::size_t k = end - begin; k < r; ++k) batch.disable(k);
+          batch.run_staged(config.variant);
+        } else {
+          for (std::size_t k = 0; k < r; ++k) {
+            if (begin + k < end) {
+              batch.load(k, corpus[begin + k].limbs(), candidate.limbs(),
+                         early(begin + k));
+            } else {
+              batch.disable(k);
+            }
+          }
+          batch.run(config.variant);
         }
-        batch.run(config.variant);
         for (std::size_t k = 0; begin + k < end; ++k) {
           if (batch.early_coprime(k)) continue;
-          auto g = batch.gcd_of(k);
-          if (g > mp::BigInt(1)) local.push_back({begin + k, std::move(g)});
+          push_hit(local, begin + k, batch.gcd_of(k));
         }
       }
     } else {
@@ -115,8 +149,7 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
           const auto run = engine.run(config.variant, corpus[i].limbs(),
                                       candidate.limbs(), early(i));
           if (run.early_coprime) continue;
-          auto g = mp::BigInt::from_limbs(run.gcd);
-          if (g > mp::BigInt(1)) local.push_back({i, std::move(g)});
+          push_hit(local, i, mp::BigInt::from_limbs(run.gcd));
         }
       }
     }

@@ -32,6 +32,13 @@ struct AllPairsConfig {
   std::size_t group_size = 64;  ///< r: moduli per group == lanes per block
   std::size_t warp_width = 32;
   std::size_t pool_threads = 0;  ///< 0 = global pool
+  /// Stage the corpus once into column-major CorpusPanels and refresh each
+  /// SIMT batch by bulk panel copy + lane-serial execution (the CUDA kernel
+  /// shape) instead of r per-lane loads + lockstep rounds. Bit-identical
+  /// hits, GCDs, and statistics — asserted by the staging differential
+  /// tests; the unstaged path stays available as the reference. Ignored by
+  /// the scalar engine.
+  bool staged = true;
 };
 
 /// A factored pair: moduli[i] and moduli[j] share `factor`.
@@ -39,6 +46,10 @@ struct FactorHit {
   std::size_t i = 0;
   std::size_t j = 0;
   mp::BigInt factor;
+  /// factor equals moduli[i] or moduli[j] — a duplicate modulus (or a pair
+  /// sharing both primes). The affected key cannot be split this way:
+  /// n / factor == 1 on that side, so key recovery must skip it.
+  bool full_modulus = false;
 };
 
 struct AllPairsResult {
@@ -65,6 +76,9 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
 struct IncrementalHit {
   std::size_t corpus_index = 0;
   mp::BigInt factor;
+  /// factor equals the candidate or the corpus member (duplicate modulus);
+  /// see FactorHit::full_modulus.
+  bool full_modulus = false;
 };
 std::vector<IncrementalHit> probe_incremental(
     const mp::BigInt& candidate, std::span<const mp::BigInt> corpus,

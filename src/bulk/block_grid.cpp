@@ -37,11 +37,13 @@ std::uint64_t BlockGrid::pairs_in_range(std::size_t lo,
 BlockSweeper::BlockSweeper(std::span<const mp::BigInt> moduli,
                            std::span<const std::size_t> bit_lengths,
                            const BlockGrid& grid, const AllPairsConfig& config,
-                           std::size_t capacity_limbs)
+                           std::size_t capacity_limbs,
+                           const CorpusPanels<ScanLimb>* panels)
     : moduli_(moduli),
       bits_(bit_lengths),
       grid_(grid),
       config_(config),
+      panels_(panels),
       scalar_engine_(capacity_limbs),
       batch_(grid.r, capacity_limbs, config.warp_width) {}
 
@@ -50,9 +52,13 @@ void BlockSweeper::run_block(std::size_t block_index) {
   const std::size_t r = grid_.r;
   const std::size_t i_begin = i * r, i_end = std::min(i_begin + r, grid_.m);
   const std::size_t j_begin = j * r, j_end = std::min(j_begin + r, grid_.m);
+  const bool staged = config_.staged && panels_ != nullptr;
 
   auto record = [&](std::size_t a, std::size_t b, mp::BigInt g) {
-    if (g > mp::BigInt(1)) out_.hits.push_back({a, b, std::move(g)});
+    if (g > mp::BigInt(1)) {
+      const bool full = g == moduli_[a] || g == moduli_[b];
+      out_.hits.push_back({a, b, std::move(g), full});
+    }
   };
 
   for (std::size_t jj = j_begin; jj < j_end; ++jj) {
@@ -64,15 +70,28 @@ void BlockSweeper::run_block(std::size_t block_index) {
     if (k_end == 0) continue;
 
     if (config_.engine == EngineKind::kSimt) {
-      for (std::size_t k = 0; k < r; ++k) {
-        if (k < k_end) {
-          batch_.load(k, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
-                      pair_early_bits(i_begin + k, jj));
-        } else {
-          batch_.disable(k);
+      if (staged) {
+        // One contiguous copy of the group-i panel + one broadcast of n_jj
+        // replaces k_end strided loads with their normalization scans.
+        batch_.load_panel(panels_->panel(i), panels_->sizes(i),
+                          panels_->rows(i));
+        batch_.broadcast_y(moduli_[jj].limbs());
+        for (std::size_t k = 0; k < k_end; ++k) {
+          batch_.reset_lane_state(k, pair_early_bits(i_begin + k, jj));
         }
+        for (std::size_t k = k_end; k < r; ++k) batch_.disable(k);
+        batch_.run_staged(config_.variant);
+      } else {
+        for (std::size_t k = 0; k < r; ++k) {
+          if (k < k_end) {
+            batch_.load(k, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
+                        pair_early_bits(i_begin + k, jj));
+          } else {
+            batch_.disable(k);
+          }
+        }
+        batch_.run(config_.variant);
       }
-      batch_.run(config_.variant);
       for (std::size_t k = 0; k < k_end; ++k) {
         ++out_.pairs;
         if (!batch_.early_coprime(k)) {

@@ -75,9 +75,14 @@ class BlockSweeper {
 
   /// bit_lengths must hold bit_length() of every modulus (precomputed once
   /// per scan so per-pair thresholds are O(1)).
+  /// panels: optional staged corpus (built once per scan with the same grid
+  /// and capacity_limbs + kBatchPadLimbs padding). When non-null and the
+  /// config selects the staged SIMT path, each block round refreshes the
+  /// batch by bulk panel copy + broadcast instead of per-lane loads.
   BlockSweeper(std::span<const mp::BigInt> moduli,
                std::span<const std::size_t> bit_lengths, const BlockGrid& grid,
-               const AllPairsConfig& config, std::size_t capacity_limbs);
+               const AllPairsConfig& config, std::size_t capacity_limbs,
+               const CorpusPanels<ScanLimb>* panels = nullptr);
 
   void run_block(std::size_t block_index);
   void run_blocks(std::size_t lo, std::size_t hi) {
@@ -97,6 +102,7 @@ class BlockSweeper {
   std::span<const std::size_t> bits_;
   BlockGrid grid_;
   AllPairsConfig config_;
+  const CorpusPanels<ScanLimb>* panels_;
   gcd::GcdEngine<ScanLimb> scalar_engine_;
   SimtBatch<ScanLimb, ColumnMatrix> batch_;
   Output out_;

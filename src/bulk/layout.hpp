@@ -9,11 +9,20 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "mp/bigint.hpp"
 #include "mp/limb_traits.hpp"
 
 namespace bulkgcd::bulk {
+
+/// Rows a batch matrix keeps above the longest input: the β > 0 kernel of
+/// Approximate Euclidean writes one limb past the current size
+/// (fused_submul_shifted_add_strip), plus one guard row. Shared between
+/// SimtBatch and CorpusPanels so staged panels match the batch geometry.
+inline constexpr std::size_t kBatchPadLimbs = 2;
 
 /// View of one lane's array inside a lane-major or limb-major matrix:
 /// lane element i lives at base[i * stride].
@@ -62,6 +71,14 @@ class ColumnMatrix {
 
   std::size_t bytes() const noexcept { return data_.size() * sizeof(Limb); }
 
+  /// Flat limb-major storage; row i (all lanes' limb i) is the contiguous
+  /// range [i * lanes, (i + 1) * lanes). Exposed so staged panel refreshes
+  /// can bulk-copy instead of filling lane by lane.
+  std::span<Limb> storage() noexcept { return data_; }
+  std::span<const Limb> storage() const noexcept { return data_; }
+
+  static constexpr bool kColumnMajor = true;
+
  private:
   std::size_t lanes_, limbs_;
   std::vector<Limb> data_;
@@ -96,9 +113,99 @@ class RowMatrix {
 
   std::size_t bytes() const noexcept { return data_.size() * sizeof(Limb); }
 
+  /// Flat lane-major storage (anti-pattern baseline; staged panel loads are
+  /// only supported on the column-major layout).
+  std::span<Limb> storage() noexcept { return data_; }
+  std::span<const Limb> storage() const noexcept { return data_; }
+
+  static constexpr bool kColumnMajor = false;
+
  private:
   std::size_t lanes_, limbs_;
   std::vector<Limb> data_;
+};
+
+/// One-time staging of a scan corpus: per-group panels of limbs laid out
+/// exactly like ColumnMatrix (limb i of group member t at panel[i·r + t]),
+/// plus cached normalized sizes and bit lengths. This is the CPU analogue of
+/// the paper's single host→device corpus copy — after construction, a sweep
+/// refreshes a SimtBatch for the next block with one contiguous copy of the
+/// group panel instead of r strided per-lane fills, each with its own
+/// normalization scan and BigInt indirection.
+template <mp::LimbType Limb>
+class CorpusPanels {
+ public:
+  /// padded_limbs must be at least max limb count + kBatchPadLimbs, i.e. the
+  /// capacity the consuming SimtBatch was constructed with.
+  CorpusPanels(std::span<const mp::BigIntT<Limb>> moduli,
+               std::size_t group_size, std::size_t padded_limbs)
+      : m_(moduli.size()),
+        r_(std::max<std::size_t>(1, group_size)),
+        pad_(padded_limbs),
+        groups_((m_ + r_ - 1) / r_),
+        data_(groups_ * r_ * pad_, Limb{0}),
+        sizes_(groups_ * r_, 0),
+        bits_(m_, 0),
+        rows_(groups_, 1) {
+    for (std::size_t idx = 0; idx < m_; ++idx) {
+      const auto limbs = moduli[idx].limbs();
+      if (limbs.size() + kBatchPadLimbs > pad_) {
+        throw std::length_error("CorpusPanels: modulus exceeds panel capacity");
+      }
+      const std::size_t g = idx / r_;
+      const std::size_t lane = idx % r_;
+      Limb* panel_base = data_.data() + g * r_ * pad_;
+      for (std::size_t i = 0; i < limbs.size(); ++i) {
+        panel_base[i * r_ + lane] = limbs[i];
+      }
+      sizes_[g * r_ + lane] = limbs.size();
+      bits_[idx] = moduli[idx].bit_length();
+      // One row above the longest member so the β > 0 write row is refreshed
+      // along with the values.
+      rows_[g] = std::max(rows_[g], limbs.size() + 1);
+    }
+  }
+
+  std::size_t corpus_size() const noexcept { return m_; }
+  std::size_t group_count() const noexcept { return groups_; }
+  std::size_t lanes() const noexcept { return r_; }
+  std::size_t padded_limbs() const noexcept { return pad_; }
+
+  /// Column-major panel of group g (r_ lanes × pad_ limbs).
+  std::span<const Limb> panel(std::size_t g) const noexcept {
+    assert(g < groups_);
+    return {data_.data() + g * r_ * pad_, r_ * pad_};
+  }
+  /// Normalized limb counts of group g's members (0 for tail lanes past the
+  /// corpus end).
+  std::span<const std::size_t> sizes(std::size_t g) const noexcept {
+    assert(g < groups_);
+    return {sizes_.data() + g * r_, r_};
+  }
+  /// Rows worth copying for group g: max member size + 1 (the β write row).
+  std::size_t rows(std::size_t g) const noexcept {
+    assert(g < groups_);
+    return rows_[g];
+  }
+  /// Cached bit_length() of modulus idx (for O(1) per-pair thresholds).
+  std::size_t bits(std::size_t idx) const noexcept {
+    assert(idx < m_);
+    return bits_[idx];
+  }
+  std::span<const std::size_t> bit_lengths() const noexcept { return bits_; }
+
+  std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(Limb) +
+           sizes_.size() * sizeof(std::size_t) +
+           bits_.size() * sizeof(std::size_t);
+  }
+
+ private:
+  std::size_t m_, r_, pad_, groups_;
+  std::vector<Limb> data_;
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> bits_;
+  std::vector<std::size_t> rows_;
 };
 
 }  // namespace bulkgcd::bulk

@@ -1,6 +1,7 @@
 #include "bulk/scan_driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -365,16 +366,24 @@ void StreamProgressSink::on_progress(const ScanProgress& p) {
   const double pct =
       p.pairs_total == 0 ? 100.0
                          : 100.0 * double(p.pairs_done) / double(p.pairs_total);
+  // No throughput yet (first record of a run, or a pure-restore invocation
+  // that committed nothing): the ETA is unknown, not zero seconds.
+  char eta[32];
+  if (p.pairs_per_second > 0.0 && std::isfinite(p.eta_seconds)) {
+    std::snprintf(eta, sizeof(eta), "%.0fs", p.eta_seconds);
+  } else {
+    std::snprintf(eta, sizeof(eta), "--");
+  }
   std::fprintf(out_,
                "[scan] chunks %llu/%llu  pairs %llu/%llu (%5.1f%%)  "
                "%.0f pairs/s  %.2f blocks/s  hits %llu  quarantined %llu  "
-               "eta %.0fs\n",
+               "eta %s\n",
                (unsigned long long)p.chunks_done,
                (unsigned long long)p.chunks_total,
                (unsigned long long)p.pairs_done,
                (unsigned long long)p.pairs_total, pct, p.pairs_per_second,
                p.blocks_per_second, (unsigned long long)p.hits,
-               (unsigned long long)p.quarantined, p.eta_seconds);
+               (unsigned long long)p.quarantined, eta);
   std::fflush(out_);
 }
 
@@ -420,6 +429,14 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     const std::size_t lo = chunk * chunk_blocks;
     return std::pair(lo, std::min(lo + chunk_blocks, total_blocks));
   };
+
+  // Stage the corpus once for the whole scan. Deliberately NOT part of the
+  // journal identity: staged and unstaged sweeps produce bit-identical
+  // results, so a checkpoint written by one resumes under the other.
+  std::optional<CorpusPanels<ScanLimb>> panels;
+  if (config.pairs.engine == EngineKind::kSimt && config.pairs.staged) {
+    panels.emplace(moduli, grid.r, cap + kBatchPadLimbs);
+  }
 
   JournalIdentity identity;
   identity.digest = rsa::corpus_digest(moduli);
@@ -468,6 +485,13 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   agg.simt = state.simt;
   agg.scalar = state.scalar;
   agg.hits = std::move(state.hits);
+  // The journal doesn't persist full_modulus — it's derivable, and older
+  // checkpoints predate the flag — so recompute it for restored hits.
+  for (auto& hit : agg.hits) {
+    hit.full_modulus = hit.i < m && hit.j < m &&
+                       (hit.factor == moduli[hit.i] ||
+                        hit.factor == moduli[hit.j]);
+  }
   report.quarantined = std::move(state.quarantined);
   report.chunks_done = state.chunks_committed;
 
@@ -502,7 +526,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
         // Retry runs on the scalar engine: the simplest code path, isolated
         // from whatever state the first attempt died in.
         if (attempt == 1) pairs_config.engine = EngineKind::kScalar;
-        BlockSweeper sweeper(moduli, bits, grid, pairs_config, cap);
+        BlockSweeper sweeper(moduli, bits, grid, pairs_config, cap,
+                             attempt == 0 && panels ? &*panels : nullptr);
         sweeper.run_blocks(lo, hi);
         auto out = sweeper.take();
         outcome.hits = std::move(out.hits);
@@ -547,12 +572,17 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     p.hits = agg.hits.size();
     p.quarantined = report.quarantined.size();
     p.elapsed_seconds = timer.seconds();
+    // Rates stay 0 and eta_seconds stays 0 (rendered as "eta --") until this
+    // run has committed work over a nonzero interval — a resumed run that
+    // restored every chunk, or a first record fired before the clock ticks,
+    // must not divide by zero into inf/NaN.
     if (p.elapsed_seconds > 0 && pairs_this_run > 0) {
+      const std::uint64_t remaining =
+          p.pairs_total > p.pairs_done ? p.pairs_total - p.pairs_done : 0;
       p.pairs_per_second = double(pairs_this_run) / p.elapsed_seconds;
       p.blocks_per_second =
           double(committed_this_run * chunk_blocks) / p.elapsed_seconds;
-      p.eta_seconds =
-          double(p.pairs_total - p.pairs_done) / p.pairs_per_second;
+      p.eta_seconds = double(remaining) / p.pairs_per_second;
     }
     config.sink->on_progress(p);
   };

@@ -12,8 +12,22 @@
 //     branches the active lanes took (a SIMT machine serializes them), which
 //     quantifies §VII's observation that branch divergence hurts Binary
 //     Euclidean while Approximate Euclidean is essentially divergence-free.
+//
+// Two execution modes share one set of per-lane step functions (LaneState):
+//   * run()        — the warp-lockstep round loop above (reference path);
+//   * run_staged() — each lane runs to completion before the next starts,
+//     like one CUDA thread looping its pair to termination (the kernel shape
+//     in docs/GPU_PORTING.md). Per-lane branch traces are recorded and the
+//     lockstep warp statistics are reconstructed exactly, so results AND
+//     stats are bit-identical to run() while the hot loop keeps its state in
+//     registers instead of re-reading lane vectors every round.
+// Staged batches are refreshed from CorpusPanels via load_panel() /
+// broadcast_y() / reset_lane_state() — one contiguous copy per block instead
+// of r strided per-lane fills with their normalization scans.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <span>
@@ -60,6 +74,9 @@ struct SimtStats {
     gcd += o.gcd;
     return *this;
   }
+
+  friend bool operator==(const SimtStats&, const SimtStats&) noexcept =
+      default;
 };
 
 /// A batch of GCD lanes executed in warp lockstep.
@@ -78,7 +95,7 @@ class SimtBatch {
   SimtBatch(std::size_t lanes, std::size_t capacity_limbs,
             std::size_t warp_width = 32)
       : lanes_(lanes),
-        cap_(capacity_limbs + 2),
+        cap_(capacity_limbs + kBatchPadLimbs),
         warp_(warp_width),
         mat_a_(lanes, cap_),
         mat_b_(lanes, cap_),
@@ -92,7 +109,7 @@ class SimtBatch {
   }
 
   std::size_t lanes() const noexcept { return lanes_; }
-  std::size_t capacity() const noexcept { return cap_ - 2; }
+  std::size_t capacity() const noexcept { return cap_ - kBatchPadLimbs; }
   /// Input bytes a GPU would copy host→device for this batch.
   std::size_t input_bytes() const noexcept {
     return mat_a_.bytes() + mat_b_.bytes();
@@ -111,8 +128,79 @@ class SimtBatch {
     }
     mat_a_.fill_lane(lane, x.data(), x.size());
     mat_b_.fill_lane(lane, y.data(), y.size());
+    // fill_lane zeroes every row above the value, so the whole matrix must be
+    // assumed dirty afterwards only up to capacity; panel refreshes that
+    // follow a per-lane load fall back to a full-height copy.
+    x_rows_ = cap_;
+    y_rows_ = cap_;
     lx_[lane] = gcd::acc_normalized_size(mat_a_.lane(lane), x.size());
     ly_[lane] = gcd::acc_normalized_size(mat_b_.lane(lane), y.size());
+    swapped_[lane] = 0;
+    if (gcd::acc_compare(mat_a_.lane(lane), lx_[lane], mat_b_.lane(lane),
+                         ly_[lane]) < 0) {
+      swap_lane(lane);
+    }
+    active_[lane] = 1;
+  }
+
+  /// Stage the whole X side from a CorpusPanels panel in one contiguous copy
+  /// (column-major layouts only — the panel and the matrix share their
+  /// geometry, so rows [0, rows) transfer verbatim). sizes carries the
+  /// pre-normalized limb counts, replacing the per-lane normalization scan of
+  /// load(). Rows above `rows` that a previous run may have dirtied are
+  /// zeroed lazily (tracked, so steady-state refreshes touch nothing extra).
+  void load_panel(std::span<const Limb> panel,
+                  std::span<const std::size_t> sizes, std::size_t rows) {
+    if constexpr (!Matrix<Limb>::kColumnMajor) {
+      throw std::logic_error("load_panel requires the column-major layout");
+    } else {
+      if (rows > cap_ || panel.size() < rows * lanes_ ||
+          sizes.size() != lanes_) {
+        throw std::invalid_argument(
+            "SimtBatch: panel does not fit this batch");
+      }
+      auto dst = mat_a_.storage();
+      std::copy_n(panel.data(), rows * lanes_, dst.data());
+      if (x_rows_ > rows) {
+        std::fill(dst.begin() + std::ptrdiff_t(rows * lanes_),
+                  dst.begin() + std::ptrdiff_t(x_rows_ * lanes_), Limb{0});
+      }
+      x_rows_ = rows;
+      std::copy_n(sizes.data(), lanes_, lx_.data());
+    }
+  }
+
+  /// Stage the Y side: every lane of a block shares the same second operand
+  /// (the j-group member of the current round), so a single row-wise fill
+  /// replaces r strided fill_lane calls. y must be normalized (BigInt limbs).
+  void broadcast_y(std::span<const Limb> y) {
+    if constexpr (!Matrix<Limb>::kColumnMajor) {
+      throw std::logic_error("broadcast_y requires the column-major layout");
+    } else {
+      if (y.size() > capacity()) {
+        throw std::length_error("SimtBatch: input exceeds capacity");
+      }
+      auto dst = mat_b_.storage();
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        std::fill_n(dst.data() + i * lanes_, lanes_, y[i]);
+      }
+      if (y_rows_ > y.size()) {
+        std::fill(dst.begin() + std::ptrdiff_t(y.size() * lanes_),
+                  dst.begin() + std::ptrdiff_t(y_rows_ * lanes_), Limb{0});
+      }
+      // A run may write one row above the staged value (β > 0 kernel).
+      y_rows_ = std::min(cap_, y.size() + 1);
+      std::fill_n(ly_.data(), lanes_, y.size());
+    }
+  }
+
+  /// Re-arm one lane after load_panel()/broadcast_y(): set its threshold,
+  /// restore the X ≥ Y invariant (same compare/swap as load()), and mark it
+  /// active. Must be called for every lane that participates in the next run.
+  void reset_lane_state(std::size_t lane,
+                        std::size_t early_bits = kInheritEarlyBits) {
+    assert(lane < lanes_);
+    early_[lane] = early_bits;
     swapped_[lane] = 0;
     if (gcd::acc_compare(mat_a_.lane(lane), lx_[lane], mat_b_.lane(lane),
                          ly_[lane]) < 0) {
@@ -128,15 +216,8 @@ class SimtBatch {
   /// Supported variants: kBinary, kFastBinary, kApproximate (the GPU
   /// algorithms of Table V).
   void run(gcd::Variant variant, std::size_t early_bits = 0) {
-    if (variant != gcd::Variant::kBinary &&
-        variant != gcd::Variant::kFastBinary &&
-        variant != gcd::Variant::kApproximate) {
-      throw std::invalid_argument("SimtBatch: unsupported variant");
-    }
-    for (std::size_t lane = 0; lane < lanes_; ++lane) {
-      eff_early_[lane] =
-          early_[lane] == kInheritEarlyBits ? early_bits : early_[lane];
-    }
+    check_variant(variant);
+    resolve_early(early_bits);
     bool any = true;
     while (any) {
       any = false;
@@ -147,11 +228,13 @@ class SimtBatch {
         std::size_t active_count = 0;
         for (std::size_t lane = base; lane < end; ++lane) {
           if (!active_[lane]) continue;
-          if (!lane_keeps_going(lane)) {
+          LaneState s = lane_state(lane);
+          if (!keeps_going(s, eff_early_[lane])) {
             active_[lane] = 0;
             continue;
           }
-          const int branch = step_lane(lane, variant);
+          const int branch = step(s, variant, eff_early_[lane]);
+          store_lane(lane, s);
           branch_mask |= 1u << branch;
           ++active_count;
           ++stats_.lane_iterations;
@@ -173,6 +256,31 @@ class SimtBatch {
     }
   }
 
+  /// Run all active lanes to completion, one lane at a time — the shape of
+  /// the real CUDA kernel, where each thread loops its own pair until done
+  /// and the warp scheduler (not the host loop) interleaves them. Uses the
+  /// identical LaneState step functions as run(), so final lane states and
+  /// per-algorithm GcdStats match bit for bit; the warp-level counters
+  /// (rounds, divergence, utilization) are reconstructed exactly from the
+  /// recorded per-lane branch traces — see replay_warp_stats().
+  void run_staged(gcd::Variant variant, std::size_t early_bits = 0) {
+    check_variant(variant);
+    resolve_early(early_bits);
+    if (branch_log_.size() != lanes_) branch_log_.resize(lanes_);
+    switch (variant) {
+      case gcd::Variant::kBinary:
+        run_staged_impl<gcd::Variant::kBinary>();
+        break;
+      case gcd::Variant::kFastBinary:
+        run_staged_impl<gcd::Variant::kFastBinary>();
+        break;
+      default:
+        run_staged_impl<gcd::Variant::kApproximate>();
+        break;
+    }
+    replay_warp_stats();
+  }
+
   /// True when the lane's run terminated early with Y still nonzero — the
   /// pair is coprime (Section V).
   bool early_coprime(std::size_t lane) const noexcept { return ly_[lane] > 0; }
@@ -189,6 +297,116 @@ class SimtBatch {
   void reset_stats() noexcept { stats_ = SimtStats{}; }
 
  private:
+  /// Register-resident view of one lane's algorithm state. Both execution
+  /// modes advance lanes exclusively through this struct and the shared step
+  /// functions below, so they are bit-identical by construction.
+  struct LaneState {
+    Strided<Limb> x, y;  ///< current X/Y roles (physical arrays may swap)
+    std::size_t lx = 0, ly = 0;
+    std::uint8_t swapped = 0;
+  };
+
+  LaneState lane_state(std::size_t lane) noexcept {
+    return {x_lane(lane), y_lane(lane), lx_[lane], ly_[lane], swapped_[lane]};
+  }
+  void store_lane(std::size_t lane, const LaneState& s) noexcept {
+    lx_[lane] = s.lx;
+    ly_[lane] = s.ly;
+    swapped_[lane] = s.swapped;
+  }
+
+  static void check_variant(gcd::Variant variant) {
+    if (variant != gcd::Variant::kBinary &&
+        variant != gcd::Variant::kFastBinary &&
+        variant != gcd::Variant::kApproximate) {
+      throw std::invalid_argument("SimtBatch: unsupported variant");
+    }
+  }
+
+  void resolve_early(std::size_t early_bits) noexcept {
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      eff_early_[lane] =
+          early_[lane] == kInheritEarlyBits ? early_bits : early_[lane];
+    }
+  }
+
+  // flatten: inline the step functions and fused kernels into the lane loop
+  // so per-iteration state (accessor bases, sizes, carries) stays in
+  // registers — the point of running each lane to completion.
+  template <gcd::Variant V>
+#if defined(__GNUC__)
+  [[gnu::flatten]]
+#endif
+  void run_staged_impl() {
+    // Accumulate algorithm stats in a local and fold into stats_ once: the
+    // flattened loop keeps the counters in registers instead of issuing
+    // read-modify-writes against the member on every iteration. Totals are
+    // identical (pure sums).
+    gcd::GcdStats tally;
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      auto& log = branch_log_[lane];
+      if (log.capacity() < 160) log.reserve(160);
+      log.clear();
+      if (!active_[lane]) continue;
+      LaneState s = lane_state(lane);
+      const std::size_t early = eff_early_[lane];
+      const bool use_case4 = section_v(early);  // loop-invariant per lane
+      while (keeps_going(s, early)) {
+        ++tally.iterations;
+        int branch;
+        if constexpr (V == gcd::Variant::kBinary) {
+          branch = step_binary(s, tally);
+        } else if constexpr (V == gcd::Variant::kFastBinary) {
+          branch = step_fast_binary(s, tally);
+        } else {
+          branch = step_approximate(s, use_case4, tally);
+        }
+        log.push_back(std::uint8_t(branch));
+      }
+      store_lane(lane, s);
+      active_[lane] = 0;
+      stats_.lane_iterations += log.size();
+    }
+    stats_.gcd += tally;
+  }
+
+  /// Replay the recorded branch traces through the lockstep accounting of
+  /// run(). In the round loop, warp w is counted for round t iff some lane
+  /// in it still has an iteration to execute (t < n_lane); the branch mask of
+  /// that round is exactly the set of branch ids those lanes logged at index
+  /// t; and the global round counter advances while any warp is live, i.e.
+  /// max over lanes of n_lane times. So every counter of run() is a pure
+  /// function of {n_lane, trace_lane} and can be rebuilt without lockstep
+  /// execution.
+  void replay_warp_stats() noexcept {
+    std::uint64_t global_rounds = 0;
+    for (std::size_t base = 0; base < lanes_; base += warp_) {
+      const std::size_t end = std::min(base + warp_, lanes_);
+      std::size_t warp_max = 0;
+      for (std::size_t lane = base; lane < end; ++lane) {
+        warp_max = std::max(warp_max, branch_log_[lane].size());
+      }
+      global_rounds = std::max<std::uint64_t>(global_rounds, warp_max);
+      for (std::size_t t = 0; t < warp_max; ++t) {
+        std::uint32_t branch_mask = 0;
+        std::size_t active_count = 0;
+        for (std::size_t lane = base; lane < end; ++lane) {
+          if (t < branch_log_[lane].size()) {
+            branch_mask |= 1u << branch_log_[lane][t];
+            ++active_count;
+          }
+        }
+        ++stats_.warp_rounds;
+        const int branches = std::popcount(branch_mask);
+        stats_.branch_slots += branches;
+        if (branches > 1) ++stats_.divergent_warp_rounds;
+        stats_.active_lane_slots += active_count;
+        stats_.lane_slots += warp_;
+      }
+    }
+    stats_.rounds += global_rounds;
+  }
+
   Strided<Limb> x_lane(std::size_t lane) noexcept {
     return swapped_[lane] ? mat_b_.lane(lane) : mat_a_.lane(lane);
   }
@@ -204,14 +422,21 @@ class SimtBatch {
     std::swap(lx_[lane], ly_[lane]);
   }
 
-  bool lane_keeps_going(std::size_t lane) noexcept {
-    if (ly_[lane] == 0) return false;
-    const std::size_t early_bits = eff_early_[lane];
+  static void swap_lane(LaneState& s) noexcept {
+    std::swap(s.x, s.y);
+    std::swap(s.lx, s.ly);
+    s.swapped ^= 1;
+  }
+
+  bool keeps_going(const LaneState& s, std::size_t early_bits) const noexcept {
+    if (s.ly == 0) return false;
     if (early_bits == 0) return true;
-    auto y = y_lane(lane);
-    const std::size_t top = ly_[lane] - 1;
-    const std::size_t bits =
-        top * LB + (LB - std::countl_zero(y[top]));
+    const std::size_t top = s.ly - 1;
+    // The top limb holds 1..LB bits, so the limb count alone usually decides
+    // — only read the (strided) top limb when Y straddles the threshold.
+    if (top * LB >= early_bits) return true;
+    if (s.ly * LB < early_bits) return false;
+    const std::size_t bits = top * LB + (LB - std::countl_zero(s.y[top]));
     return bits >= early_bits;
   }
 
@@ -219,94 +444,88 @@ class SimtBatch {
   /// bits, so when that guarantees > 2 words the restricted Case-4-only
   /// approx (the paper's actual CUDA kernel) is used. Per lane, since
   /// lanes may carry different thresholds in a mixed-size batch.
-  bool section_v_lane(std::size_t lane) const noexcept {
-    return eff_early_[lane] >= 3u * std::size_t(LB);
+  static bool section_v(std::size_t early_bits) noexcept {
+    return early_bits >= 3u * std::size_t(LB);
   }
 
   /// One algorithm iteration on one lane; returns the branch id taken
-  /// (0..2) for divergence accounting.
-  int step_lane(std::size_t lane, gcd::Variant variant) {
+  /// (0..2) for divergence accounting. Counters land in `gs` so run() can
+  /// write stats_.gcd directly while run_staged() tallies into a register-
+  /// resident local (folded in once per batch).
+  int step(LaneState& s, gcd::Variant variant, std::size_t early_bits) {
     ++stats_.gcd.iterations;
     switch (variant) {
-      case gcd::Variant::kBinary: return step_binary(lane);
-      case gcd::Variant::kFastBinary: return step_fast_binary(lane);
-      default: return step_approximate(lane);
+      case gcd::Variant::kBinary: return step_binary(s, stats_.gcd);
+      case gcd::Variant::kFastBinary: return step_fast_binary(s, stats_.gcd);
+      default: return step_approximate(s, section_v(early_bits), stats_.gcd);
     }
   }
 
-  int step_binary(std::size_t lane) {
-    auto x = x_lane(lane);
-    auto y = y_lane(lane);
+  int step_binary(LaneState& s, gcd::GcdStats& gs) {
     int branch;
-    if ((x[0] & 1u) == 0) {
-      lx_[lane] = gcd::halve(x, lx_[lane], null_tracer_);
+    if ((s.x[0] & 1u) == 0) {
+      s.lx = gcd::halve(s.x, s.lx, null_tracer_);
       branch = 0;
-    } else if ((y[0] & 1u) == 0) {
-      ly_[lane] = gcd::halve(y, ly_[lane], null_tracer_);
+    } else if ((s.y[0] & 1u) == 0) {
+      s.ly = gcd::halve(s.y, s.ly, null_tracer_);
       branch = 1;
     } else {
-      lx_[lane] = gcd::sub_halve(x, lx_[lane], y, ly_[lane], null_tracer_);
+      s.lx = gcd::sub_halve(s.x, s.lx, s.y, s.ly, null_tracer_);
       branch = 2;
     }
-    swap_if_less(lane);
+    swap_if_less(s, gs);
     return branch;
   }
 
-  int step_fast_binary(std::size_t lane) {
-    auto x = x_lane(lane);
-    auto y = y_lane(lane);
-    lx_[lane] = gcd::fused_submul_strip(x, lx_[lane], y, ly_[lane], Limb{1},
-                                        null_tracer_);
-    swap_if_less(lane);
+  int step_fast_binary(LaneState& s, gcd::GcdStats& gs) {
+    s.lx = gcd::fused_submul_strip(s.x, s.lx, s.y, s.ly, Limb{1},
+                                   null_tracer_);
+    swap_if_less(s, gs);
     return 0;
   }
 
-  int step_approximate(std::size_t lane) {
-    auto x = x_lane(lane);
-    auto y = y_lane(lane);
-    const auto ar = section_v_lane(lane)
-                        ? gcd::approx_case4_only(x, lx_[lane], y, ly_[lane])
-                        : gcd::approx(x, lx_[lane], y, ly_[lane]);
-    stats_.gcd.count_case(ar.which);
-    ++stats_.gcd.divisions;
+  int step_approximate(LaneState& s, bool use_case4, gcd::GcdStats& gs) {
+    const auto ar = use_case4
+                        ? gcd::approx_case4_only(s.x, s.lx, s.y, s.ly)
+                        : gcd::approx(s.x, s.lx, s.y, s.ly);
+    gs.count_case(ar.which);
+    ++gs.divisions;
     int branch;
     if (ar.which == gcd::ApproxCase::k1) {
       // Register-resident tail (only reachable in non-terminate runs).
-      const Wide xv = lx_[lane] == 2 ? gcd::top_two_words(x, 2) : Wide(x[0]);
-      const Wide yv = ly_[lane] == 2 ? gcd::top_two_words(y, 2) : Wide(y[0]);
+      const Wide xv = s.lx == 2 ? gcd::top_two_words(s.x, 2) : Wide(s.x[0]);
+      const Wide yv = s.ly == 2 ? gcd::top_two_words(s.y, 2) : Wide(s.y[0]);
       Wide alpha = ar.alpha;
       if ((alpha & 1u) == 0) --alpha;
       Wide t = xv - yv * alpha;
       if (t != 0) t >>= gcd::wide_ctz(t);
       std::size_t n = 0;
       while (t != 0) {
-        x[n++] = Limb(t);
+        s.x[n++] = Limb(t);
         t >>= LB;
       }
-      lx_[lane] = n;
+      s.lx = n;
       branch = 2;
     } else if (ar.beta == 0) {
       Limb alpha = Limb(ar.alpha);
       if ((alpha & 1u) == 0) --alpha;
-      lx_[lane] = gcd::fused_submul_strip(x, lx_[lane], y, ly_[lane], alpha,
-                                          null_tracer_);
+      s.lx = gcd::fused_submul_strip(s.x, s.lx, s.y, s.ly, alpha,
+                                     null_tracer_);
       branch = 0;
     } else {
-      ++stats_.gcd.beta_nonzero;
-      lx_[lane] = gcd::fused_submul_shifted_add_strip(
-          x, lx_[lane], y, ly_[lane], Limb(ar.alpha), ar.beta, null_tracer_);
+      ++gs.beta_nonzero;
+      s.lx = gcd::fused_submul_shifted_add_strip(
+          s.x, s.lx, s.y, s.ly, Limb(ar.alpha), ar.beta, null_tracer_);
       branch = 1;
     }
-    swap_if_less(lane);
+    swap_if_less(s, gs);
     return branch;
   }
 
-  void swap_if_less(std::size_t lane) {
-    auto x = x_lane(lane);
-    auto y = y_lane(lane);
-    if (gcd::acc_compare(x, lx_[lane], y, ly_[lane]) < 0) {
-      swap_lane(lane);
-      ++stats_.gcd.swaps;
+  void swap_if_less(LaneState& s, gcd::GcdStats& gs) {
+    if (gcd::acc_compare(s.x, s.lx, s.y, s.ly) < 0) {
+      swap_lane(s);
+      ++gs.swaps;
     }
   }
 
@@ -316,6 +535,14 @@ class SimtBatch {
   std::vector<std::size_t> early_;      ///< per-lane override from load()
   std::vector<std::size_t> eff_early_;  ///< resolved threshold for this run()
   std::vector<std::uint8_t> swapped_, active_;
+  // Dirty-row watermarks: rows of mat_a_/mat_b_ that may hold nonzero limbs.
+  // Kernel writes never land above a value's initial size (the β > 0 case
+  // writes exactly one limb past the *current* size, which only shrinks), so
+  // a panel refresh of `rows` rows leaves anything above untouched — and the
+  // watermark tells load_panel()/broadcast_y() how much of that residue must
+  // be zeroed. Fresh matrices are all-zero.
+  std::size_t x_rows_ = 0, y_rows_ = 0;
+  std::vector<std::vector<std::uint8_t>> branch_log_;  ///< staged traces
   SimtStats stats_;
   gcd::NullTracer null_tracer_;
 };

@@ -40,6 +40,8 @@ struct GcdStats {
     }
     return *this;
   }
+
+  friend bool operator==(const GcdStats&, const GcdStats&) noexcept = default;
 };
 
 constexpr const char* to_string(ApproxCase c) noexcept {

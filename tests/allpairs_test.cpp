@@ -107,6 +107,15 @@ TEST(AllPairsTest, DuplicateModuliAreReportedAsHits) {
   EXPECT_EQ(result.hits[0].i, 2u);
   EXPECT_EQ(result.hits[0].j, 5u);
   EXPECT_EQ(result.hits[0].factor, moduli[2]);  // gcd(n, n) = n
+  // Flagged so consumers don't try to split n by itself (n / gcd == 1).
+  EXPECT_TRUE(result.hits[0].full_modulus);
+}
+
+TEST(AllPairsTest, ProperSharedPrimeHitsAreNotFlaggedFullModulus) {
+  const WeakCorpus corpus = test_corpus(10, 2, 11);
+  const AllPairsResult result = all_pairs_gcd(corpus.moduli);
+  ASSERT_EQ(result.hits.size(), 2u);
+  for (const auto& hit : result.hits) EXPECT_FALSE(hit.full_modulus);
 }
 
 TEST(AllPairsTest, MixedSizeCorpusRecoversSmallPairSharedFactor) {

@@ -121,6 +121,21 @@ TEST(BatchGcdTest, DuplicatedModulusIsFullyWeak) {
   // gcd(n, P/n) where n appears twice is n itself.
   EXPECT_EQ(result.gcds[0], corpus.moduli[0]);
   EXPECT_EQ(result.gcds.back(), corpus.moduli[0]);
+  // Both duplicate slots are flagged unfactorable; nothing else is.
+  const auto full = full_modulus_indices(result, corpus.moduli);
+  EXPECT_EQ(full, (std::vector<std::size_t>{0, corpus.moduli.size() - 1}));
+}
+
+TEST(BatchGcdTest, FullModulusIndicesEmptyForProperWeakPairs) {
+  rsa::CorpusSpec spec;
+  spec.count = 10;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = 2;
+  spec.seed = 35;
+  const rsa::WeakCorpus corpus = rsa::generate_corpus(spec);
+  const BatchGcdResult result = batch_gcd(corpus.moduli);
+  EXPECT_FALSE(weak_indices(result).empty());
+  EXPECT_TRUE(full_modulus_indices(result, corpus.moduli).empty());
 }
 
 TEST(BatchGcdTest, AgreesWithAllPairsSweep) {

@@ -1,0 +1,117 @@
+// Property tests for BlockGrid::block(), the O(1) inverse of the row-major
+// upper-triangle enumeration. The closed form goes through a double-precision
+// sqrt, which for grids with `groups` near 2^26 produces block counts around
+// 2^51 — right where one ulp of error in the discriminant crosses a row
+// boundary. The while-loop fixup must absorb that; these tests pin it down at
+// the exact row boundaries of huge grids (no memory is allocated: BlockGrid
+// is pure geometry).
+#include "bulk/block_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace bulkgcd::bulk {
+namespace {
+
+/// First block index of row i: offset(i) = i·groups − i·(i−1)/2, in exact
+/// 64-bit arithmetic (the ground truth the double path must reproduce).
+std::uint64_t row_offset(const BlockGrid& grid, std::uint64_t i) {
+  return i * grid.groups - i * (i - 1) / 2;
+}
+
+/// Row i holds groups − i blocks: (i, i) .. (i, groups−1).
+std::uint64_t row_length(const BlockGrid& grid, std::uint64_t i) {
+  return grid.groups - i;
+}
+
+void expect_inverts(const BlockGrid& grid, std::uint64_t index) {
+  const auto b = grid.block(std::size_t(index));
+  ASSERT_LE(b.i, b.j) << "index " << index;
+  ASSERT_LT(b.j, grid.groups) << "index " << index;
+  // Round trip: the forward enumeration maps (i, j) back to the index.
+  EXPECT_EQ(row_offset(grid, b.i) + (b.j - b.i), index)
+      << "groups=" << grid.groups << " index=" << index;
+}
+
+TEST(BlockGridInversionTest, ExhaustiveOnSmallGrids) {
+  for (const std::size_t groups : {1u, 2u, 3u, 7u, 64u, 257u}) {
+    const BlockGrid grid(groups, 1);  // r = 1 → groups == m
+    ASSERT_EQ(grid.groups, groups);
+    std::uint64_t index = 0;
+    for (std::size_t i = 0; i < groups; ++i) {
+      for (std::size_t j = i; j < groups; ++j, ++index) {
+        const auto b = grid.block(std::size_t(index));
+        ASSERT_EQ(b.i, i) << "index " << index;
+        ASSERT_EQ(b.j, j) << "index " << index;
+      }
+    }
+    EXPECT_EQ(index, grid.block_count());
+  }
+}
+
+class HugeGridTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HugeGridTest, RowBoundariesInvertExactly) {
+  const std::size_t groups = GetParam();
+  const BlockGrid grid(groups, 1);
+  ASSERT_EQ(grid.groups, groups);
+
+  // Rows where the discriminant (g+0.5)² − 2t is smallest (deep rows) are
+  // the most ulp-sensitive; early rows stress the large-t cancellation.
+  const std::uint64_t g = groups;
+  const std::uint64_t probe_rows[] = {
+      0, 1, 2, 3, g / 3, g / 2, (2 * g) / 3, g - 4, g - 3, g - 2, g - 1};
+  for (const std::uint64_t i : probe_rows) {
+    if (i >= g) continue;
+    const std::uint64_t start = row_offset(grid, i);
+    const std::uint64_t len = row_length(grid, i);
+    // First, second, last block of the row, plus the last block of the
+    // previous row — the four indices a one-ulp sqrt error can misplace.
+    expect_inverts(grid, start);
+    if (len > 1) expect_inverts(grid, start + 1);
+    expect_inverts(grid, start + len - 1);
+    if (start > 0) expect_inverts(grid, start - 1);
+  }
+}
+
+TEST_P(HugeGridTest, RandomIndicesInvert) {
+  const std::size_t groups = GetParam();
+  const BlockGrid grid(groups, 1);
+  const std::uint64_t count = grid.block_count();
+  Xoshiro256 rng(0xb10c + groups);
+  for (int trial = 0; trial < 2000; ++trial) {
+    expect_inverts(grid, rng() % count);
+  }
+  expect_inverts(grid, 0);
+  expect_inverts(grid, count - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroupsNearTwoPow26, HugeGridTest,
+    ::testing::Values(std::size_t(1) << 26,        // 67,108,864 groups
+                      (std::size_t(1) << 26) - 1,  // just below the power
+                      (std::size_t(1) << 26) + 1,  // just above
+                      (std::size_t(1) << 26) + 12345,
+                      (std::size_t(1) << 25) + 7,
+                      std::size_t(99999999)));
+
+TEST(BlockGridInversionTest, EveryRowBoundaryOnMediumGrid) {
+  // Exhaustive boundary sweep at a size where all groups·2 probes are cheap:
+  // every row's first and last block must invert.
+  const BlockGrid grid(std::size_t(1) << 14, 1);
+  for (std::uint64_t i = 0; i < grid.groups; ++i) {
+    expect_inverts(grid, row_offset(grid, i));
+    expect_inverts(grid, row_offset(grid, i) + row_length(grid, i) - 1);
+  }
+}
+
+TEST(BlockGridInversionTest, PairsInRangeConsistentWithTotal) {
+  const BlockGrid grid(1000, 7);
+  EXPECT_EQ(grid.pairs_in_range(0, grid.block_count()), grid.total_pairs());
+}
+
+}  // namespace
+}  // namespace bulkgcd::bulk

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "bulk/block_grid.hpp"
 #include "rsa/corpus.hpp"
@@ -299,6 +302,31 @@ TEST_F(ScanDriverTest, ProgressSinkSeesCommitsHitsAndTotals) {
   EXPECT_EQ(sink.last_.pairs_total, 20u * 19u / 2u);
   EXPECT_EQ(sink.last_.chunks_done, report.chunks_total);
   EXPECT_EQ(sink.last_.blocks_done, sink.last_.blocks_total);
+}
+
+TEST(StreamProgressSinkTest, NonFiniteEtaRendersAsDashes) {
+  // Regression: the first progress record of a run (or a resumed scan whose
+  // run has committed nothing yet) has pairs_per_second == 0, which used to
+  // print "eta inf"/"eta nan". The sink must guard the division's output.
+  auto render = [](double pairs_per_second, double eta_seconds) {
+    std::FILE* out = std::tmpfile();
+    StreamProgressSink sink(out);
+    ScanProgress p;
+    p.pairs_total = 100;
+    p.pairs_per_second = pairs_per_second;
+    p.eta_seconds = eta_seconds;
+    sink.on_progress(p);
+    std::rewind(out);
+    char buf[256] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, out);
+    std::fclose(out);
+    return std::string(buf, n);
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NE(render(0.0, inf).find("eta --"), std::string::npos);
+  EXPECT_NE(render(0.0, std::nan("")).find("eta --"), std::string::npos);
+  EXPECT_NE(render(50.0, 42.0).find("eta 42s"), std::string::npos);
+  EXPECT_EQ(render(50.0, 42.0).find("inf"), std::string::npos);
 }
 
 TEST_F(ScanDriverTest, MixedSizeCorpusRecoversSmallKeyHitsThroughDriver) {

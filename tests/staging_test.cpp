@@ -1,0 +1,410 @@
+// Staged corpus-panel tests: the CorpusPanels layout mirrors ColumnMatrix
+// geometry exactly; refreshing a SimtBatch via load_panel()/broadcast_y()/
+// reset_lane_state() is indistinguishable from per-lane load(); run_staged()
+// reproduces run() bit for bit INCLUDING the reconstructed warp statistics;
+// and the staged all-pairs / incremental / resumable-scan paths return the
+// same hits (verified against the GMP oracle) with the same full_modulus
+// classification as the unstaged reference.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "bulk/allpairs.hpp"
+#include "bulk/block_grid.hpp"
+#include "bulk/layout.hpp"
+#include "bulk/scan_driver.hpp"
+#include "core/rng.hpp"
+#include "gmp_oracle.hpp"
+#include "rsa/corpus.hpp"
+#include "rsa/prime.hpp"
+
+namespace bulkgcd::bulk {
+namespace {
+
+using bulkgcd::Xoshiro256;
+using bulkgcd::test::gmp_gcd;
+using bulkgcd::test::random_odd;
+using gcd::Variant;
+using mp::BigInt;
+
+// ---------------------------------------------------------------------------
+// CorpusPanels layout
+// ---------------------------------------------------------------------------
+
+TEST(CorpusPanelsTest, LayoutMatchesColumnMajorGeometry) {
+  Xoshiro256 rng(91);
+  // Mixed sizes on purpose: 96..192-bit values across 7 moduli, group size 3
+  // → 3 groups with a ragged tail lane.
+  std::vector<BigInt> moduli;
+  for (std::size_t i = 0; i < 7; ++i) {
+    moduli.push_back(random_odd<std::uint32_t>(rng, 96 + 32 * (i % 4)));
+  }
+  const std::size_t r = 3;
+  std::size_t max_limbs = 0;
+  for (const auto& n : moduli) max_limbs = std::max(max_limbs, n.limbs().size());
+  const std::size_t pad = max_limbs + kBatchPadLimbs;
+
+  const CorpusPanels<std::uint32_t> panels(moduli, r, pad);
+  EXPECT_EQ(panels.corpus_size(), moduli.size());
+  EXPECT_EQ(panels.group_count(), 3u);
+  EXPECT_EQ(panels.lanes(), r);
+  EXPECT_EQ(panels.padded_limbs(), pad);
+  EXPECT_GT(panels.bytes(), 0u);
+  ASSERT_EQ(panels.bit_lengths().size(), moduli.size());
+
+  for (std::size_t g = 0; g < panels.group_count(); ++g) {
+    const auto panel = panels.panel(g);
+    ASSERT_EQ(panel.size(), r * pad);
+    const auto sizes = panels.sizes(g);
+    std::size_t expect_rows = 1;
+    for (std::size_t lane = 0; lane < r; ++lane) {
+      const std::size_t idx = g * r + lane;
+      if (idx >= moduli.size()) {
+        EXPECT_EQ(sizes[lane], 0u);
+        continue;
+      }
+      const auto limbs = moduli[idx].limbs();
+      EXPECT_EQ(sizes[lane], limbs.size());
+      EXPECT_EQ(panels.bits(idx), moduli[idx].bit_length());
+      expect_rows = std::max(expect_rows, limbs.size() + 1);
+      // Limb i of lane t lives at panel[i*r + t] — the ColumnMatrix rule.
+      for (std::size_t i = 0; i < pad; ++i) {
+        const std::uint32_t want = i < limbs.size() ? limbs[i] : 0u;
+        ASSERT_EQ(panel[i * r + lane], want)
+            << "group " << g << " lane " << lane << " limb " << i;
+      }
+    }
+    EXPECT_EQ(panels.rows(g), expect_rows);
+    EXPECT_LE(panels.rows(g), pad);
+  }
+}
+
+TEST(CorpusPanelsTest, RejectsUndersizedPadding) {
+  Xoshiro256 rng(92);
+  std::vector<BigInt> moduli = {random_odd<std::uint32_t>(rng, 128)};
+  const std::size_t limbs = moduli[0].limbs().size();
+  EXPECT_THROW(CorpusPanels<std::uint32_t>(moduli, 4, limbs),
+               std::length_error);
+  EXPECT_NO_THROW(
+      CorpusPanels<std::uint32_t>(moduli, 4, limbs + kBatchPadLimbs));
+}
+
+TEST(CorpusPanelsTest, RowMajorBatchRejectsPanelStaging) {
+  SimtBatch<std::uint32_t, RowMatrix> batch(4, 8, 4);
+  const std::vector<std::uint32_t> panel(4 * (8 + kBatchPadLimbs), 1u);
+  const std::vector<std::size_t> sizes(4, 1);
+  const std::vector<std::uint32_t> y = {3u};
+  EXPECT_THROW(batch.load_panel(panel, sizes, 2), std::logic_error);
+  EXPECT_THROW(batch.broadcast_y(y), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Batch refresh + lane-serial execution vs the per-lane reference
+// ---------------------------------------------------------------------------
+
+/// r moduli (one group), some sharing a prime with the probe y.
+struct GroupFixture {
+  std::vector<BigInt> xs;
+  BigInt y;
+  std::size_t cap = 0;  ///< max limbs across all values
+
+  explicit GroupFixture(std::size_t r, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    const BigInt shared = rsa::random_prime(rng, 64);
+    y = shared * rsa::random_prime(rng, 64);
+    for (std::size_t k = 0; k < r; ++k) {
+      // Mixed sizes and a planted hit every third lane.
+      if (k % 3 == 0) {
+        xs.push_back(shared * rsa::random_prime(rng, 64 + 32 * (k % 2)));
+      } else {
+        xs.push_back(random_odd<std::uint32_t>(rng, 96 + 32 * (k % 3)));
+      }
+    }
+    cap = y.limbs().size();
+    for (const auto& x : xs) cap = std::max(cap, x.limbs().size());
+  }
+};
+
+TEST(StagedBatchTest, PanelRefreshMatchesPerLaneLoads) {
+  const std::size_t r = 13;
+  const GroupFixture fx(r, 2024);
+  const CorpusPanels<std::uint32_t> panels(fx.xs, r, fx.cap + kBatchPadLimbs);
+
+  for (const std::size_t early : {std::size_t(0), std::size_t(48)}) {
+    SimtBatch<std::uint32_t> reference(r, fx.cap, 8);
+    SimtBatch<std::uint32_t> staged(r, fx.cap, 8);
+    for (std::size_t k = 0; k < r; ++k) {
+      reference.load(k, fx.xs[k].limbs(), fx.y.limbs());
+    }
+    staged.load_panel(panels.panel(0), panels.sizes(0), panels.rows(0));
+    staged.broadcast_y(fx.y.limbs());
+    for (std::size_t k = 0; k < r; ++k) staged.reset_lane_state(k);
+
+    reference.run(Variant::kApproximate, early);
+    staged.run(Variant::kApproximate, early);
+
+    for (std::size_t k = 0; k < r; ++k) {
+      ASSERT_EQ(staged.early_coprime(k), reference.early_coprime(k))
+          << "early=" << early << " lane " << k;
+      if (!reference.early_coprime(k)) {
+        EXPECT_EQ(staged.gcd_of(k), reference.gcd_of(k))
+            << "early=" << early << " lane " << k;
+      }
+    }
+    EXPECT_TRUE(staged.stats() == reference.stats()) << "early=" << early;
+  }
+}
+
+TEST(StagedBatchTest, RepeatedRefreshLeavesNoResidue) {
+  // Run a round that dirties high rows (long values), then stage a group of
+  // much shorter values: the watermark logic must zero the residue, so the
+  // short round's results still match a fresh batch.
+  const std::size_t r = 7;
+  const GroupFixture longs(r, 31);
+  GroupFixture shorts(r, 32);
+  // Rebuild `shorts` values at half the size so its rows < longs' rows.
+  {
+    Xoshiro256 rng(33);
+    const BigInt shared = rsa::random_prime(rng, 32);
+    shorts.y = shared * rsa::random_prime(rng, 32);
+    for (std::size_t k = 0; k < r; ++k) {
+      shorts.xs[k] = k % 2 ? random_odd<std::uint32_t>(rng, 64)
+                           : shared * rsa::random_prime(rng, 32);
+    }
+    shorts.cap = shorts.y.limbs().size();
+    for (const auto& x : shorts.xs) {
+      shorts.cap = std::max(shorts.cap, x.limbs().size());
+    }
+  }
+  const std::size_t cap = std::max(longs.cap, shorts.cap);
+  const CorpusPanels<std::uint32_t> long_p(longs.xs, r, cap + kBatchPadLimbs);
+  const CorpusPanels<std::uint32_t> short_p(shorts.xs, r, cap + kBatchPadLimbs);
+
+  SimtBatch<std::uint32_t> reused(r, cap, 8);
+  auto stage_and_run = [&](SimtBatch<std::uint32_t>& b,
+                           const CorpusPanels<std::uint32_t>& p,
+                           const BigInt& y) {
+    b.load_panel(p.panel(0), p.sizes(0), p.rows(0));
+    b.broadcast_y(y.limbs());
+    for (std::size_t k = 0; k < r; ++k) b.reset_lane_state(k);
+    b.run_staged(Variant::kApproximate, 0);
+  };
+  stage_and_run(reused, long_p, longs.y);   // dirty the high rows
+  stage_and_run(reused, short_p, shorts.y); // then the short group
+
+  SimtBatch<std::uint32_t> fresh(r, cap, 8);
+  stage_and_run(fresh, short_p, shorts.y);
+  for (std::size_t k = 0; k < r; ++k) {
+    ASSERT_EQ(reused.early_coprime(k), fresh.early_coprime(k)) << "lane " << k;
+    if (!fresh.early_coprime(k)) {
+      EXPECT_EQ(reused.gcd_of(k), fresh.gcd_of(k)) << "lane " << k;
+    }
+  }
+}
+
+struct StagedRunCase {
+  Variant variant;
+  std::size_t early_bits;
+};
+
+class StagedRunTest : public ::testing::TestWithParam<StagedRunCase> {};
+
+TEST_P(StagedRunTest, RunStagedMatchesRunBitForBitIncludingStats) {
+  const auto [variant, early_bits] = GetParam();
+  Xoshiro256 rng(555 + std::size_t(variant));
+  const std::size_t lanes = 37;  // ragged: not a multiple of the warp width
+  const std::size_t bits = 192;
+  const std::size_t cap = bits / 32;
+
+  SimtBatch<std::uint32_t> lockstep(lanes, cap, 8);
+  SimtBatch<std::uint32_t> staged(lanes, cap, 8);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    BigInt x, y;
+    if (i % 5 == 0) {
+      const BigInt p = rsa::random_prime(rng, bits / 2);
+      x = p * rsa::random_prime(rng, bits / 2);
+      y = p * rsa::random_prime(rng, bits / 2);
+    } else {
+      x = random_odd<std::uint32_t>(rng, bits);
+      y = random_odd<std::uint32_t>(rng, bits);
+    }
+    lockstep.load(i, x.limbs(), y.limbs());
+    staged.load(i, x.limbs(), y.limbs());
+  }
+  lockstep.run(variant, early_bits);
+  staged.run_staged(variant, early_bits);
+
+  for (std::size_t i = 0; i < lanes; ++i) {
+    ASSERT_EQ(staged.early_coprime(i), lockstep.early_coprime(i))
+        << to_string(variant) << " lane " << i;
+    if (!lockstep.early_coprime(i)) {
+      EXPECT_EQ(staged.gcd_of(i), lockstep.gcd_of(i))
+          << to_string(variant) << " lane " << i;
+    }
+  }
+  // The warp statistics are RECONSTRUCTED for run_staged — every counter
+  // (rounds, warp rounds, branch slots, divergence, utilization, and the
+  // whole GcdStats block) must equal the lockstep accounting exactly.
+  EXPECT_TRUE(staged.stats() == lockstep.stats()) << to_string(variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndTermination, StagedRunTest,
+    ::testing::Values(StagedRunCase{Variant::kBinary, 0},
+                      StagedRunCase{Variant::kBinary, 96},
+                      StagedRunCase{Variant::kFastBinary, 0},
+                      StagedRunCase{Variant::kFastBinary, 96},
+                      StagedRunCase{Variant::kApproximate, 0},
+                      StagedRunCase{Variant::kApproximate, 96}));
+
+// ---------------------------------------------------------------------------
+// End-to-end differentials: staged vs unstaged sweeps
+// ---------------------------------------------------------------------------
+
+/// Heterogeneous corpus with two planted shared-prime pairs (one between the
+/// small moduli — the regression shape of PR 1), one exact duplicate
+/// modulus, and larger bystanders.
+std::vector<BigInt> mixed_corpus(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const BigInt shared_small = rsa::random_prime(rng, 64);
+  const BigInt shared_big = rsa::random_prime(rng, 128);
+  std::vector<BigInt> moduli = {
+      shared_small * rsa::random_prime(rng, 64),    // 0: 128-bit weak
+      shared_small * rsa::random_prime(rng, 64),    // 1: 128-bit weak
+      rsa::random_prime(rng, 128) * rsa::random_prime(rng, 128),  // 2
+      shared_big * rsa::random_prime(rng, 128),     // 3: 256-bit weak
+      rsa::random_prime(rng, 128) * rsa::random_prime(rng, 128),  // 4
+      shared_big * rsa::random_prime(rng, 128),     // 5: 256-bit weak
+      rsa::random_prime(rng, 128) * rsa::random_prime(rng, 128),  // 6
+  };
+  moduli.push_back(moduli[4]);  // 7: exact duplicate of 4
+  return moduli;
+}
+
+void expect_same_sweeps(const AllPairsResult& staged,
+                        const AllPairsResult& unstaged,
+                        std::span<const BigInt> moduli) {
+  EXPECT_EQ(staged.pairs_tested, unstaged.pairs_tested);
+  EXPECT_EQ(staged.blocks_run, unstaged.blocks_run);
+  ASSERT_EQ(staged.hits.size(), unstaged.hits.size());
+  for (std::size_t k = 0; k < staged.hits.size(); ++k) {
+    EXPECT_EQ(staged.hits[k].i, unstaged.hits[k].i);
+    EXPECT_EQ(staged.hits[k].j, unstaged.hits[k].j);
+    EXPECT_EQ(staged.hits[k].factor, unstaged.hits[k].factor);
+    EXPECT_EQ(staged.hits[k].full_modulus, unstaged.hits[k].full_modulus);
+    // GMP oracle: the reported factor is the true gcd of the pair.
+    const auto& h = staged.hits[k];
+    EXPECT_EQ(h.factor, gmp_gcd(moduli[h.i], moduli[h.j])) << "hit " << k;
+    EXPECT_EQ(h.full_modulus,
+              h.factor == moduli[h.i] || h.factor == moduli[h.j]);
+  }
+  // Identical work means identical statistics, not just identical hits.
+  EXPECT_TRUE(staged.simt == unstaged.simt);
+}
+
+TEST(StagingDifferentialTest, AllPairsStagedMatchesUnstaged) {
+  const std::vector<BigInt> moduli = mixed_corpus(777);
+  for (const std::size_t group : {std::size_t(3), std::size_t(64)}) {
+    AllPairsConfig config;
+    config.engine = EngineKind::kSimt;
+    config.group_size = group;
+    config.warp_width = 8;
+    config.early_terminate = true;
+    config.staged = true;
+    const AllPairsResult staged = all_pairs_gcd(moduli, config);
+    config.staged = false;
+    const AllPairsResult unstaged = all_pairs_gcd(moduli, config);
+    expect_same_sweeps(staged, unstaged, moduli);
+    // The corpus plants 2 proper pairs + 1 duplicate.
+    ASSERT_EQ(staged.hits.size(), 3u) << "group " << group;
+    std::size_t full = 0;
+    for (const auto& h : staged.hits) full += h.full_modulus ? 1 : 0;
+    EXPECT_EQ(full, 1u) << "group " << group;
+  }
+}
+
+TEST(StagingDifferentialTest, ProbeIncrementalStagedMatchesUnstaged) {
+  Xoshiro256 rng(888);
+  const BigInt shared = rsa::random_prime(rng, 64);
+  std::vector<BigInt> corpus = {
+      shared * rsa::random_prime(rng, 64),
+      rsa::random_prime(rng, 96) * rsa::random_prime(rng, 96),
+      rsa::random_prime(rng, 64) * rsa::random_prime(rng, 64),
+  };
+  const BigInt candidate = shared * rsa::random_prime(rng, 64);
+  corpus.push_back(candidate);  // exact duplicate of the candidate
+
+  AllPairsConfig config;
+  config.group_size = 2;
+  config.warp_width = 8;
+  config.staged = true;
+  const auto staged = probe_incremental(candidate, corpus, config);
+  config.staged = false;
+  const auto unstaged = probe_incremental(candidate, corpus, config);
+
+  ASSERT_EQ(staged.size(), unstaged.size());
+  for (std::size_t k = 0; k < staged.size(); ++k) {
+    EXPECT_EQ(staged[k].corpus_index, unstaged[k].corpus_index);
+    EXPECT_EQ(staged[k].factor, unstaged[k].factor);
+    EXPECT_EQ(staged[k].full_modulus, unstaged[k].full_modulus);
+  }
+  ASSERT_EQ(staged.size(), 2u);
+  EXPECT_EQ(staged[0].corpus_index, 0u);
+  EXPECT_EQ(staged[0].factor, shared);
+  EXPECT_FALSE(staged[0].full_modulus);
+  EXPECT_EQ(staged[1].corpus_index, 3u);
+  EXPECT_EQ(staged[1].factor, candidate);  // gcd(n, n) = n
+  EXPECT_TRUE(staged[1].full_modulus);
+}
+
+TEST(StagingDifferentialTest, ResumableScanStagedMatchesUnstaged) {
+  const std::vector<BigInt> moduli = mixed_corpus(999);
+  ScanConfig config;
+  config.pairs.group_size = 3;
+  config.pairs.warp_width = 8;
+  config.chunk_blocks = 2;
+  config.pairs.staged = true;
+  const ScanReport staged = run_resumable_scan(moduli, config);
+  config.pairs.staged = false;
+  const ScanReport unstaged = run_resumable_scan(moduli, config);
+  ASSERT_TRUE(staged.complete);
+  ASSERT_TRUE(unstaged.complete);
+  expect_same_sweeps(staged.result, unstaged.result, moduli);
+}
+
+TEST(StagingDifferentialTest, ResumeRestoresFullModulusFlags) {
+  // full_modulus is recomputed when hits are restored from a checkpoint (the
+  // journal format predates the flag and stays unchanged): kill a scan after
+  // one chunk, resume, and check the flags on the merged hit list.
+  const std::vector<BigInt> moduli = mixed_corpus(1234);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "bulkgcd_staging_resume_flags.ckpt";
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+
+  ScanConfig config;
+  config.pairs.group_size = 2;
+  config.pairs.warp_width = 8;
+  config.checkpoint = path;
+  config.chunk_blocks = 1;
+  config.stop_after_chunks = 3;
+  const ScanReport partial = run_resumable_scan(moduli, config);
+  ASSERT_FALSE(partial.complete);
+
+  config.stop_after_chunks = 0;
+  const ScanReport resumed = run_resumable_scan(moduli, config);
+  ASSERT_TRUE(resumed.complete);
+  ASSERT_TRUE(resumed.resumed);
+  for (const auto& h : resumed.result.hits) {
+    EXPECT_EQ(h.full_modulus,
+              h.factor == moduli[h.i] || h.factor == moduli[h.j]);
+  }
+  std::size_t full = 0;
+  for (const auto& h : resumed.result.hits) full += h.full_modulus ? 1 : 0;
+  EXPECT_EQ(full, 1u);
+  std::filesystem::remove(path, ignored);
+}
+
+}  // namespace
+}  // namespace bulkgcd::bulk
