@@ -17,10 +17,17 @@
 //   --discard-checkpoint   start fresh if the checkpoint belongs to a
 //                          different corpus or scan geometry
 //   --generate <count> <bits> <weak> synthesize a corpus into corpus.keys
+//   --metrics-out <file>   append NDJSON telemetry snapshots (one JSON
+//                          object per line; schema in docs/metrics_schema.json)
+//   --metrics-interval <s> seconds between periodic snapshots (default 0:
+//                          a single final snapshot on exit)
+//
+// Value flags accept both `--flag value` and `--flag=value`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 
 #include "bulkgcd.hpp"
@@ -33,7 +40,8 @@ int usage(const char* argv0) {
                "          [--checkpoint <path>] [--chunk-blocks <n>]\n"
                "          [--group-size <r>] [--engine simt|scalar]\n"
                "          [--threads <n>] [--stop-after <n>]\n"
-               "          [--discard-checkpoint]\n",
+               "          [--discard-checkpoint]\n"
+               "          [--metrics-out <file>] [--metrics-interval <sec>]\n",
                argv0);
   return 2;
 }
@@ -45,29 +53,47 @@ int main(int argc, char** argv) {
 
   std::string corpus_path;
   std::string checkpoint_path;
+  std::string metrics_path;
+  double metrics_interval = 0.0;
   bulk::ScanConfig config;
   std::size_t gen_count = 0, gen_bits = 512, gen_weak = 4;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* what) -> const char* {
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&](const char* what) -> std::string {
+      if (has_inline) {
+        has_inline = false;
+        return inline_value;
+      }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", what);
         std::exit(2);
       }
       return argv[++i];
     };
+    auto next_u64 = [&](const char* what) {
+      return std::strtoull(next(what).c_str(), nullptr, 10);
+    };
     if (arg == "--generate") {
-      gen_count = std::strtoull(next("--generate"), nullptr, 10);
-      gen_bits = std::strtoull(next("--generate bits"), nullptr, 10);
-      gen_weak = std::strtoull(next("--generate weak"), nullptr, 10);
+      gen_count = next_u64("--generate");
+      gen_bits = next_u64("--generate bits");
+      gen_weak = next_u64("--generate weak");
     } else if (arg == "--checkpoint") {
       checkpoint_path = next("--checkpoint");
     } else if (arg == "--chunk-blocks") {
-      config.chunk_blocks = std::strtoull(next("--chunk-blocks"), nullptr, 10);
+      config.chunk_blocks = next_u64("--chunk-blocks");
     } else if (arg == "--group-size") {
-      config.pairs.group_size =
-          std::strtoull(next("--group-size"), nullptr, 10);
+      config.pairs.group_size = next_u64("--group-size");
     } else if (arg == "--engine") {
       const std::string engine = next("--engine");
       if (engine == "simt") {
@@ -78,10 +104,14 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
     } else if (arg == "--threads") {
-      config.pairs.pool_threads = std::strtoull(next("--threads"), nullptr, 10);
+      config.pairs.pool_threads = next_u64("--threads");
     } else if (arg == "--stop-after") {
-      config.stop_after_chunks =
-          std::strtoull(next("--stop-after"), nullptr, 10);
+      config.stop_after_chunks = next_u64("--stop-after");
+    } else if (arg == "--metrics-out") {
+      metrics_path = next("--metrics-out");
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::strtod(next("--metrics-interval").c_str(),
+                                     nullptr);
     } else if (arg == "--discard-checkpoint") {
       config.discard_mismatched_checkpoint = true;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -91,6 +121,14 @@ int main(int argc, char** argv) {
     }
   }
   if (corpus_path.empty() && gen_count == 0) return usage(argv[0]);
+
+  // One registry for the whole run; the null-registry path (no --metrics-out)
+  // leaves config.pairs.metrics null and the scan hot loop instrument-free.
+  std::optional<obs::MetricsRegistry> registry;
+  if (!metrics_path.empty()) {
+    registry.emplace();
+    config.pairs.metrics = &*registry;
+  }
 
   std::vector<mp::BigInt> moduli;
   if (gen_count > 0) {
@@ -106,7 +144,8 @@ int main(int argc, char** argv) {
     rsa::save_moduli(corpus_path, moduli, "resumable_scan demo corpus");
   } else {
     try {
-      moduli = rsa::load_moduli(corpus_path);
+      moduli = rsa::load_moduli(corpus_path,
+                                registry ? &*registry : nullptr);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -126,10 +165,23 @@ int main(int argc, char** argv) {
               (unsigned long long)rsa::corpus_digest(moduli),
               checkpoint_path.c_str());
 
+  std::optional<obs::TelemetryEmitter> emitter;
+  if (registry) {
+    try {
+      emitter.emplace(*registry, metrics_path, metrics_interval);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("telemetry -> %s (interval %.1fs)\n", metrics_path.c_str(),
+                metrics_interval);
+  }
+
   bulk::ScanReport report;
   try {
     report = bulk::run_resumable_scan(moduli, config);
   } catch (const std::exception& e) {
+    if (emitter) emitter->stop();  // final snapshot even on a failed scan
     std::fprintf(stderr,
                  "error: %s\n"
                  "(pass --discard-checkpoint to restart this scan from "
@@ -137,6 +189,8 @@ int main(int argc, char** argv) {
                  e.what(), checkpoint_path.c_str());
     return 2;
   }
+
+  if (emitter) emitter->stop();  // join + final snapshot before the summary
 
   std::printf("\n%s after %.2fs: %llu/%llu chunks, %llu pairs, %zu hits",
               report.complete ? "complete" : "interrupted",
@@ -153,6 +207,40 @@ int main(int argc, char** argv) {
   for (const auto& q : report.quarantined) {
     std::printf("  QUARANTINED chunk %zu: %s\n", q.chunk_index,
                 q.error.c_str());
+  }
+  if (registry) {
+    // Structured end-of-run summary straight from the registry, so what is
+    // printed is exactly what the last NDJSON line recorded.
+    const obs::Snapshot snap = registry->snapshot();
+    auto counter = [&](std::string_view name) -> unsigned long long {
+      for (const auto& c : snap.counters) {
+        if (c.name == name) return (unsigned long long)c.value;
+      }
+      return 0;
+    };
+    std::printf(
+        "telemetry summary (%zu snapshot lines -> %s):\n"
+        "  scan: %llu chunks committed, %llu restored, %llu retried, "
+        "%llu quarantined\n"
+        "  work: %llu pairs (%llu restored), %llu hits, "
+        "%llu gcd iterations\n"
+        "  keystore: %llu records, %llu duplicate moduli, %llu parse errors\n",
+        emitter->lines_written(), metrics_path.c_str(),
+        counter("scan_chunks_committed_total"),
+        counter("scan_chunks_restored_total"),
+        counter("scan_chunks_retried_total"),
+        counter("scan_chunks_quarantined_total"), counter("scan_pairs_total"),
+        counter("scan_pairs_restored_total"), counter("scan_hits_total"),
+        counter("gcd_iterations_total"), counter("keystore_records_total"),
+        counter("keystore_duplicate_moduli_total"),
+        counter("keystore_parse_errors_total"));
+    for (const auto& h : snap.histograms) {
+      if (h.name == "scan_checkpoint_fsync_seconds" && h.count > 0) {
+        std::printf("  checkpoint fsync: %llu syncs, p50 %.3fms, p99 %.3fms\n",
+                    (unsigned long long)h.count, h.quantile(0.5) * 1e3,
+                    h.quantile(0.99) * 1e3);
+      }
+    }
   }
   if (!report.complete) {
     std::printf("rerun with the same arguments to continue from %s\n",

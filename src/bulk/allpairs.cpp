@@ -43,6 +43,9 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
                          panels ? &*panels : nullptr);
     sweeper.run_blocks(lo, hi);
     auto local = sweeper.take();
+    // Engine-statistics counters are fed at the merge points, so their
+    // totals exactly equal the final AllPairsResult stats.
+    fold_engine_stats(config.metrics, local.simt, local.scalar);
 
     std::lock_guard lock(merge_mutex);
     result.pairs_tested += local.pairs;

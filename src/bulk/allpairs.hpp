@@ -18,6 +18,10 @@
 #include "gcd/algorithms.hpp"
 #include "mp/bigint.hpp"
 
+namespace bulkgcd::obs {
+class MetricsRegistry;
+}
+
 namespace bulkgcd::bulk {
 
 enum class EngineKind {
@@ -39,6 +43,12 @@ struct AllPairsConfig {
   /// tests; the unstaged path stays available as the reference. Ignored by
   /// the scalar engine.
   bool staged = true;
+  /// Telemetry sink (src/obs/). Null — the "null registry" path — keeps the
+  /// sweep free of instrumentation work beyond a handful of branches; when
+  /// set, the sweep feeds the sweep_*/simt_*/gcd_* metrics documented in
+  /// docs/OBSERVABILITY.md. Not part of the scan identity (a checkpoint
+  /// written with metrics off resumes with them on, and vice versa).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A factored pair: moduli[i] and moduli[j] share `factor`.

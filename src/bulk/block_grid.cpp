@@ -2,7 +2,28 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace bulkgcd::bulk {
+
+void fold_engine_stats(obs::MetricsRegistry* metrics, const SimtStats& simt,
+                       const gcd::GcdStats& scalar) {
+  if (!metrics) return;
+  metrics->counter("simt_rounds_total")->add(simt.rounds);
+  metrics->counter("simt_warp_rounds_total")->add(simt.warp_rounds);
+  metrics->counter("simt_lane_iterations_total")->add(simt.lane_iterations);
+  metrics->counter("simt_branch_slots_total")->add(simt.branch_slots);
+  metrics->counter("simt_divergent_warp_rounds_total")
+      ->add(simt.divergent_warp_rounds);
+  metrics->counter("simt_active_lane_slots_total")
+      ->add(simt.active_lane_slots);
+  metrics->counter("simt_lane_slots_total")->add(simt.lane_slots);
+  metrics->counter("gcd_iterations_total")
+      ->add(simt.gcd.iterations + scalar.iterations);
+  metrics->counter("gcd_swaps_total")->add(simt.gcd.swaps + scalar.swaps);
+  metrics->counter("gcd_beta_nonzero_total")
+      ->add(simt.gcd.beta_nonzero + scalar.beta_nonzero);
+}
 
 BlockGrid::Block BlockGrid::block(std::size_t index) const noexcept {
   // Row i starts at offset(i) = i·g − i·(i−1)/2. Invert with the quadratic
@@ -45,7 +66,30 @@ BlockSweeper::BlockSweeper(std::span<const mp::BigInt> moduli,
       config_(config),
       panels_(panels),
       scalar_engine_(capacity_limbs),
-      batch_(grid.r, capacity_limbs, config.warp_width) {}
+      batch_(grid.r, capacity_limbs, config.warp_width) {
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry* m = config.metrics;
+    tele_ = std::make_unique<Telemetry>();
+    tele_->blocks = m->counter("sweep_blocks_total");
+    tele_->pairs = m->counter("sweep_pairs_total");
+    tele_->hits = m->counter("sweep_hits_total");
+    tele_->full_modulus_hits = m->counter("sweep_full_modulus_hits_total");
+    tele_->early_coprime = m->counter("sweep_early_coprime_total");
+    tele_->iterations_per_pair_target =
+        m->histogram("sweep_iterations_per_pair", 0.0, 4096.0, 128);
+    tele_->panel_load_target =
+        m->histogram("sweep_panel_load_seconds", 0.0, 1e-3, 100);
+    tele_->lane_exec_target =
+        m->histogram("sweep_lane_exec_seconds", 0.0, 1e-2, 100);
+    tele_->verify_target =
+        m->histogram("sweep_verify_seconds", 0.0, 1e-3, 100);
+    tele_->iterations_per_pair =
+        obs::LocalHistogram(*tele_->iterations_per_pair_target);
+    tele_->panel_load_seconds = obs::LocalHistogram(*tele_->panel_load_target);
+    tele_->lane_exec_seconds = obs::LocalHistogram(*tele_->lane_exec_target);
+    tele_->verify_seconds = obs::LocalHistogram(*tele_->verify_target);
+  }
+}
 
 void BlockSweeper::run_block(std::size_t block_index) {
   const auto [i, j] = grid_.block(block_index);
@@ -54,9 +98,17 @@ void BlockSweeper::run_block(std::size_t block_index) {
   const std::size_t j_begin = j * r, j_end = std::min(j_begin + r, grid_.m);
   const bool staged = config_.staged && panels_ != nullptr;
 
+  // Block-local telemetry tallies, flushed into the sharded counters once
+  // per block (a handful of adds) so the pair loops stay increment-free.
+  const std::uint64_t pairs_before = out_.pairs;
+  const std::size_t hits_before = out_.hits.size();
+  std::uint64_t early_coprime = 0;
+  std::uint64_t full_modulus_hits = 0;
+
   auto record = [&](std::size_t a, std::size_t b, mp::BigInt g) {
     if (g > mp::BigInt(1)) {
       const bool full = g == moduli_[a] || g == moduli_[b];
+      if (full) ++full_modulus_hits;
       out_.hits.push_back({a, b, std::move(g), full});
     }
   };
@@ -73,6 +125,8 @@ void BlockSweeper::run_block(std::size_t block_index) {
       if (staged) {
         // One contiguous copy of the group-i panel + one broadcast of n_jj
         // replaces k_end strided loads with their normalization scans.
+        obs::ScopedLocalSpan panel_span(
+            tele_ ? &tele_->panel_load_seconds : nullptr);
         batch_.load_panel(panels_->panel(i), panels_->sizes(i),
                           panels_->rows(i));
         batch_.broadcast_y(moduli_[jj].limbs());
@@ -80,8 +134,9 @@ void BlockSweeper::run_block(std::size_t block_index) {
           batch_.reset_lane_state(k, pair_early_bits(i_begin + k, jj));
         }
         for (std::size_t k = k_end; k < r; ++k) batch_.disable(k);
-        batch_.run_staged(config_.variant);
       } else {
+        obs::ScopedLocalSpan panel_span(
+            tele_ ? &tele_->panel_load_seconds : nullptr);
         for (std::size_t k = 0; k < r; ++k) {
           if (k < k_end) {
             batch_.load(k, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
@@ -90,25 +145,63 @@ void BlockSweeper::run_block(std::size_t block_index) {
             batch_.disable(k);
           }
         }
-        batch_.run(config_.variant);
       }
+      {
+        obs::ScopedLocalSpan exec_span(
+            tele_ ? &tele_->lane_exec_seconds : nullptr);
+        if (staged) {
+          batch_.run_staged(config_.variant);
+        } else {
+          batch_.run(config_.variant);
+        }
+      }
+      obs::ScopedLocalSpan verify_span(
+          tele_ ? &tele_->verify_seconds : nullptr);
       for (std::size_t k = 0; k < k_end; ++k) {
         ++out_.pairs;
-        if (!batch_.early_coprime(k)) {
+        if (batch_.early_coprime(k)) {
+          ++early_coprime;
+        } else {
           record(i_begin + k, jj, batch_.gcd_of(k));
         }
       }
+      // Per-pair iteration counts come for free from the staged branch
+      // traces (run() keeps no per-lane tally, so the lockstep reference
+      // path leaves this histogram empty — documented in OBSERVABILITY.md).
+      if (tele_ && staged) {
+        for (std::size_t k = 0; k < k_end; ++k) {
+          tele_->iterations_per_pair.observe(
+              double(batch_.staged_lane_iterations(k)));
+        }
+      }
     } else {
+      obs::ScopedLocalSpan exec_span(
+          tele_ ? &tele_->lane_exec_seconds : nullptr);
       for (std::size_t k = 0; k < k_end; ++k) {
         ++out_.pairs;
+        const std::uint64_t iters_before = out_.scalar.iterations;
         const auto run = scalar_engine_.run(
             config_.variant, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
             pair_early_bits(i_begin + k, jj), &out_.scalar);
-        if (!run.early_coprime) {
+        if (tele_) {
+          tele_->iterations_per_pair.observe(
+              double(out_.scalar.iterations - iters_before));
+        }
+        if (run.early_coprime) {
+          ++early_coprime;
+        } else {
           record(i_begin + k, jj, mp::BigInt::from_limbs(run.gcd));
         }
       }
     }
+  }
+
+  if (tele_) {
+    tele_->blocks->inc();
+    tele_->pairs->add(out_.pairs - pairs_before);
+    tele_->hits->add(out_.hits.size() - hits_before);
+    tele_->full_modulus_hits->add(full_modulus_hits);
+    tele_->early_coprime->add(early_coprime);
   }
 }
 
@@ -116,6 +209,16 @@ BlockSweeper::Output BlockSweeper::take() {
   if (config_.engine == EngineKind::kSimt) {
     out_.simt = batch_.stats();
     batch_.reset_stats();
+  }
+  if (tele_) {
+    tele_->iterations_per_pair_target->merge(tele_->iterations_per_pair);
+    tele_->panel_load_target->merge(tele_->panel_load_seconds);
+    tele_->lane_exec_target->merge(tele_->lane_exec_seconds);
+    tele_->verify_target->merge(tele_->verify_seconds);
+    tele_->iterations_per_pair.reset();
+    tele_->panel_load_seconds.reset();
+    tele_->lane_exec_seconds.reset();
+    tele_->verify_seconds.reset();
   }
   Output result = std::move(out_);
   out_ = Output{};

@@ -8,11 +8,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "bulk/allpairs.hpp"
 #include "gcd/algorithms.hpp"
+#include "obs/metrics.hpp"
 
 namespace bulkgcd::bulk {
 
@@ -61,6 +63,15 @@ struct BlockGrid {
   std::uint64_t pairs_in_range(std::size_t lo, std::size_t hi) const noexcept;
 };
 
+/// Fold engine statistics into the shared simt_*/gcd_* iteration counters.
+/// Called at aggregation points only — per committed chunk in the resumable
+/// driver (plus once for checkpoint-restored state) and per worker merge in
+/// all_pairs_gcd — so the counter totals exactly equal the
+/// SimtStats/GcdStats of the final report, with no double counting from
+/// retried attempts. No-op when `metrics` is null.
+void fold_engine_stats(obs::MetricsRegistry* metrics, const SimtStats& simt,
+                       const gcd::GcdStats& scalar);
+
 /// Per-worker sweep state: one scalar engine + one SIMT batch, reused across
 /// the blocks a worker processes. Accumulates hits, pair counts, and engine
 /// statistics; take() hands them over and resets.
@@ -98,6 +109,30 @@ class BlockSweeper {
                : 0;
   }
 
+  /// Handles into the optional metrics registry, resolved once per sweeper.
+  /// Counters flush once per block from plain locals; the per-pair
+  /// iteration histogram and the per-round phase spans accumulate into
+  /// unsynchronized LocalHistograms, merged once in take(). sweep_* metrics
+  /// count locally *executed* work — including blocks later retried or
+  /// quarantined — while the exact committed totals live in the scan_* and
+  /// simt_*/gcd_* counters fed at the aggregation points
+  /// (fold_engine_stats).
+  struct Telemetry {
+    obs::Counter* blocks = nullptr;
+    obs::Counter* pairs = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* full_modulus_hits = nullptr;
+    obs::Counter* early_coprime = nullptr;
+    obs::LocalHistogram iterations_per_pair;
+    obs::LocalHistogram panel_load_seconds;
+    obs::LocalHistogram lane_exec_seconds;
+    obs::LocalHistogram verify_seconds;
+    obs::HistogramMetric* iterations_per_pair_target = nullptr;
+    obs::HistogramMetric* panel_load_target = nullptr;
+    obs::HistogramMetric* lane_exec_target = nullptr;
+    obs::HistogramMetric* verify_target = nullptr;
+  };
+
   std::span<const mp::BigInt> moduli_;
   std::span<const std::size_t> bits_;
   BlockGrid grid_;
@@ -106,6 +141,7 @@ class BlockSweeper {
   gcd::GcdEngine<ScanLimb> scalar_engine_;
   SimtBatch<ScanLimb, ColumnMatrix> batch_;
   Output out_;
+  std::unique_ptr<Telemetry> tele_;  ///< null on the null-registry path
 };
 
 }  // namespace bulkgcd::bulk

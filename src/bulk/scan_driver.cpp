@@ -15,11 +15,54 @@
 #include "bulk/block_grid.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rsa/keystore.hpp"
 
 namespace bulkgcd::bulk {
 
 namespace {
+
+/// Driver-level metric handles (docs/OBSERVABILITY.md). All null when the
+/// scan runs without a registry; every use is guarded by a single branch.
+/// scan_pairs_total / scan_hits_total count *committed* work including
+/// checkpoint-restored chunks, so at the end of a run they exactly equal
+/// the final ScanReport's pairs_tested and hit count.
+struct DriverTelemetry {
+  obs::Counter* chunks_committed = nullptr;
+  obs::Counter* chunks_restored = nullptr;
+  obs::Counter* chunks_retried = nullptr;
+  obs::Counter* chunks_quarantined = nullptr;
+  obs::Counter* pairs = nullptr;
+  obs::Counter* pairs_restored = nullptr;
+  obs::Counter* hits = nullptr;
+  obs::HistogramMetric* chunk_seconds = nullptr;
+  obs::HistogramMetric* fsync_seconds = nullptr;
+  obs::Gauge* pairs_per_second = nullptr;
+  obs::Gauge* blocks_per_second = nullptr;
+  obs::Gauge* progress_ratio = nullptr;
+  obs::Gauge* eta_seconds = nullptr;
+
+  static DriverTelemetry resolve(obs::MetricsRegistry* m) {
+    DriverTelemetry t;
+    if (!m) return t;
+    t.chunks_committed = m->counter("scan_chunks_committed_total");
+    t.chunks_restored = m->counter("scan_chunks_restored_total");
+    t.chunks_retried = m->counter("scan_chunks_retried_total");
+    t.chunks_quarantined = m->counter("scan_chunks_quarantined_total");
+    t.pairs = m->counter("scan_pairs_total");
+    t.pairs_restored = m->counter("scan_pairs_restored_total");
+    t.hits = m->counter("scan_hits_total");
+    t.chunk_seconds = m->histogram("scan_chunk_seconds", 0.0, 30.0, 120);
+    t.fsync_seconds =
+        m->histogram("scan_checkpoint_fsync_seconds", 0.0, 0.1, 100);
+    t.pairs_per_second = m->gauge("scan_pairs_per_second");
+    t.blocks_per_second = m->gauge("scan_blocks_per_second");
+    t.progress_ratio = m->gauge("scan_progress_ratio");
+    t.eta_seconds = m->gauge("scan_eta_seconds");
+    return t;
+  }
+};
 
 // ---- journal wire format (docs/SCAN_DRIVER.md) ----------------------------
 // All integers little-endian. Header is fixed-size; records are appended,
@@ -283,8 +326,13 @@ std::optional<RestoredState> parse_journal(const std::string& bytes,
 /// Open-for-append journal with fsync cadence.
 class Journal {
  public:
-  Journal(const std::filesystem::path& path, std::size_t fsync_every)
-      : path_(path), fsync_every_(std::max<std::size_t>(1, fsync_every)) {}
+  /// fsync_hist (optional) receives the latency of every flush+fsync — the
+  /// durability cost a production deployment needs to watch.
+  Journal(const std::filesystem::path& path, std::size_t fsync_every,
+          obs::HistogramMetric* fsync_hist = nullptr)
+      : path_(path),
+        fsync_every_(std::max<std::size_t>(1, fsync_every)),
+        fsync_hist_(fsync_hist) {}
   ~Journal() { close(); }
 
   void create_fresh(const JournalIdentity& id) {
@@ -332,6 +380,7 @@ class Journal {
     }
   }
   void flush_and_sync() {
+    obs::ScopedSpan span(fsync_hist_);
     if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
       throw std::runtime_error("scan_driver: checkpoint fsync failed: " +
                                path_.string());
@@ -347,6 +396,7 @@ class Journal {
 
   std::filesystem::path path_;
   std::size_t fsync_every_;
+  obs::HistogramMetric* fsync_hist_;
   std::size_t commits_since_sync_ = 0;
   std::FILE* file_ = nullptr;
 };
@@ -438,6 +488,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     panels.emplace(moduli, grid.r, cap + kBatchPadLimbs);
   }
 
+  DriverTelemetry tele = DriverTelemetry::resolve(config.pairs.metrics);
+
   JournalIdentity identity;
   identity.digest = rsa::corpus_digest(moduli);
   identity.m = m;
@@ -455,7 +507,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
 
   std::optional<Journal> journal;
   if (!config.checkpoint.empty()) {
-    journal.emplace(config.checkpoint, config.fsync_every);
+    journal.emplace(config.checkpoint, config.fsync_every,
+                    tele.fsync_seconds);
     std::error_code ec;
     if (std::filesystem::exists(config.checkpoint, ec)) {
       std::string why;
@@ -476,6 +529,20 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     } else {
       journal->create_fresh(identity);
     }
+  }
+
+  // Checkpoint-restored work counts as committed, so the scan_* counters
+  // end the run exactly equal to the final report even after a resume.
+  if (state.chunks_committed > 0 || !state.quarantined.empty()) {
+    if (tele.chunks_restored) {
+      tele.chunks_restored->add(state.chunks_committed);
+      tele.chunks_committed->add(state.chunks_committed);
+      tele.chunks_quarantined->add(state.quarantined.size());
+      tele.pairs->add(state.pairs);
+      tele.pairs_restored->add(state.pairs);
+      tele.hits->add(state.hits.size());
+    }
+    fold_engine_stats(config.pairs.metrics, state.simt, state.scalar);
   }
 
   // ---- aggregation seeded from the checkpoint -----------------------------
@@ -518,9 +585,11 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     ChunkOutcome outcome;
     outcome.chunk_index = chunk;
     const auto [lo, hi] = chunk_range(chunk);
+    obs::ScopedSpan chunk_span(tele.chunk_seconds);
     std::string first_error;
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
+        if (attempt == 1 && tele.chunks_retried) tele.chunks_retried->inc();
         if (config.chunk_hook) config.chunk_hook(chunk, attempt);
         AllPairsConfig pairs_config = config.pairs;
         // Retry runs on the scalar engine: the simplest code path, isolated
@@ -561,7 +630,7 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   std::uint64_t committed_this_run = 0;
 
   auto emit_progress = [&] {
-    if (!config.sink) return;
+    if (!config.sink && !tele.pairs_per_second) return;
     ScanProgress p;
     p.chunks_done = report.chunks_done;
     p.chunks_total = chunks_total;
@@ -584,19 +653,36 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
           double(committed_this_run * chunk_blocks) / p.elapsed_seconds;
       p.eta_seconds = double(remaining) / p.pairs_per_second;
     }
-    config.sink->on_progress(p);
+    // The progress pipeline doubles as the gauge feed: every record a sink
+    // sees is also visible to metrics scrapes/snapshots.
+    if (tele.pairs_per_second) {
+      tele.pairs_per_second->set(p.pairs_per_second);
+      tele.blocks_per_second->set(p.blocks_per_second);
+      tele.progress_ratio->set(
+          p.pairs_total == 0 ? 1.0
+                             : double(p.pairs_done) / double(p.pairs_total));
+      tele.eta_seconds->set(p.eta_seconds);
+    }
+    if (config.sink) config.sink->on_progress(p);
   };
 
   auto commit = [&](ChunkOutcome outcome) {
     if (journal) journal->commit(outcome);
     ++committed_this_run;
     if (outcome.quarantined) {
+      if (tele.chunks_quarantined) tele.chunks_quarantined->inc();
       if (config.sink) {
         config.sink->on_quarantine(outcome.chunk_index, outcome.error);
       }
       report.quarantined.push_back(
           {outcome.chunk_index, std::move(outcome.error)});
     } else {
+      if (tele.chunks_committed) {
+        tele.chunks_committed->inc();
+        tele.pairs->add(outcome.pairs);
+        tele.hits->add(outcome.hits.size());
+      }
+      fold_engine_stats(config.pairs.metrics, outcome.simt, outcome.scalar);
       ++report.chunks_done;
       ++report.chunks_done_this_run;
       const auto [lo, hi] = chunk_range(outcome.chunk_index);

@@ -296,6 +296,15 @@ class SimtBatch {
   const SimtStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = SimtStats{}; }
 
+  /// Iterations the lane executed in the most recent run_staged() — the
+  /// length of its recorded branch trace (0 before any staged run, or for a
+  /// disabled lane). This is the per-pair iteration count §IV aggregates
+  /// into Table IV; the telemetry layer feeds it into the
+  /// iterations-per-pair histogram without touching the hot loop.
+  std::size_t staged_lane_iterations(std::size_t lane) const noexcept {
+    return lane < branch_log_.size() ? branch_log_[lane].size() : 0;
+  }
+
  private:
   /// Register-resident view of one lane's algorithm state. Both execution
   /// modes advance lanes exclusively through this struct and the shared step

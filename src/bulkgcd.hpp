@@ -13,6 +13,8 @@
 //   bulk::run_resumable_scan            checkpointed, fault-tolerant scan
 //   bulk::probe_incremental             one-new-key incremental scan
 //   bulk::SimtBatch                     warp-lockstep execution engine
+//   obs::MetricsRegistry                telemetry counters/gauges/histograms
+//   obs::TelemetryEmitter               periodic NDJSON snapshot writer
 //   batchgcd::batch_gcd                 Bernstein product/remainder tree
 //   gcd::gcd_lehmer                     Lehmer's GCD (extension baseline)
 //   umm::UmmSimulator                   the paper's GPU cost model
@@ -33,6 +35,10 @@
 #include "gcd/lehmer.hpp"
 #include "gcd/reference.hpp"
 #include "mp/bigint.hpp"
+#include "obs/emitter.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rsa/barrett.hpp"
 #include "rsa/corpus.hpp"
 #include "rsa/keystore.hpp"

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -53,10 +54,17 @@ class Histogram {
       : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(1, bins), 0) {}
 
   void add(double value) noexcept {
-    const double clamped = std::clamp(value, lo_, hi_);
-    const double unit = (clamped - lo_) / (hi_ - lo_);
-    const std::size_t bin = std::min(counts_.size() - 1,
-                                     std::size_t(unit * double(counts_.size())));
+    // A degenerate range (lo == hi, or an inverted one) would divide by
+    // zero and scatter NaN-indexed increments; every value lands in bin 0
+    // instead.
+    const double span = hi_ - lo_;
+    std::size_t bin = 0;
+    if (span > 0.0) {
+      const double clamped = std::clamp(value, lo_, hi_);
+      const double unit = (clamped - lo_) / span;
+      bin = std::min(counts_.size() - 1,
+                     std::size_t(unit * double(counts_.size())));
+    }
     ++counts_[bin];
     ++total_;
   }

@@ -1,0 +1,66 @@
+#include "obs/emitter.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/exposition.hpp"
+
+namespace bulkgcd::obs {
+
+TelemetryEmitter::TelemetryEmitter(MetricsRegistry& registry,
+                                   const std::filesystem::path& path,
+                                   double interval_seconds)
+    : registry_(registry), interval_seconds_(interval_seconds) {
+  out_ = std::fopen(path.string().c_str(), "ab");
+  if (!out_) {
+    throw std::runtime_error("obs: cannot open metrics file " + path.string());
+  }
+  if (interval_seconds_ > 0.0) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+TelemetryEmitter::~TelemetryEmitter() {
+  stop();
+  std::fclose(out_);
+}
+
+void TelemetryEmitter::run() {
+  std::unique_lock lock(mutex_);
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    write_line();
+    lock.lock();
+  }
+}
+
+void TelemetryEmitter::emit_now() { write_line(); }
+
+void TelemetryEmitter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_line();  // final snapshot: short runs still get at least one record
+}
+
+void TelemetryEmitter::write_line() {
+  const std::string line = to_json(registry_.snapshot()) + "\n";
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+  ++lines_;
+}
+
+std::uint64_t TelemetryEmitter::lines_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+}  // namespace bulkgcd::obs

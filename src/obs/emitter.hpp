@@ -1,0 +1,55 @@
+// Periodic NDJSON telemetry: a background thread snapshots a registry every
+// `interval_seconds` and appends one to_json() line to a file, so a
+// multi-day scan leaves an auditable time series behind even if the process
+// dies (every line is flushed; a torn final line is still valid NDJSON up
+// to the previous record). stop() — or destruction — writes one final
+// snapshot so short runs always produce at least one line.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace bulkgcd::obs {
+
+class TelemetryEmitter {
+ public:
+  /// Opens `path` for append; throws std::runtime_error on failure.
+  /// interval_seconds <= 0 disables the periodic thread (snapshots are then
+  /// written only by emit_now() and the final stop() snapshot).
+  TelemetryEmitter(MetricsRegistry& registry, const std::filesystem::path& path,
+                   double interval_seconds);
+  ~TelemetryEmitter();
+
+  TelemetryEmitter(const TelemetryEmitter&) = delete;
+  TelemetryEmitter& operator=(const TelemetryEmitter&) = delete;
+
+  /// Write one snapshot line immediately (any thread).
+  void emit_now();
+
+  /// Stop the periodic thread and write the final snapshot. Idempotent.
+  void stop();
+
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  void run();
+  void write_line();
+
+  MetricsRegistry& registry_;
+  std::FILE* out_ = nullptr;
+  double interval_seconds_;
+  std::uint64_t lines_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace bulkgcd::obs

@@ -1,0 +1,148 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bulkgcd::obs {
+
+namespace {
+
+void put_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void put_double(std::string& out, double v) {
+  // NaN / Inf are not valid JSON; a non-finite sample renders as 0.
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"uptime_seconds\":";
+  put_double(out, snap.uptime_seconds);
+  out += ",\"sequence\":";
+  put_u64(out, snap.sequence);
+
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    put_escaped(out, snap.counters[i].name);
+    out.push_back(':');
+    put_u64(out, snap.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    put_escaped(out, snap.gauges[i].name);
+    out.push_back(':');
+    put_double(out, snap.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i > 0) out.push_back(',');
+    put_escaped(out, h.name);
+    out += ":{\"lo\":";
+    put_double(out, h.lo);
+    out += ",\"hi\":";
+    put_double(out, h.hi);
+    out += ",\"count\":";
+    put_u64(out, h.count);
+    out += ",\"sum\":";
+    put_double(out, h.sum);
+    out += ",\"min\":";
+    put_double(out, h.min);
+    out += ",\"max\":";
+    put_double(out, h.max);
+    out += ",\"mean\":";
+    put_double(out, h.mean());
+    out += ",\"p50\":";
+    put_double(out, h.quantile(0.50));
+    out += ",\"p99\":";
+    put_double(out, h.quantile(0.99));
+    out += ",\"bins\":[";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      put_u64(out, h.bins[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  out.reserve(1024);
+  char buf[64];
+
+  for (const auto& c : snap.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " ";
+    put_u64(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snap.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    put_double(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snap.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    // Cumulative buckets at each bin's upper edge; observations above `hi`
+    // were clamped into the last bin, so `+Inf` equals the total count.
+    std::uint64_t running = 0;
+    const double width =
+        h.bins.empty() ? 0.0 : (h.hi - h.lo) / double(h.bins.size());
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      running += h.bins[b];
+      std::snprintf(buf, sizeof(buf), "%.9g", h.lo + width * double(b + 1));
+      out += h.name + "_bucket{le=\"" + buf + "\"} ";
+      put_u64(out, running);
+      out.push_back('\n');
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} ";
+    put_u64(out, h.count);
+    out.push_back('\n');
+    out += h.name + "_sum ";
+    put_double(out, h.sum);
+    out.push_back('\n');
+    out += h.name + "_count ";
+    put_u64(out, h.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bulkgcd::obs

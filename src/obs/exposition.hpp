@@ -1,0 +1,22 @@
+// Exposition formats for metric snapshots:
+//   to_json()        — one compact JSON object per snapshot (no newlines),
+//     ready to append as an NDJSON line (docs/OBSERVABILITY.md documents the
+//     schema; docs/metrics_schema.json is the machine-checkable version).
+//   to_prometheus()  — Prometheus text exposition format 0.0.4: counters as
+//     `# TYPE name counter`, gauges as gauges, histograms as the cumulative
+//     `name_bucket{le="..."}` / `name_sum` / `name_count` triple.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bulkgcd::obs {
+
+/// Single-line JSON rendering of a snapshot (NDJSON-ready).
+std::string to_json(const Snapshot& snap);
+
+/// Prometheus text exposition (0.0.4) rendering of a snapshot.
+std::string to_prometheus(const Snapshot& snap);
+
+}  // namespace bulkgcd::obs

@@ -1,0 +1,292 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bulkgcd::obs {
+
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// ---- Snapshot -------------------------------------------------------------
+
+double Snapshot::HistogramValue::quantile(double q) const noexcept {
+  if (count == 0 || bins.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(count);
+  std::uint64_t running = 0;
+  const double width = (hi - lo) / double(bins.size());
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (bins[b] == 0) continue;
+    const double before = double(running);
+    running += bins[b];
+    if (double(running) >= target) {
+      const double frac =
+          bins[b] == 0 ? 0.0
+                       : std::clamp((target - before) / double(bins[b]), 0.0,
+                                    1.0);
+      return lo + width * (double(b) + frac);
+    }
+  }
+  return max;
+}
+
+// ---- Counter --------------------------------------------------------------
+
+void Counter::add(std::uint64_t n) noexcept {
+  auto& slot = owner_->thread_slot(slot_);
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::lock_guard lock(owner_->mutex_);
+  return owner_->sum_slot_locked(slot_);
+}
+
+// ---- LocalHistogram / HistogramMetric -------------------------------------
+
+LocalHistogram::LocalHistogram(const HistogramMetric& target)
+    : lo_(target.lo()), hi_(target.hi()), bins_(target.bin_count(), 0) {}
+
+std::size_t LocalHistogram::bin_index(double v) const noexcept {
+  const double span = hi_ - lo_;
+  if (!(span > 0.0)) return 0;  // degenerate range: everything in bin 0
+  const double clamped = std::clamp(v, lo_, hi_);
+  const double unit = (clamped - lo_) / span;
+  return std::min(bins_.size() - 1,
+                  std::size_t(unit * double(bins_.size())));
+}
+
+void LocalHistogram::reset() noexcept {
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  std::fill(bins_.begin(), bins_.end(), 0);
+}
+
+void HistogramMetric::observe(double v) noexcept {
+  std::lock_guard lock(mutex_);
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (count_ == 1 || v > max_) max_ = v;
+  const double span = hi_ - lo_;
+  std::size_t bin = 0;
+  if (span > 0.0) {
+    const double unit = (std::clamp(v, lo_, hi_) - lo_) / span;
+    bin = std::min(bins_.size() - 1, std::size_t(unit * double(bins_.size())));
+  }
+  ++bins_[bin];
+}
+
+void HistogramMetric::merge(const LocalHistogram& local) noexcept {
+  if (local.count_ == 0) return;
+  std::lock_guard lock(mutex_);
+  if (count_ == 0 || local.min_ < min_) min_ = local.min_;
+  if (count_ == 0 || local.max_ > max_) max_ = local.max_;
+  count_ += local.count_;
+  sum_ += local.sum_;
+  // Same geometry by construction (LocalHistogram copies it); a foreign
+  // accumulator folds bin-by-bin up to the shorter length.
+  const std::size_t n = std::min(bins_.size(), local.bins_.size());
+  for (std::size_t b = 0; b < n; ++b) bins_[b] += local.bins_[b];
+}
+
+std::uint64_t HistogramMetric::count() const noexcept {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+void HistogramMetric::fill(Snapshot::HistogramValue& out) const {
+  std::lock_guard lock(mutex_);
+  out.lo = lo_;
+  out.hi = hi_;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  out.bins = bins_;
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+/// Per-thread map registry-id → ThreadBlock*. Registry ids are process-
+/// unique and never reused, so a stale pointer left by a destroyed registry
+/// is never dereferenced (its index is simply never looked up again).
+std::vector<MetricsRegistry::ThreadBlock*>& MetricsRegistry::thread_block_map() {
+  thread_local std::vector<ThreadBlock*> map;
+  return map;
+}
+
+MetricsRegistry::ThreadBlock* MetricsRegistry::this_thread_block() {
+  auto& map = thread_block_map();
+  if (id_ < map.size() && map[id_] != nullptr) return map[id_];
+  if (map.size() <= id_) map.resize(id_ + 1, nullptr);
+  auto block = std::make_unique<ThreadBlock>();
+  ThreadBlock* raw = block.get();
+  {
+    std::lock_guard lock(mutex_);
+    blocks_.push_back(std::move(block));
+  }
+  map[id_] = raw;
+  return raw;
+}
+
+std::atomic<std::uint64_t>& MetricsRegistry::thread_slot(std::size_t slot) {
+  ThreadBlock* block = this_thread_block();
+  if (slot >= block->slots_ready.load(std::memory_order_relaxed)) {
+    // Grow this thread's own block. The registry mutex orders the deque
+    // reshape against snapshot(); the owning thread's unlocked chunk
+    // indexing below never races with growth because only the owner grows.
+    std::lock_guard lock(mutex_);
+    while (block->chunks.size() * kChunkSlots <= slot) {
+      block->chunks.emplace_back();
+    }
+    block->slots_ready.store(block->chunks.size() * kChunkSlots,
+                             std::memory_order_relaxed);
+  }
+  return block->chunks[slot / kChunkSlots].slots[slot % kChunkSlots];
+}
+
+std::uint64_t MetricsRegistry::sum_slot_locked(std::size_t slot) const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks_) {
+    if (slot >= block->slots_ready.load(std::memory_order_relaxed)) continue;
+    total += block->chunks[slot / kChunkSlots]
+                 .slots[slot % kChunkSlots]
+                 .load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name: " +
+                                std::string(name));
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : counters_) {
+    if (entry.name == name) return entry.metric.get();
+  }
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a gauge");
+    }
+  }
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a histogram");
+    }
+  }
+  auto metric =
+      std::unique_ptr<Counter>(new Counter(this, counter_slots_++));
+  Counter* raw = metric.get();
+  counters_.push_back({std::string(name), std::move(metric)});
+  return raw;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name: " +
+                                std::string(name));
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) return entry.metric.get();
+  }
+  for (const auto& entry : counters_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a counter");
+    }
+  }
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a histogram");
+    }
+  }
+  auto metric = std::unique_ptr<Gauge>(new Gauge());
+  Gauge* raw = metric.get();
+  gauges_.push_back({std::string(name), std::move(metric)});
+  return raw;
+}
+
+HistogramMetric* MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name: " +
+                                std::string(name));
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return entry.metric.get();
+  }
+  for (const auto& entry : counters_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a counter");
+    }
+  }
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) {
+      throw std::invalid_argument("obs: " + std::string(name) +
+                                  " is already a gauge");
+    }
+  }
+  auto metric = std::unique_ptr<HistogramMetric>(
+      new HistogramMetric(lo, hi, bins));
+  HistogramMetric* raw = metric.get();
+  histograms_.push_back({std::string(name), std::move(metric)});
+  return raw;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.uptime_seconds = uptime_.seconds();
+  std::lock_guard lock(mutex_);
+  snap.sequence = sequence_++;
+  snap.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    snap.counters.push_back(
+        {entry.name, sum_slot_locked(entry.metric->slot_)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    snap.gauges.push_back({entry.name, entry.metric->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    Snapshot::HistogramValue value;
+    value.name = entry.name;
+    entry.metric->fill(value);
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+}  // namespace bulkgcd::obs

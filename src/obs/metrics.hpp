@@ -1,0 +1,232 @@
+// Low-overhead telemetry for long scan runs — the observability layer the
+// paper's measurement story (§IV–§VI counts memory accesses, iterations, and
+// divergence) implies but the original stdout-only runtime never had.
+//
+//   MetricsRegistry  — named counters, gauges, and histograms. Counters are
+//     sharded per thread: each thread owns a private cache-line-aligned slot
+//     block, written with relaxed load/store (no read-modify-write, no lock
+//     prefix — on x86 this compiles to the same mov/add/mov as a plain
+//     uint64_t, but stays ThreadSanitizer-clean). snapshot() aggregates all
+//     shards under the registry mutex.
+//   Gauge            — last-writer-wins double (relaxed atomic).
+//   HistogramMetric  — fixed-range linear bins + count/sum/min/max behind a
+//     mutex; intended for low-rate observations (per chunk, per phase). Hot
+//     loops accumulate into an unsynchronized LocalHistogram and merge once
+//     per work unit.
+//
+// The "null registry" path: every instrumented call site holds handles that
+// may be nullptr (registry absent). All handle operations are null-safe via
+// the caller's single-branch guard; the instrumented hot loops stay within
+// noise of the uninstrumented build (EXPERIMENTS.md records the budget).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/timer.hpp"
+
+namespace bulkgcd::obs {
+
+class MetricsRegistry;
+
+/// Point-in-time aggregate of every metric in a registry. Plain data —
+/// exposition (JSON / Prometheus text) lives in obs/exposition.hpp.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    double lo = 0.0, hi = 0.0;
+    std::uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    std::vector<std::uint64_t> bins;
+    double mean() const noexcept {
+      return count == 0 ? 0.0 : sum / double(count);
+    }
+    /// Linear-interpolated quantile estimate from the bin counts (exact at
+    /// bin granularity; clamped observations land in the edge bins).
+    double quantile(double q) const noexcept;
+  };
+
+  double uptime_seconds = 0.0;  ///< since registry construction
+  std::uint64_t sequence = 0;   ///< monotonically increasing per registry
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Monotonic counter handle. Obtained from (and owned by) a registry;
+/// add() is safe from any thread and never contends with other threads.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept;
+  void inc() noexcept { add(1); }
+  /// Aggregate over all thread shards (takes the registry mutex).
+  std::uint64_t value() const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* owner, std::size_t slot)
+      : owner_(owner), slot_(slot) {}
+  MetricsRegistry* owner_;
+  std::size_t slot_;
+};
+
+/// Last-writer-wins instantaneous value (rates, ratios, queue depths).
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return bits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> bits_{0.0};
+};
+
+class HistogramMetric;
+
+/// Unsynchronized accumulator sharing a HistogramMetric's bin geometry.
+/// Hot loops observe() into one of these (a few adds, no lock) and fold the
+/// whole batch into the shared metric once per work unit.
+class LocalHistogram {
+ public:
+  LocalHistogram() = default;
+  explicit LocalHistogram(const HistogramMetric& target);
+
+  void observe(double v) noexcept {
+    if (bins_.empty()) return;
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    ++bins_[bin_index(v)];
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  void reset() noexcept;
+
+ private:
+  friend class HistogramMetric;
+  std::size_t bin_index(double v) const noexcept;
+  double lo_ = 0.0, hi_ = 0.0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+  std::vector<std::uint64_t> bins_;
+};
+
+/// Fixed-range linear histogram with streaming sum/min/max. observe() takes
+/// a mutex — fine at per-chunk / per-phase rates; use LocalHistogram + merge
+/// for per-pair rates.
+class HistogramMetric {
+ public:
+  void observe(double v) noexcept;
+  void merge(const LocalHistogram& local) noexcept;
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t bin_count() const noexcept { return bins_.size(); }
+  std::uint64_t count() const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  friend class LocalHistogram;
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins == 0 ? 1 : bins, 0) {}
+  void fill(Snapshot::HistogramValue& out) const;
+
+  double lo_, hi_;
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+  std::vector<std::uint64_t> bins_;
+};
+
+/// Registry of named metrics. Registration is idempotent (same name returns
+/// the same handle) and validated against the Prometheus name grammar
+/// ([a-zA-Z_][a-zA-Z0-9_]*). Handles stay valid for the registry's lifetime;
+/// a metric's kind is fixed by its first registration (a name clash across
+/// kinds throws std::invalid_argument).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Linear bins over [lo, hi); out-of-range observations clamp into the
+  /// edge bins (mirroring core/stats.hpp Histogram).
+  HistogramMetric* histogram(std::string_view name, double lo, double hi,
+                             std::size_t bins = 32);
+
+  Snapshot snapshot() const;
+  double uptime_seconds() const noexcept { return uptime_.seconds(); }
+
+ private:
+  friend class Counter;
+
+  // One thread's private counter slots. Slots live in fixed-size chunks so
+  // addresses stay stable while the block grows; only the owning thread
+  // grows its own block (under the registry mutex, so snapshot() never
+  // observes a deque mid-rehape).
+  static constexpr std::size_t kChunkSlots = 64;
+  struct alignas(64) SlotChunk {
+    std::atomic<std::uint64_t> slots[kChunkSlots];
+    SlotChunk() {
+      for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+    }
+  };
+  struct ThreadBlock {
+    std::deque<SlotChunk> chunks;
+    std::atomic<std::size_t> slots_ready{0};
+  };
+
+  std::atomic<std::uint64_t>& thread_slot(std::size_t slot);
+  ThreadBlock* this_thread_block();
+  std::uint64_t sum_slot_locked(std::size_t slot) const;
+  static std::vector<ThreadBlock*>& thread_block_map();
+
+  const std::uint64_t id_;  ///< process-unique, never reused
+  Timer uptime_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t sequence_ = 0;
+  std::vector<std::unique_ptr<ThreadBlock>> blocks_;
+  std::size_t counter_slots_ = 0;
+
+  // Insertion-ordered metric tables (snapshot order == registration order).
+  struct NamedCounter {
+    std::string name;
+    std::unique_ptr<Counter> metric;
+  };
+  struct NamedGauge {
+    std::string name;
+    std::unique_ptr<Gauge> metric;
+  };
+  struct NamedHistogram {
+    std::string name;
+    std::unique_ptr<HistogramMetric> metric;
+  };
+  std::vector<NamedCounter> counters_;
+  std::vector<NamedGauge> gauges_;
+  std::vector<NamedHistogram> histograms_;
+};
+
+/// True when `name` is a valid metric name ([a-zA-Z_][a-zA-Z0-9_]*).
+bool valid_metric_name(std::string_view name) noexcept;
+
+}  // namespace bulkgcd::obs

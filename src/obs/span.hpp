@@ -1,0 +1,55 @@
+// RAII phase timers feeding latency histograms. A span targets either a
+// shared HistogramMetric (mutexed observe — per-chunk / per-phase rates) or
+// an unsynchronized LocalHistogram owned by the calling thread (per-round
+// rates inside a sweep worker; folded into the shared metric once per work
+// unit). A null target reduces the span to a single branch — the clock is
+// never read — which is the null-registry path of the instrumented loops.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace bulkgcd::obs {
+
+namespace detail {
+
+using SpanClock = std::chrono::steady_clock;
+
+template <typename Target>
+class ScopedSpanBase {
+ public:
+  explicit ScopedSpanBase(Target* target) noexcept : target_(target) {
+    if (target_) start_ = SpanClock::now();
+  }
+  ~ScopedSpanBase() {
+    if (target_) {
+      target_->observe(
+          std::chrono::duration<double>(SpanClock::now() - start_).count());
+    }
+  }
+  ScopedSpanBase(const ScopedSpanBase&) = delete;
+  ScopedSpanBase& operator=(const ScopedSpanBase&) = delete;
+
+  /// Seconds elapsed so far (0 when untargeted).
+  double seconds() const noexcept {
+    return target_ ? std::chrono::duration<double>(SpanClock::now() - start_)
+                         .count()
+                   : 0.0;
+  }
+
+ private:
+  Target* target_;
+  SpanClock::time_point start_{};
+};
+
+}  // namespace detail
+
+/// Times its own lifetime and records seconds into a shared HistogramMetric.
+using ScopedSpan = detail::ScopedSpanBase<HistogramMetric>;
+
+/// Same shape recording into a thread-private LocalHistogram — zero
+/// synchronization, for spans opened many times per work unit.
+using ScopedLocalSpan = detail::ScopedSpanBase<LocalHistogram>;
+
+}  // namespace bulkgcd::obs

@@ -3,10 +3,51 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
 
 namespace bulkgcd::rsa {
 
 namespace {
+
+/// Loader-side counter handles, all null on the null-registry path.
+/// Duplicate detection hashes each modulus (same FNV-1a mix as
+/// corpus_digest) into a set — the set is only built when a registry is
+/// supplied, so un-instrumented loads stay allocation-free.
+struct LoaderTelemetry {
+  obs::Counter* records = nullptr;
+  obs::Counter* comment_lines = nullptr;
+  obs::Counter* parse_errors = nullptr;
+  obs::Counter* duplicate_moduli = nullptr;
+  std::unordered_set<std::uint64_t> seen;
+
+  static LoaderTelemetry resolve(obs::MetricsRegistry* metrics) {
+    LoaderTelemetry t;
+    if (metrics != nullptr) {
+      t.records = metrics->counter("keystore_records_total");
+      t.comment_lines = metrics->counter("keystore_comment_lines_total");
+      t.parse_errors = metrics->counter("keystore_parse_errors_total");
+      t.duplicate_moduli = metrics->counter("keystore_duplicate_moduli_total");
+    }
+    return t;
+  }
+
+  void note_modulus(const mp::BigInt& n) {
+    if (records) records->inc();
+    if (duplicate_moduli) {
+      constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+      constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+      std::uint64_t h = kOffset;
+      for (const auto limb : n.limbs()) {
+        for (int byte = 0; byte < 8; ++byte) {
+          h = (h ^ ((std::uint64_t(limb) >> (8 * byte)) & 0xff)) * kPrime;
+        }
+      }
+      if (!seen.insert(h).second) duplicate_moduli->inc();
+    }
+  }
+};
 
 std::ofstream open_out(const std::filesystem::path& path) {
   std::ofstream out(path);
@@ -64,8 +105,16 @@ void save_moduli(const std::filesystem::path& path,
   if (!out) throw std::runtime_error("keystore: write failed: " + path.string());
 }
 
-std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path) {
+std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path,
+                                    obs::MetricsRegistry* metrics) {
   auto in = open_in(path);
+  LoaderTelemetry tele = LoaderTelemetry::resolve(metrics);
+  // Counted before the throw so a load that dies on a malformed record
+  // still shows the error in the last telemetry snapshot.
+  auto fail = [&](std::size_t at) {
+    if (tele.parse_errors) tele.parse_errors->inc();
+    malformed(path, at);
+  };
   std::vector<mp::BigInt> moduli;
   std::string line;
   std::size_t line_no = 0;
@@ -73,17 +122,21 @@ std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path) {
     ++line_no;
     std::istringstream fields(line);
     std::string kind;
-    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (!(fields >> kind) || kind[0] == '#') {
+      if (tele.comment_lines) tele.comment_lines->inc();
+      continue;
+    }
     std::string hex;
     if (kind == "modulus") {
-      if (!(fields >> hex)) malformed(path, line_no);
+      if (!(fields >> hex)) fail(line_no);
       moduli.push_back(mp::BigInt::from_hex(hex));
     } else if (kind == "keypair") {
-      if (!(fields >> hex)) malformed(path, line_no);
+      if (!(fields >> hex)) fail(line_no);
       moduli.push_back(mp::BigInt::from_hex(hex));  // n is the first field
     } else {
-      malformed(path, line_no);
+      fail(line_no);
     }
+    tele.note_modulus(moduli.back());
   }
   return moduli;
 }
@@ -101,8 +154,14 @@ void save_keypairs(const std::filesystem::path& path,
   if (!out) throw std::runtime_error("keystore: write failed: " + path.string());
 }
 
-std::vector<KeyPair> load_keypairs(const std::filesystem::path& path) {
+std::vector<KeyPair> load_keypairs(const std::filesystem::path& path,
+                                   obs::MetricsRegistry* metrics) {
   auto in = open_in(path);
+  LoaderTelemetry tele = LoaderTelemetry::resolve(metrics);
+  auto fail = [&](std::size_t at) {
+    if (tele.parse_errors) tele.parse_errors->inc();
+    malformed(path, at);
+  };
   std::vector<KeyPair> keys;
   std::string line;
   std::size_t line_no = 0;
@@ -110,17 +169,21 @@ std::vector<KeyPair> load_keypairs(const std::filesystem::path& path) {
     ++line_no;
     std::istringstream fields(line);
     std::string kind;
-    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (!(fields >> kind) || kind[0] == '#') {
+      if (tele.comment_lines) tele.comment_lines->inc();
+      continue;
+    }
     if (kind == "modulus") continue;  // tolerated in mixed files
-    if (kind != "keypair") malformed(path, line_no);
+    if (kind != "keypair") fail(line_no);
     std::string n, e, d, p, q;
-    if (!(fields >> n >> e >> d >> p >> q)) malformed(path, line_no);
+    if (!(fields >> n >> e >> d >> p >> q)) fail(line_no);
     KeyPair key;
     key.n = mp::BigInt::from_hex(n);
     key.e = mp::BigInt::from_hex(e);
     key.d = mp::BigInt::from_hex(d);
     key.p = mp::BigInt::from_hex(p);
     key.q = mp::BigInt::from_hex(q);
+    tele.note_modulus(key.n);
     keys.push_back(std::move(key));
   }
   return keys;

@@ -17,6 +17,10 @@
 
 #include "rsa/rsa.hpp"
 
+namespace bulkgcd::obs {
+class MetricsRegistry;
+}
+
 namespace bulkgcd::rsa {
 
 /// Order-sensitive 64-bit FNV-1a digest of a moduli list (limb data plus
@@ -34,14 +38,22 @@ void save_moduli(const std::filesystem::path& path,
 
 /// Read every `modulus` record (and the n of every `keypair` record).
 /// Throws std::runtime_error on I/O failure or malformed records.
-std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path);
+/// With a metrics registry (docs/OBSERVABILITY.md) the load feeds
+/// keystore_records_total / keystore_comment_lines_total /
+/// keystore_duplicate_moduli_total, and keystore_parse_errors_total is
+/// incremented before the malformed-record throw — a crashed load still
+/// leaves the error visible in the last telemetry snapshot.
+std::vector<mp::BigInt> load_moduli(const std::filesystem::path& path,
+                                    obs::MetricsRegistry* metrics = nullptr);
 
 /// Write full key pairs as `keypair` records.
 void save_keypairs(const std::filesystem::path& path,
                    const std::vector<KeyPair>& keys,
                    const std::string& comment = {});
 
-/// Read every `keypair` record.
-std::vector<KeyPair> load_keypairs(const std::filesystem::path& path);
+/// Read every `keypair` record. Feeds the same keystore_* metrics as
+/// load_moduli when a registry is supplied.
+std::vector<KeyPair> load_keypairs(const std::filesystem::path& path,
+                                   obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace bulkgcd::rsa

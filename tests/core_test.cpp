@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/rng.hpp"
+#include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 
@@ -156,6 +157,39 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.micros(), t0 * 1e6);
   timer.reset();
   EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRangeValuesIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);   // below range -> bin 0
+  h.add(0.0);    // lo edge -> bin 0
+  h.add(5.0);    // middle -> bin 2
+  h.add(99.0);   // above range -> last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, DegenerateRangeLandsEverythingInBinZero) {
+  // lo == hi would make the bin width zero; add() must not divide by the
+  // zero span (NaN bin index = out-of-bounds write). Every value collapses
+  // into bin 0 instead.
+  Histogram flat(3.0, 3.0, 4);
+  flat.add(-1.0);
+  flat.add(3.0);
+  flat.add(1e9);
+  EXPECT_EQ(flat.total(), 3u);
+  EXPECT_EQ(flat.count(0), 3u);
+  for (std::size_t b = 1; b < flat.bins(); ++b) EXPECT_EQ(flat.count(b), 0u);
+
+  // Inverted ranges (hi < lo) take the same guard.
+  Histogram inverted(10.0, 0.0, 4);
+  inverted.add(5.0);
+  EXPECT_EQ(inverted.count(0), 1u);
+
+  // Rendering a degenerate histogram stays well-formed too.
+  EXPECT_NE(flat.render().find('#'), std::string::npos);
 }
 
 TEST(SplitMix64Test, KnownSequence) {

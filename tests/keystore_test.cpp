@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 #include "rsa/corpus.hpp"
 
 namespace bulkgcd::rsa {
@@ -191,6 +192,60 @@ TEST_F(KeystoreTest, EmptyListsProduceLoadableFiles) {
   EXPECT_TRUE(load_moduli(path_).empty());
   save_keypairs(path_, {});
   EXPECT_TRUE(load_keypairs(path_).empty());
+}
+
+TEST_F(KeystoreTest, LoaderMetricsCountRecordsCommentsAndDuplicates) {
+  // A corpus with a repeated modulus: an all-pairs scan of it reports
+  // full-modulus "hits" that factor nothing, so the loader flags it.
+  std::ofstream out(path_);
+  out << "# harvested keys\n"
+      << "\n"
+      << "modulus beef\n"
+      << "modulus c0de\n"
+      << "modulus beef\n";
+  out.close();
+
+  obs::MetricsRegistry registry;
+  const auto moduli = load_moduli(path_, &registry);
+  EXPECT_EQ(moduli.size(), 3u);
+  EXPECT_EQ(registry.counter("keystore_records_total")->value(), 3u);
+  EXPECT_EQ(registry.counter("keystore_comment_lines_total")->value(), 2u);
+  EXPECT_EQ(registry.counter("keystore_duplicate_moduli_total")->value(), 1u);
+  EXPECT_EQ(registry.counter("keystore_parse_errors_total")->value(), 0u);
+}
+
+TEST_F(KeystoreTest, LoaderMetricsRecordParseErrorBeforeThrow) {
+  std::ofstream out(path_);
+  out << "modulus beef\n"
+      << "garbage line\n";
+  out.close();
+
+  obs::MetricsRegistry registry;
+  EXPECT_THROW(load_moduli(path_, &registry), std::runtime_error);
+  // The error is counted before the throw, so a crashed load still shows
+  // it in the last telemetry snapshot.
+  EXPECT_EQ(registry.counter("keystore_parse_errors_total")->value(), 1u);
+  EXPECT_EQ(registry.counter("keystore_records_total")->value(), 1u);
+
+  obs::MetricsRegistry keypair_registry;
+  EXPECT_THROW(load_keypairs(path_, &keypair_registry), std::runtime_error);
+  EXPECT_EQ(keypair_registry.counter("keystore_parse_errors_total")->value(),
+            1u);
+}
+
+TEST_F(KeystoreTest, KeypairLoaderFeedsSameMetrics) {
+  Xoshiro256 rng(42);
+  std::vector<KeyPair> keys;
+  for (int i = 0; i < 2; ++i) keys.push_back(generate_keypair(rng, 128));
+  keys.push_back(keys.front());  // duplicate n
+  save_keypairs(path_, keys, "test corpus");
+
+  obs::MetricsRegistry registry;
+  const auto loaded = load_keypairs(path_, &registry);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(registry.counter("keystore_records_total")->value(), 3u);
+  EXPECT_EQ(registry.counter("keystore_duplicate_moduli_total")->value(), 1u);
+  EXPECT_EQ(registry.counter("keystore_comment_lines_total")->value(), 1u);
 }
 
 }  // namespace

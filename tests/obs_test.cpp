@@ -1,0 +1,342 @@
+// Telemetry subsystem tests: sharded-counter exactness under a thread pool,
+// registry registration rules, histogram binning/merging, scoped spans,
+// JSON/Prometheus exposition, and the NDJSON emitter. The parallel cases
+// are also the workload the CI ThreadSanitizer job leans on — the relaxed
+// per-thread counter slots must stay data-race-free, not just correct.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "obs/emitter.hpp"
+#include "obs/exposition.hpp"
+#include "obs/span.hpp"
+
+namespace bulkgcd::obs {
+namespace {
+
+const Snapshot::CounterValue* find_counter(const Snapshot& snap,
+                                           const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Snapshot::HistogramValue* find_histogram(const Snapshot& snap,
+                                               const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(MetricsRegistryTest, CounterAggregatesExactlyAcrossPoolThreads) {
+  MetricsRegistry registry;
+  Counter* items = registry.counter("items_total");
+  Counter* batches = registry.counter("batches_total");
+
+  constexpr std::size_t kRange = 100000;
+  ThreadPool pool(8);
+  pool.parallel_for(0, kRange, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) items->inc();
+    batches->inc();
+  }, /*chunks=*/64);
+
+  EXPECT_EQ(items->value(), kRange);
+  EXPECT_EQ(batches->value(), 64u);
+
+  const Snapshot snap = registry.snapshot();
+  const auto* value = find_counter(snap, "items_total");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->value, kRange);
+}
+
+TEST(MetricsRegistryTest, CountersSurviveManyShortLivedThreads) {
+  // Each std::thread gets a fresh thread-local block; totals must still be
+  // exact after the threads exit (shards outlive their writers).
+  MetricsRegistry registry;
+  Counter* c = registry.counter("short_lived_total");
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 1000; ++i) c->inc();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(c->value(), 16000u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentAndKindChecked) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("requests_total");
+  Counter* b = registry.counter("requests_total");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.gauge("depth");
+  EXPECT_EQ(g1, registry.gauge("depth"));
+  HistogramMetric* h1 = registry.histogram("latency_seconds", 0.0, 1.0, 10);
+  EXPECT_EQ(h1, registry.histogram("latency_seconds", 0.0, 1.0, 10));
+
+  EXPECT_THROW(registry.gauge("requests_total"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("depth"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("requests_total", 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.counter("1leading_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has-dash"), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesOnOneThreadStayIndependent) {
+  MetricsRegistry first, second;
+  Counter* a = first.counter("x_total");
+  Counter* b = second.counter("x_total");
+  a->add(3);
+  b->add(5);
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsRegistryTest, GaugeIsLastWriterWins) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("rate");
+  g->set(1.5);
+  g->set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, -2.25);
+}
+
+TEST(MetricsRegistryTest, SnapshotSequenceIncreases) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.snapshot().sequence, 0u);
+  EXPECT_EQ(registry.snapshot().sequence, 1u);
+  EXPECT_EQ(registry.snapshot().sequence, 2u);
+}
+
+TEST(HistogramMetricTest, BinsClampAndStatsStream) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("h", 0.0, 10.0, 10);
+  h->observe(-5.0);   // clamps into bin 0
+  h->observe(0.5);    // bin 0
+  h->observe(5.5);    // bin 5
+  h->observe(99.0);   // clamps into bin 9
+  const Snapshot snap = registry.snapshot();
+  const auto* v = find_histogram(snap, "h");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, 4u);
+  EXPECT_DOUBLE_EQ(v->sum, 100.0);
+  EXPECT_DOUBLE_EQ(v->min, -5.0);
+  EXPECT_DOUBLE_EQ(v->max, 99.0);
+  ASSERT_EQ(v->bins.size(), 10u);
+  EXPECT_EQ(v->bins[0], 2u);
+  EXPECT_EQ(v->bins[5], 1u);
+  EXPECT_EQ(v->bins[9], 1u);
+  // p50 of {bin0, bin0, bin5, bin9} sits inside bin 0's [0, 1) span.
+  EXPECT_GE(v->quantile(0.25), 0.0);
+  EXPECT_LE(v->quantile(0.25), 1.0);
+  EXPECT_GE(v->quantile(1.0), 9.0);
+}
+
+TEST(HistogramMetricTest, LocalHistogramMergeMatchesDirectObserve) {
+  MetricsRegistry direct_reg, merged_reg;
+  HistogramMetric* direct = direct_reg.histogram("h", 0.0, 100.0, 20);
+  HistogramMetric* target = merged_reg.histogram("h", 0.0, 100.0, 20);
+  LocalHistogram local(*target);
+  for (int i = 0; i < 500; ++i) {
+    const double v = double((i * 37) % 120);  // exercises clamping too
+    direct->observe(v);
+    local.observe(v);
+  }
+  EXPECT_EQ(local.count(), 500u);
+  target->merge(local);
+  local.reset();
+  EXPECT_EQ(local.count(), 0u);
+  target->merge(local);  // empty merge is a no-op
+
+  const Snapshot a = direct_reg.snapshot();
+  const Snapshot b = merged_reg.snapshot();
+  const auto* va = find_histogram(a, "h");
+  const auto* vb = find_histogram(b, "h");
+  ASSERT_NE(va, nullptr);
+  ASSERT_NE(vb, nullptr);
+  EXPECT_EQ(va->count, vb->count);
+  EXPECT_DOUBLE_EQ(va->sum, vb->sum);
+  EXPECT_DOUBLE_EQ(va->min, vb->min);
+  EXPECT_DOUBLE_EQ(va->max, vb->max);
+  EXPECT_EQ(va->bins, vb->bins);
+}
+
+TEST(HistogramMetricTest, DegenerateRangeLandsEverythingInBinZero) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("flat", 5.0, 5.0, 8);
+  h->observe(4.0);
+  h->observe(5.0);
+  h->observe(6.0);
+  LocalHistogram local(*h);
+  local.observe(123.0);
+  h->merge(local);
+  const Snapshot snap = registry.snapshot();
+  const auto* v = find_histogram(snap, "flat");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, 4u);
+  EXPECT_EQ(v->bins[0], 4u);
+}
+
+TEST(ScopedSpanTest, RecordsElapsedSecondsIntoTarget) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("phase_seconds", 0.0, 1.0, 10);
+  {
+    ScopedSpan span(h);
+  }
+  EXPECT_EQ(h->count(), 1u);
+
+  LocalHistogram local(*h);
+  {
+    ScopedLocalSpan span(&local);
+  }
+  EXPECT_EQ(local.count(), 1u);
+}
+
+TEST(ScopedSpanTest, NullTargetIsFreeAndSafe) {
+  {
+    ScopedSpan span(nullptr);
+    ScopedLocalSpan local_span(nullptr);
+  }
+  SUCCEED();
+}
+
+TEST(ExpositionTest, JsonShapeAndValues) {
+  MetricsRegistry registry;
+  registry.counter("pairs_total")->add(42);
+  registry.gauge("rate")->set(2.5);
+  registry.gauge("bad")->set(std::numeric_limits<double>::quiet_NaN());
+  registry.histogram("lat_seconds", 0.0, 1.0, 4)->observe(0.3);
+
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be one NDJSON line";
+  EXPECT_NE(json.find("\"pairs_total\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rate\":2.5"), std::string::npos) << json;
+  // Non-finite values are not valid JSON; they render as 0.
+  EXPECT_NE(json.find("\"bad\":0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat_seconds\":{\"lo\":0,\"hi\":1,\"count\":1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bins\":[0,1,0,0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sequence\":0"), std::string::npos) << json;
+}
+
+TEST(ExpositionTest, PrometheusTextIsCumulative) {
+  MetricsRegistry registry;
+  registry.counter("pairs_total")->add(7);
+  HistogramMetric* h = registry.histogram("lat_seconds", 0.0, 4.0, 4);
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(99.0);  // clamped into the last bin
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE pairs_total counter\npairs_total 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 2\n"), std::string::npos)
+      << text;
+  // +Inf bucket always equals the total count (clamped samples included).
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos) << text;
+}
+
+class EmitterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("bulkgcd_obs_emitter_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  std::vector<std::string> lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(EmitterTest, EmitNowAndStopAppendSnapshotLines) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("events_total");
+  {
+    TelemetryEmitter emitter(registry, path_, /*interval_seconds=*/0.0);
+    c->inc();
+    emitter.emit_now();
+    c->inc();
+    emitter.stop();
+    emitter.stop();  // idempotent
+    EXPECT_EQ(emitter.lines_written(), 2u);
+  }
+  const auto written = lines();
+  ASSERT_EQ(written.size(), 2u);
+  EXPECT_NE(written[0].find("\"events_total\":1"), std::string::npos);
+  EXPECT_NE(written[1].find("\"events_total\":2"), std::string::npos);
+  for (const auto& line : written) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(EmitterTest, PeriodicThreadWritesAndDestructorFinalizes) {
+  MetricsRegistry registry;
+  registry.counter("ticks_total")->inc();
+  {
+    TelemetryEmitter emitter(registry, path_, /*interval_seconds=*/0.02);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }  // destructor stops the thread and writes the final line
+  const auto written = lines();
+  EXPECT_GE(written.size(), 2u);
+}
+
+TEST_F(EmitterTest, AppendsAcrossEmitters) {
+  MetricsRegistry registry;
+  {
+    TelemetryEmitter first(registry, path_, 0.0);
+  }
+  {
+    TelemetryEmitter second(registry, path_, 0.0);
+  }
+  EXPECT_EQ(lines().size(), 2u);  // append mode: second run keeps the first
+}
+
+TEST(EmitterErrorTest, UnwritablePathThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(TelemetryEmitter(registry, "/nonexistent-dir/x/metrics.ndjson",
+                                0.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bulkgcd::obs

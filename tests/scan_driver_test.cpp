@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "bulk/block_grid.hpp"
+#include "obs/metrics.hpp"
 #include "rsa/corpus.hpp"
 #include "rsa/keystore.hpp"
 
@@ -361,6 +362,178 @@ TEST_F(ScanDriverTest, MixedSizeCorpusRecoversSmallKeyHitsThroughDriver) {
     EXPECT_EQ(report.result.hits[k].j, small.weak[k].second);
     EXPECT_EQ(report.result.hits[k].factor, small.weak[k].shared_prime);
   }
+}
+
+// ---- telemetry (docs/OBSERVABILITY.md) ------------------------------------
+// The scan_* counter family counts committed work including checkpoint-
+// restored chunks, so after any run — fresh, resumed, retried, or partly
+// quarantined — a per-run registry's totals must exactly equal the final
+// ScanReport.
+
+std::uint64_t counter_value(obs::MetricsRegistry& registry, const char* name) {
+  return registry.counter(name)->value();
+}
+
+void expect_counters_match_report(obs::MetricsRegistry& registry,
+                                  const ScanReport& report) {
+  EXPECT_EQ(counter_value(registry, "scan_pairs_total"),
+            report.result.pairs_tested);
+  EXPECT_EQ(counter_value(registry, "scan_hits_total"),
+            report.result.hits.size());
+  EXPECT_EQ(counter_value(registry, "scan_chunks_committed_total"),
+            report.chunks_done);
+  EXPECT_EQ(counter_value(registry, "scan_chunks_quarantined_total"),
+            report.quarantined.size());
+  EXPECT_EQ(counter_value(registry, "gcd_iterations_total"),
+            report.result.simt.gcd.iterations + report.result.scalar.iterations);
+  EXPECT_EQ(counter_value(registry, "simt_lane_iterations_total"),
+            report.result.simt.lane_iterations);
+}
+
+TEST_F(ScanDriverTest, MetricsExactlyMatchFinalReportOnFreshRun) {
+  const WeakCorpus corpus = test_corpus(20, 3, 107);
+  obs::MetricsRegistry registry;
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.pairs.metrics = &registry;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  expect_counters_match_report(registry, report);
+  EXPECT_EQ(counter_value(registry, "scan_chunks_restored_total"), 0u);
+  EXPECT_EQ(counter_value(registry, "scan_pairs_restored_total"), 0u);
+  // No retries: the sweep executed exactly the committed pair set.
+  EXPECT_EQ(counter_value(registry, "sweep_pairs_total"),
+            report.result.pairs_tested);
+  EXPECT_EQ(counter_value(registry, "sweep_hits_total"),
+            report.result.hits.size());
+  EXPECT_DOUBLE_EQ(registry.gauge("scan_progress_ratio")->value(), 1.0);
+  // Checkpointed run: every commit cadence fsync landed in the histogram.
+  EXPECT_GT(registry.histogram("scan_checkpoint_fsync_seconds", 0.0, 0.1, 100)
+                ->count(),
+            0u);
+  EXPECT_EQ(registry.histogram("scan_chunk_seconds", 0.0, 30.0, 120)->count(),
+            report.chunks_done);
+}
+
+TEST_F(ScanDriverTest, MetricsFoldRestoredWorkSoTotalsMatchAfterResume) {
+  const WeakCorpus corpus = test_corpus(20, 3, 108);
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+
+  // First slice: commit some chunks, then stop.
+  obs::MetricsRegistry first_registry;
+  config.pairs.metrics = &first_registry;
+  config.stop_after_chunks = 2;
+  const ScanReport first = run_resumable_scan(corpus.moduli, config);
+  ASSERT_FALSE(first.complete);
+  expect_counters_match_report(first_registry, first);
+
+  // Resumed run with a FRESH registry: restored work is folded in at
+  // restore time, so this run's counters still equal its final report.
+  obs::MetricsRegistry second_registry;
+  config.pairs.metrics = &second_registry;
+  config.stop_after_chunks = 0;
+  const ScanReport second = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(second.complete);
+  ASSERT_TRUE(second.resumed);
+  expect_counters_match_report(second_registry, second);
+  EXPECT_EQ(counter_value(second_registry, "scan_chunks_restored_total"),
+            first.chunks_done);
+  EXPECT_EQ(counter_value(second_registry, "scan_pairs_restored_total"),
+            first.result.pairs_tested);
+  // Restored chunks were not executed here: the sweep counters cover only
+  // this run's share.
+  EXPECT_EQ(counter_value(second_registry, "sweep_pairs_total"),
+            second.result.pairs_tested - first.result.pairs_tested);
+}
+
+TEST_F(ScanDriverTest, RetriedChunksCountOnceInScanCountersAndAreTallied) {
+  const WeakCorpus corpus = test_corpus(16, 2, 109);
+  obs::MetricsRegistry registry;
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.pairs.metrics = &registry;
+  config.chunk_blocks = 2;
+  config.chunk_hook = [](std::size_t chunk, int attempt) {
+    if (chunk == 0 && attempt == 0) {
+      throw std::runtime_error("injected first-attempt fault");
+    }
+  };
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  ASSERT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(counter_value(registry, "scan_chunks_retried_total"), 1u);
+  expect_counters_match_report(registry, report);
+}
+
+TEST_F(ScanDriverTest, QuarantinedChunksAreCountedAndExcludedFromTotals) {
+  const WeakCorpus corpus = test_corpus(16, 0, 110);
+  obs::MetricsRegistry registry;
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.pairs.metrics = &registry;
+  config.chunk_blocks = 2;
+  config.checkpoint = path_;
+  config.chunk_hook = [](std::size_t chunk, int) {
+    if (chunk == 1) throw std::runtime_error("poisoned chunk");
+  };
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(counter_value(registry, "scan_chunks_quarantined_total"), 1u);
+  EXPECT_EQ(counter_value(registry, "scan_chunks_retried_total"), 1u);
+  expect_counters_match_report(registry, report);
+}
+
+TEST(StreamProgressSinkTest, FormatsRatesHitsAndQuarantines) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  StreamProgressSink sink(out);
+
+  ScanProgress p;
+  p.chunks_done = 3;
+  p.chunks_total = 8;
+  p.pairs_done = 50;
+  p.pairs_total = 200;
+  p.pairs_per_second = 1234.25;
+  p.blocks_per_second = 7.5;
+  p.hits = 2;
+  p.quarantined = 1;
+  p.eta_seconds = 12.0;
+  sink.on_progress(p);
+
+  FactorHit hit;
+  hit.i = 4;
+  hit.j = 9;
+  hit.factor = BigInt::from_hex("c000000000000001");
+  sink.on_hit(hit);
+  sink.on_quarantine(5, "engine exploded");
+
+  // The sink flushes per record, so everything is readable immediately
+  // (a killed scan must not lose its last status line to buffering).
+  std::rewind(out);
+  char buf[512] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, out);
+  std::fclose(out);
+  const std::string text(buf, n);
+
+  EXPECT_NE(text.find("chunks 3/8"), std::string::npos) << text;
+  EXPECT_NE(text.find("pairs 50/200 ( 25.0%)"), std::string::npos) << text;
+  EXPECT_NE(text.find("1234 pairs/s"), std::string::npos) << text;
+  EXPECT_NE(text.find("7.50 blocks/s"), std::string::npos) << text;
+  EXPECT_NE(text.find("hits 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("quarantined 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("eta 12s"), std::string::npos) << text;
+  EXPECT_NE(text.find("[hit] keys 4 and 9 share a 64-bit prime"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[quarantine] chunk 5 failed twice: engine exploded"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

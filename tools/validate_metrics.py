@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate a bulkgcd telemetry NDJSON file against docs/metrics_schema.json.
+
+Stdlib-only on purpose (CI runners need no jsonschema install): implements
+exactly the JSON Schema subset the checked-in schema uses — type, required,
+properties, additionalProperties, propertyNames.pattern, items, minimum.
+
+Beyond per-line schema validation, cross-line invariants are enforced:
+  * `sequence` strictly increases within a run (the emitter appends, so one
+    file may span several process runs; a line with sequence 0 starts a new
+    run and resets the monotonicity baselines),
+  * every counter is monotonically non-decreasing within a run,
+  * histogram `count` equals the sum of `bins` and never decreases within
+    a run.
+
+Usage:
+    python3 tools/validate_metrics.py [--schema docs/metrics_schema.json]
+                                      telemetry.ndjson [more.ndjson ...]
+
+Exits 0 when every line of every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+INTEGER = "integer"
+NUMBER = "number"
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == INTEGER:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == NUMBER:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    raise ValueError(f"schema uses unsupported type: {expected}")
+
+
+def validate(value, schema, path, errors):
+    """Recursively check `value` against the supported schema subset."""
+    expected = schema.get("type")
+    if expected is not None and not type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, got "
+                      f"{type(value).__name__}")
+        return
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        name_schema = schema.get("propertyNames")
+        if name_schema and "pattern" in name_schema:
+            pattern = re.compile(name_schema["pattern"])
+            for key in value:
+                if not pattern.search(key):
+                    errors.append(f"{path}: bad property name '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def check_file(ndjson_path, schema):
+    errors = []
+    prev_sequence = None
+    prev_counters = {}
+    prev_hist_counts = {}
+    lines = 0
+    with open(ndjson_path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            where = f"{ndjson_path}:{line_no}"
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: not valid JSON: {exc}")
+                continue
+            before = len(errors)
+            validate(snap, schema, where, errors)
+            if len(errors) > before:
+                continue  # schema-invalid line: skip cross-line invariants
+
+            seq = snap["sequence"]
+            if seq == 0:
+                # New process run appended to the same file: fresh registry,
+                # fresh baselines.
+                prev_counters = {}
+                prev_hist_counts = {}
+            elif prev_sequence is not None and seq <= prev_sequence:
+                errors.append(f"{where}: sequence {seq} does not increase "
+                              f"(previous {prev_sequence})")
+            prev_sequence = seq
+
+            for name, count in snap["counters"].items():
+                if count < prev_counters.get(name, 0):
+                    errors.append(f"{where}: counter {name} decreased "
+                                  f"({prev_counters[name]} -> {count})")
+                prev_counters[name] = count
+
+            for name, hist in snap["histograms"].items():
+                if hist["count"] != sum(hist["bins"]):
+                    errors.append(f"{where}: histogram {name} count "
+                                  f"{hist['count']} != sum of bins "
+                                  f"{sum(hist['bins'])}")
+                if hist["count"] < prev_hist_counts.get(name, 0):
+                    errors.append(f"{where}: histogram {name} count "
+                                  f"decreased")
+                prev_hist_counts[name] = hist["count"]
+
+    if lines == 0:
+        errors.append(f"{ndjson_path}: no snapshot lines")
+    return lines, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_schema = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  os.pardir, "docs", "metrics_schema.json")
+    parser.add_argument("--schema", default=default_schema)
+    parser.add_argument("ndjson", nargs="+")
+    args = parser.parse_args()
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = json.load(handle)
+
+    failed = False
+    for path in args.ndjson:
+        lines, errors = check_file(path, schema)
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: {lines} snapshot line(s) OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
