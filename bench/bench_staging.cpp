@@ -33,10 +33,11 @@ struct SweepSample {
 };
 
 SweepSample sweep_once(std::span<const bulkgcd::mp::BigInt> moduli,
-                       bool staged,
+                       bool staged, bulkgcd::bulk::BulkBackend backend,
                        bulkgcd::obs::MetricsRegistry* metrics = nullptr) {
   bulkgcd::bulk::AllPairsConfig config;
   config.staged = staged;
+  config.backend = backend;
   config.metrics = metrics;
   const auto result = bulkgcd::bulk::all_pairs_gcd(moduli, config);
   SweepSample s;
@@ -54,10 +55,10 @@ void take_best(SweepSample& best, const SweepSample& sample) {
 }
 
 SweepSample measure(std::span<const bulkgcd::mp::BigInt> moduli, bool staged,
-                    std::size_t reps) {
+                    bulkgcd::bulk::BulkBackend backend, std::size_t reps) {
   SweepSample best;
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    take_best(best, sweep_once(moduli, staged));
+    take_best(best, sweep_once(moduli, staged, backend));
   }
   return best;
 }
@@ -89,7 +90,18 @@ int main() {
 
   const auto& moduli = bench::corpus(bits, m);
 
-  const SweepSample unstaged = measure(moduli, /*staged=*/false, reps);
+  // Pin each row to its backend explicitly so the comparison is meaningful
+  // regardless of what auto-dispatch would pick on this machine.
+  const SweepSample unstaged =
+      measure(moduli, /*staged=*/false, bulk::BulkBackend::kLockstep, reps);
+  const SweepSample vectorized =
+      measure(moduli, /*staged=*/true, bulk::BulkBackend::kVector, reps);
+  // Resolved ISA of the vector row (portable everywhere, avx2 on capable
+  // x86-64) — recorded so archived numbers are comparable across machines.
+  bulk::AllPairsConfig isa_probe;
+  isa_probe.backend = bulk::BulkBackend::kVector;
+  bulk::resolve_backend(isa_probe);
+  const char* vec_isa = to_string(isa_probe.vec_isa);
   // Interleave the plain and instrumented staged sweeps rep-by-rep so slow
   // thermal / scheduler drift hits both paths equally; best-of damps the
   // rest. Measuring them back-to-back instead makes the overhead figure
@@ -98,8 +110,11 @@ int main() {
   SweepSample staged, instrumented;
   auto interleaved_round = [&] {
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      take_best(staged, sweep_once(moduli, /*staged=*/true));
-      take_best(instrumented, sweep_once(moduli, /*staged=*/true, &registry));
+      take_best(staged,
+                sweep_once(moduli, /*staged=*/true, bulk::BulkBackend::kStaged));
+      take_best(instrumented,
+                sweep_once(moduli, /*staged=*/true, bulk::BulkBackend::kStaged,
+                           &registry));
     }
   };
   auto overhead = [&] {
@@ -138,11 +153,24 @@ int main() {
                  bench::fmt(instrumented.seconds, 3),
                  bench::fmt(instrumented.pairs_per_second, 0),
                  bench::fmt(instrumented.us_per_gcd, 3)});
+  table.add_row({std::string("vector (panels + SIMD warp engine, ") + vec_isa +
+                     ")",
+                 bench::fmt_u(vectorized.pairs),
+                 bench::fmt(vectorized.seconds, 3),
+                 bench::fmt(vectorized.pairs_per_second, 0),
+                 bench::fmt(vectorized.us_per_gcd, 3)});
   table.print();
+  const double vector_speedup =
+      staged.pairs_per_second > 0
+          ? vectorized.pairs_per_second / staged.pairs_per_second
+          : 0.0;
   std::printf("\nstaged / unstaged speedup: %.2fx\n", speedup);
+  std::printf("vector / staged speedup: %.2fx (%s)\n", vector_speedup,
+              vec_isa);
   std::printf("telemetry overhead on the staged path: %.2f%%\n", overhead_pct);
   if (staged.pairs != unstaged.pairs || staged.hits != unstaged.hits ||
-      instrumented.pairs != staged.pairs || instrumented.hits != staged.hits) {
+      instrumented.pairs != staged.pairs || instrumented.hits != staged.hits ||
+      vectorized.pairs != staged.pairs || vectorized.hits != staged.hits) {
     std::printf("!! sweeps disagree on pairs/hits\n");
     return 1;
   }
@@ -167,12 +195,15 @@ int main() {
   put_sample(json, "staged", staged);
   json += ",\n";
   put_sample(json, "staged_instrumented", instrumented);
+  json += ",\n";
+  put_sample(json, "vector", vectorized);
   {
-    char buf[128];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  ",\n  \"speedup\": %.3f,\n  \"telemetry_overhead_pct\": "
-                  "%.2f\n}\n",
-                  speedup, overhead_pct);
+                  ",\n  \"vector_isa\": \"%s\",\n"
+                  "  \"speedup\": %.3f,\n  \"vector_speedup\": %.3f,\n"
+                  "  \"telemetry_overhead_pct\": %.2f\n}\n",
+                  vec_isa, speedup, vector_speedup, overhead_pct);
     json += buf;
   }
   std::ofstream out("BENCH_allpairs.json");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 
 #include "bulk/block_grid.hpp"
 #include "core/thread_pool.hpp"
@@ -16,13 +17,15 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   const std::size_t m = moduli.size();
   if (m < 2) return result;
 
-  std::size_t cap = 0;
-  std::vector<std::size_t> bits(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    cap = std::max(cap, moduli[i].size());
-    bits[i] = moduli[i].bit_length();
-  }
-  const BlockGrid grid(m, config.group_size);
+  AllPairsConfig cfg = config;
+  resolve_backend(cfg);
+
+  // Repack the BigInt corpus into scan limbs once (bulk/scan_corpus.hpp);
+  // every hot-path access below — staging, loads, the full-modulus check —
+  // reads these flat spans.
+  const ScanCorpus scan(moduli);
+  const std::size_t cap = scan.max_limbs();
+  const BlockGrid grid(m, cfg.group_size);
 
   result.blocks_run = grid.block_count();
   result.input_bytes = m * cap * sizeof(ScanLimb);
@@ -31,21 +34,20 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   // worker's sweeper then refreshes its batch from the shared read-only
   // panels.
   std::optional<CorpusPanels<ScanLimb>> panels;
-  if (config.engine == EngineKind::kSimt && config.staged) {
-    panels.emplace(moduli, grid.r, cap + kBatchPadLimbs);
+  if (cfg.engine == EngineKind::kSimt && cfg.staged) {
+    panels.emplace(scan, grid.r, cap + kBatchPadLimbs);
   }
 
   std::mutex merge_mutex;
   Timer timer;
 
   auto process_chunk = [&](std::size_t lo, std::size_t hi) {
-    BlockSweeper sweeper(moduli, bits, grid, config, cap,
-                         panels ? &*panels : nullptr);
+    BlockSweeper sweeper(scan, grid, cfg, cap, panels ? &*panels : nullptr);
     sweeper.run_blocks(lo, hi);
     auto local = sweeper.take();
     // Engine-statistics counters are fed at the merge points, so their
     // totals exactly equal the final AllPairsResult stats.
-    fold_engine_stats(config.metrics, local.simt, local.scalar);
+    fold_engine_stats(cfg.metrics, local.simt, local.scalar);
 
     std::lock_guard lock(merge_mutex);
     result.pairs_tested += local.pairs;
@@ -56,12 +58,12 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
                        std::make_move_iterator(local.hits.end()));
   };
 
-  if (config.pool_threads == 1) {
+  if (cfg.pool_threads == 1) {
     process_chunk(0, grid.block_count());
-  } else if (config.pool_threads == 0) {
+  } else if (cfg.pool_threads == 0) {
     global_pool().parallel_for(0, grid.block_count(), process_chunk);
   } else {
-    ThreadPool pool(config.pool_threads);
+    ThreadPool pool(cfg.pool_threads);
     pool.parallel_for(0, grid.block_count(), process_chunk);
   }
 
@@ -79,69 +81,91 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   std::vector<IncrementalHit> hits;
   if (corpus.empty() || candidate.is_zero()) return hits;
 
-  std::size_t cap = candidate.size();
+  AllPairsConfig cfg = config;
+  resolve_backend(cfg);
+
+  const ScanCorpus scan(corpus);
+  const ScanCorpus cand_scan(std::span(&candidate, 1));
+  const auto cand = cand_scan.limbs(0);
   const std::size_t cand_bits = candidate.bit_length();
-  std::vector<std::size_t> bits(corpus.size());
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    cap = std::max(cap, corpus[i].size());
-    bits[i] = corpus[i].bit_length();
-  }
+  const std::size_t cap = std::max(scan.max_limbs(), cand_scan.max_limbs());
   // Section V: the early-terminate threshold is a property of each PAIR, so
   // each corpus member gets min(bits(candidate), bits(member))/2 rather than
   // a corpus-wide bound that misses hits among the smaller keys.
   auto early = [&](std::size_t i) {
-    return config.early_terminate ? std::min(cand_bits, bits[i]) / 2 : 0;
+    return cfg.early_terminate ? std::min(cand_bits, scan.bits(i)) / 2 : 0;
   };
-  const std::size_t r = std::max<std::size_t>(1, std::min(config.group_size,
+  const std::size_t r = std::max<std::size_t>(1, std::min(cfg.group_size,
                                                           corpus.size()));
   // Stage the corpus once; each probe block then refreshes its batch with a
   // bulk panel copy + candidate broadcast (group g == probe block g).
   std::optional<CorpusPanels<ScanLimb>> panels;
-  if (config.engine == EngineKind::kSimt && config.staged) {
-    panels.emplace(corpus, r, cap + kBatchPadLimbs);
+  if (cfg.engine == EngineKind::kSimt && cfg.staged) {
+    panels.emplace(scan, r, cap + kBatchPadLimbs);
   }
   std::mutex merge_mutex;
 
   auto push_hit = [&](std::vector<IncrementalHit>& local, std::size_t i,
-                      mp::BigInt g) {
-    if (g > mp::BigInt(1)) {
-      const bool full = g == corpus[i] || g == candidate;
-      local.push_back({i, std::move(g), full});
+                      mp::BigIntT<ScanLimb> g) {
+    if (g.bit_length() < 2) return;  // g > 1 ⟺ at least two bits
+    const auto gl = g.limbs();
+    const bool full =
+        std::equal(gl.begin(), gl.end(), scan.limbs(i).begin(),
+                   scan.limbs(i).end()) ||
+        std::equal(gl.begin(), gl.end(), cand.begin(), cand.end());
+    local.push_back({i, to_default_bigint<ScanLimb>(gl), full});
+  };
+
+  // Generic over the executing batch (SimtBatch or the vector engine) —
+  // identical verbs, modulo the staged/lockstep entry-point split.
+  auto probe_blocks = [&](auto& batch, std::size_t lo, std::size_t hi,
+                          std::vector<IncrementalHit>& local) {
+    using Batch = std::decay_t<decltype(batch)>;
+    for (std::size_t block = lo; block < hi; ++block) {
+      const std::size_t begin = block * r;
+      const std::size_t end = std::min(begin + r, corpus.size());
+      if (panels) {
+        batch.load_panel(panels->panel(block), panels->sizes(block),
+                         panels->rows(block));
+        batch.broadcast_y(cand);
+        for (std::size_t k = 0; begin + k < end; ++k) {
+          batch.reset_lane_state(k, early(begin + k));
+        }
+        for (std::size_t k = end - begin; k < r; ++k) batch.disable(k);
+        if constexpr (std::is_same_v<Batch,
+                                     SimtBatch<ScanLimb, ColumnMatrix>>) {
+          batch.run_staged(cfg.variant);
+        } else {
+          batch.run(cfg.variant);
+        }
+      } else {
+        for (std::size_t k = 0; k < r; ++k) {
+          if (begin + k < end) {
+            batch.load(k, scan.limbs(begin + k), cand, early(begin + k));
+          } else {
+            batch.disable(k);
+          }
+        }
+        batch.run(cfg.variant);
+      }
+      for (std::size_t k = 0; begin + k < end; ++k) {
+        if (batch.early_coprime(k)) continue;
+        push_hit(local, begin + k, batch.gcd_of(k));
+      }
     }
   };
 
   global_pool().parallel_for(0, (corpus.size() + r - 1) / r, [&](std::size_t lo,
                                                                  std::size_t hi) {
     std::vector<IncrementalHit> local;
-    if (config.engine == EngineKind::kSimt) {
-      SimtBatch<ScanLimb, ColumnMatrix> batch(r, cap, config.warp_width);
-      for (std::size_t block = lo; block < hi; ++block) {
-        const std::size_t begin = block * r;
-        const std::size_t end = std::min(begin + r, corpus.size());
-        if (panels) {
-          batch.load_panel(panels->panel(block), panels->sizes(block),
-                           panels->rows(block));
-          batch.broadcast_y(candidate.limbs());
-          for (std::size_t k = 0; begin + k < end; ++k) {
-            batch.reset_lane_state(k, early(begin + k));
-          }
-          for (std::size_t k = end - begin; k < r; ++k) batch.disable(k);
-          batch.run_staged(config.variant);
-        } else {
-          for (std::size_t k = 0; k < r; ++k) {
-            if (begin + k < end) {
-              batch.load(k, corpus[begin + k].limbs(), candidate.limbs(),
-                         early(begin + k));
-            } else {
-              batch.disable(k);
-            }
-          }
-          batch.run(config.variant);
-        }
-        for (std::size_t k = 0; begin + k < end; ++k) {
-          if (batch.early_coprime(k)) continue;
-          push_hit(local, begin + k, batch.gcd_of(k));
-        }
+    if (cfg.engine == EngineKind::kSimt) {
+      if (cfg.backend == BulkBackend::kVector) {
+        auto batch =
+            make_vec_batch<ScanLimb>(r, cap, cfg.warp_width, cfg.vec_isa);
+        probe_blocks(*batch, lo, hi, local);
+      } else {
+        SimtBatch<ScanLimb, ColumnMatrix> batch(r, cap, cfg.warp_width);
+        probe_blocks(batch, lo, hi, local);
       }
     } else {
       gcd::GcdEngine<ScanLimb> engine(cap);
@@ -149,10 +173,10 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
         const std::size_t begin = block * r;
         const std::size_t end = std::min(begin + r, corpus.size());
         for (std::size_t i = begin; i < end; ++i) {
-          const auto run = engine.run(config.variant, corpus[i].limbs(),
-                                      candidate.limbs(), early(i));
+          const auto run = engine.run(cfg.variant, scan.limbs(i), cand,
+                                      early(i));
           if (run.early_coprime) continue;
-          push_hit(local, i, mp::BigInt::from_limbs(run.gcd));
+          push_hit(local, i, mp::BigIntT<ScanLimb>::from_limbs(run.gcd));
         }
       }
     }

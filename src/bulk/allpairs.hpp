@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "bulk/backend.hpp"
 #include "bulk/simt.hpp"
 #include "gcd/algorithms.hpp"
 #include "mp/bigint.hpp"
@@ -43,6 +44,15 @@ struct AllPairsConfig {
   /// tests; the unstaged path stays available as the reference. Ignored by
   /// the scalar engine.
   bool staged = true;
+  /// Execution backend for the SIMT engine's blocks (bulk/backend.hpp).
+  /// kAuto resolves at runtime: the vector backend when the CPU supports a
+  /// compiled-in SIMD leg (and staging is on), else the staged scalar path.
+  /// Overridable without recompiling via BULKGCD_FORCE_BACKEND =
+  /// auto | lockstep | staged | vector | vector-portable. Bit-identical
+  /// results across backends, so NOT part of the checkpoint identity.
+  BulkBackend backend = BulkBackend::kAuto;
+  /// Vector ISA when backend resolves to kVector; kAuto = cpuid probe.
+  VecIsa vec_isa = VecIsa::kAuto;
   /// Telemetry sink (src/obs/). Null — the "null registry" path — keeps the
   /// sweep free of instrumentation work beyond a handful of branches; when
   /// set, the sweep feeds the sweep_*/simt_*/gcd_* metrics documented in
@@ -74,6 +84,15 @@ struct AllPairsResult {
     return pairs_tested == 0 ? 0.0 : seconds * 1e6 / double(pairs_tested);
   }
 };
+
+/// Resolve config.backend / config.vec_isa in place: applies the
+/// BULKGCD_FORCE_BACKEND environment override (throws std::invalid_argument
+/// on an unknown value), then collapses kAuto to a concrete backend for this
+/// process (vector iff a SIMD leg is compiled in AND the CPU supports it and
+/// the config is staged-SIMT; staged or lockstep otherwise). all_pairs_gcd,
+/// probe_incremental, and the scan driver call this once per run; it is
+/// exposed so benches and tests can pin or inspect the resolution.
+void resolve_backend(AllPairsConfig& config);
 
 /// Probe all m(m−1)/2 pairs of `moduli` for shared prime factors.
 AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,

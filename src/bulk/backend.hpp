@@ -1,0 +1,47 @@
+// Bulk execution backend selection (the CPU analogue of a CUDA launch
+// configuration). BulkBackend picks the engine shape the all-pairs sweep
+// runs its SIMT blocks with; VecIsa picks the instruction set the vector
+// backend executes with. Both enums deliberately live outside the engine
+// headers: AllPairsConfig carries them, and the checkpoint journal identity
+// deliberately EXCLUDES them — every backend produces bit-identical hits and
+// statistics (asserted by the differential tests), so a checkpoint written
+// under one backend resumes under any other, exactly like the `staged` flag.
+#pragma once
+
+#include <cstdint>
+
+namespace bulkgcd::bulk {
+
+enum class BulkBackend : std::uint8_t {
+  kAuto,      ///< resolve at runtime: vector when the CPU has it, else staged
+  kLockstep,  ///< per-lane loads + warp-lockstep rounds (reference path)
+  kStaged,    ///< corpus panels + lane-serial scalar execution (PR 2 shape)
+  kVector,    ///< corpus panels + W-lane SIMD warp engine (bulk/vec/)
+};
+
+enum class VecIsa : std::uint8_t {
+  kAuto,      ///< cpuid-probe the best compiled-in ISA
+  kPortable,  ///< the same W-wide kernels compiled with baseline flags
+  kAvx2,      ///< the -mavx2 translation unit (x86-64 with AVX2 only)
+};
+
+constexpr const char* to_string(BulkBackend b) noexcept {
+  switch (b) {
+    case BulkBackend::kAuto: return "auto";
+    case BulkBackend::kLockstep: return "lockstep";
+    case BulkBackend::kStaged: return "staged";
+    case BulkBackend::kVector: return "vector";
+    default: return "?";
+  }
+}
+
+constexpr const char* to_string(VecIsa isa) noexcept {
+  switch (isa) {
+    case VecIsa::kAuto: return "auto";
+    case VecIsa::kPortable: return "portable";
+    case VecIsa::kAvx2: return "avx2";
+    default: return "?";
+  }
+}
+
+}  // namespace bulkgcd::bulk

@@ -1,5 +1,6 @@
 #include "bulk/block_grid.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/span.hpp"
@@ -55,18 +56,21 @@ std::uint64_t BlockGrid::pairs_in_range(std::size_t lo,
   return pairs;
 }
 
-BlockSweeper::BlockSweeper(std::span<const mp::BigInt> moduli,
-                           std::span<const std::size_t> bit_lengths,
-                           const BlockGrid& grid, const AllPairsConfig& config,
+BlockSweeper::BlockSweeper(const ScanCorpus& corpus, const BlockGrid& grid,
+                           const AllPairsConfig& config,
                            std::size_t capacity_limbs,
                            const CorpusPanels<ScanLimb>* panels)
-    : moduli_(moduli),
-      bits_(bit_lengths),
+    : corpus_(&corpus),
       grid_(grid),
       config_(config),
       panels_(panels),
       scalar_engine_(capacity_limbs),
       batch_(grid.r, capacity_limbs, config.warp_width) {
+  if (config.engine == EngineKind::kSimt &&
+      config.backend == BulkBackend::kVector) {
+    vec_ = make_vec_batch<ScanLimb>(grid.r, capacity_limbs, config.warp_width,
+                                    config.vec_isa);
+  }
   if (config.metrics != nullptr) {
     obs::MetricsRegistry* m = config.metrics;
     tele_ = std::make_unique<Telemetry>();
@@ -91,6 +95,99 @@ BlockSweeper::BlockSweeper(std::span<const mp::BigInt> moduli,
   }
 }
 
+namespace {
+
+// Engine shims: SimtBatch exposes two run entry points and only tracks
+// per-lane iterations in staged mode; the vector engine has one entry point
+// and always tracks them (its branch traces drive stats reconstruction).
+void engine_run(SimtBatch<ScanLimb, ColumnMatrix>& b, gcd::Variant v,
+                bool staged) {
+  if (staged) {
+    b.run_staged(v);
+  } else {
+    b.run(v);
+  }
+}
+void engine_run(VecBatchBase<ScanLimb>& b, gcd::Variant v, bool) { b.run(v); }
+
+std::size_t engine_lane_iters(const SimtBatch<ScanLimb, ColumnMatrix>& b,
+                              std::size_t k) {
+  return b.staged_lane_iterations(k);
+}
+std::size_t engine_lane_iters(const VecBatchBase<ScanLimb>& b, std::size_t k) {
+  return b.lane_iterations(k);
+}
+
+bool engine_has_traces(const SimtBatch<ScanLimb, ColumnMatrix>&, bool staged) {
+  return staged;
+}
+bool engine_has_traces(const VecBatchBase<ScanLimb>&, bool) { return true; }
+
+}  // namespace
+
+template <typename Engine, typename Record>
+void BlockSweeper::simt_block_rounds(Engine& eng, std::size_t i,
+                                     std::size_t i_begin, std::size_t j,
+                                     std::size_t j_begin, std::size_t j_end,
+                                     std::size_t i_count, bool staged,
+                                     Record&& record,
+                                     std::uint64_t& early_coprime) {
+  const std::size_t r = grid_.r;
+  for (std::size_t jj = j_begin; jj < j_end; ++jj) {
+    const std::size_t u = jj - j_begin;
+    // Lanes: group-i members paired against n_jj this round. For the
+    // diagonal block only k < u is live (each unordered pair once).
+    const std::size_t k_end = (i == j) ? std::min(u, i_count) : i_count;
+    if (k_end == 0) continue;
+
+    if (staged) {
+      // One contiguous copy of the group-i panel + one broadcast of n_jj
+      // replaces k_end strided loads with their normalization scans.
+      obs::ScopedLocalSpan panel_span(
+          tele_ ? &tele_->panel_load_seconds : nullptr);
+      eng.load_panel(panels_->panel(i), panels_->sizes(i), panels_->rows(i));
+      eng.broadcast_y(corpus_->limbs(jj));
+      for (std::size_t k = 0; k < k_end; ++k) {
+        eng.reset_lane_state(k, pair_early_bits(i_begin + k, jj));
+      }
+      for (std::size_t k = k_end; k < r; ++k) eng.disable(k);
+    } else {
+      obs::ScopedLocalSpan panel_span(
+          tele_ ? &tele_->panel_load_seconds : nullptr);
+      for (std::size_t k = 0; k < r; ++k) {
+        if (k < k_end) {
+          eng.load(k, corpus_->limbs(i_begin + k), corpus_->limbs(jj),
+                   pair_early_bits(i_begin + k, jj));
+        } else {
+          eng.disable(k);
+        }
+      }
+    }
+    {
+      obs::ScopedLocalSpan exec_span(
+          tele_ ? &tele_->lane_exec_seconds : nullptr);
+      engine_run(eng, config_.variant, staged);
+    }
+    obs::ScopedLocalSpan verify_span(tele_ ? &tele_->verify_seconds : nullptr);
+    for (std::size_t k = 0; k < k_end; ++k) {
+      ++out_.pairs;
+      if (eng.early_coprime(k)) {
+        ++early_coprime;
+      } else {
+        record(i_begin + k, jj, eng.gcd_of(k));
+      }
+    }
+    // Per-pair iteration counts come for free from the branch traces
+    // (SimtBatch::run() keeps no per-lane tally, so the lockstep reference
+    // path leaves this histogram empty — documented in OBSERVABILITY.md).
+    if (tele_ && engine_has_traces(eng, staged)) {
+      for (std::size_t k = 0; k < k_end; ++k) {
+        tele_->iterations_per_pair.observe(double(engine_lane_iters(eng, k)));
+      }
+    }
+  }
+}
+
 void BlockSweeper::run_block(std::size_t block_index) {
   const auto [i, j] = grid_.block(block_index);
   const std::size_t r = grid_.r;
@@ -105,83 +202,40 @@ void BlockSweeper::run_block(std::size_t block_index) {
   std::uint64_t early_coprime = 0;
   std::uint64_t full_modulus_hits = 0;
 
-  auto record = [&](std::size_t a, std::size_t b, mp::BigInt g) {
-    if (g > mp::BigInt(1)) {
-      const bool full = g == moduli_[a] || g == moduli_[b];
-      if (full) ++full_modulus_hits;
-      out_.hits.push_back({a, b, std::move(g), full});
-    }
+  auto record = [&](std::size_t a, std::size_t b, mp::BigIntT<ScanLimb> g) {
+    // g > 1 ⟺ at least two bits.
+    if (g.bit_length() < 2) return;
+    const auto gl = g.limbs();
+    const bool full =
+        std::equal(gl.begin(), gl.end(), corpus_->limbs(a).begin(),
+                   corpus_->limbs(a).end()) ||
+        std::equal(gl.begin(), gl.end(), corpus_->limbs(b).begin(),
+                   corpus_->limbs(b).end());
+    if (full) ++full_modulus_hits;
+    out_.hits.push_back({a, b, to_default_bigint<ScanLimb>(gl), full});
   };
 
-  for (std::size_t jj = j_begin; jj < j_end; ++jj) {
-    const std::size_t u = jj - j_begin;
-    // Lanes: group-i members paired against n_jj this round. For the
-    // diagonal block only k < u is live (each unordered pair once).
-    const std::size_t k_end =
-        (i == j) ? std::min(u, i_end - i_begin) : i_end - i_begin;
-    if (k_end == 0) continue;
-
-    if (config_.engine == EngineKind::kSimt) {
-      if (staged) {
-        // One contiguous copy of the group-i panel + one broadcast of n_jj
-        // replaces k_end strided loads with their normalization scans.
-        obs::ScopedLocalSpan panel_span(
-            tele_ ? &tele_->panel_load_seconds : nullptr);
-        batch_.load_panel(panels_->panel(i), panels_->sizes(i),
-                          panels_->rows(i));
-        batch_.broadcast_y(moduli_[jj].limbs());
-        for (std::size_t k = 0; k < k_end; ++k) {
-          batch_.reset_lane_state(k, pair_early_bits(i_begin + k, jj));
-        }
-        for (std::size_t k = k_end; k < r; ++k) batch_.disable(k);
-      } else {
-        obs::ScopedLocalSpan panel_span(
-            tele_ ? &tele_->panel_load_seconds : nullptr);
-        for (std::size_t k = 0; k < r; ++k) {
-          if (k < k_end) {
-            batch_.load(k, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
-                        pair_early_bits(i_begin + k, jj));
-          } else {
-            batch_.disable(k);
-          }
-        }
-      }
-      {
-        obs::ScopedLocalSpan exec_span(
-            tele_ ? &tele_->lane_exec_seconds : nullptr);
-        if (staged) {
-          batch_.run_staged(config_.variant);
-        } else {
-          batch_.run(config_.variant);
-        }
-      }
-      obs::ScopedLocalSpan verify_span(
-          tele_ ? &tele_->verify_seconds : nullptr);
-      for (std::size_t k = 0; k < k_end; ++k) {
-        ++out_.pairs;
-        if (batch_.early_coprime(k)) {
-          ++early_coprime;
-        } else {
-          record(i_begin + k, jj, batch_.gcd_of(k));
-        }
-      }
-      // Per-pair iteration counts come for free from the staged branch
-      // traces (run() keeps no per-lane tally, so the lockstep reference
-      // path leaves this histogram empty — documented in OBSERVABILITY.md).
-      if (tele_ && staged) {
-        for (std::size_t k = 0; k < k_end; ++k) {
-          tele_->iterations_per_pair.observe(
-              double(batch_.staged_lane_iterations(k)));
-        }
-      }
+  if (config_.engine == EngineKind::kSimt) {
+    if (vec_) {
+      simt_block_rounds(*vec_, i, i_begin, j, j_begin, j_end, i_end - i_begin,
+                        staged, record, early_coprime);
     } else {
+      simt_block_rounds(batch_, i, i_begin, j, j_begin, j_end, i_end - i_begin,
+                        staged, record, early_coprime);
+    }
+  } else {
+    for (std::size_t jj = j_begin; jj < j_end; ++jj) {
+      const std::size_t u = jj - j_begin;
+      const std::size_t k_end =
+          (i == j) ? std::min(u, i_end - i_begin) : i_end - i_begin;
+      if (k_end == 0) continue;
       obs::ScopedLocalSpan exec_span(
           tele_ ? &tele_->lane_exec_seconds : nullptr);
       for (std::size_t k = 0; k < k_end; ++k) {
         ++out_.pairs;
         const std::uint64_t iters_before = out_.scalar.iterations;
         const auto run = scalar_engine_.run(
-            config_.variant, moduli_[i_begin + k].limbs(), moduli_[jj].limbs(),
+            config_.variant, corpus_->limbs(i_begin + k), corpus_->limbs(jj),
             pair_early_bits(i_begin + k, jj), &out_.scalar);
         if (tele_) {
           tele_->iterations_per_pair.observe(
@@ -190,7 +244,7 @@ void BlockSweeper::run_block(std::size_t block_index) {
         if (run.early_coprime) {
           ++early_coprime;
         } else {
-          record(i_begin + k, jj, mp::BigInt::from_limbs(run.gcd));
+          record(i_begin + k, jj, mp::BigIntT<ScanLimb>::from_limbs(run.gcd));
         }
       }
     }
@@ -207,8 +261,13 @@ void BlockSweeper::run_block(std::size_t block_index) {
 
 BlockSweeper::Output BlockSweeper::take() {
   if (config_.engine == EngineKind::kSimt) {
-    out_.simt = batch_.stats();
-    batch_.reset_stats();
+    if (vec_) {
+      out_.simt = vec_->stats();
+      vec_->reset_stats();
+    } else {
+      out_.simt = batch_.stats();
+      batch_.reset_stats();
+    }
   }
   if (tele_) {
     tele_->iterations_per_pair_target->merge(tele_->iterations_per_pair);

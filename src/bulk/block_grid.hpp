@@ -13,14 +13,12 @@
 #include <vector>
 
 #include "bulk/allpairs.hpp"
+#include "bulk/scan_corpus.hpp"
+#include "bulk/vec/vec_backend.hpp"
 #include "gcd/algorithms.hpp"
 #include "obs/metrics.hpp"
 
 namespace bulkgcd::bulk {
-
-/// The limb type both bulk engines are instantiated with; memory-traffic
-/// accounting (AllPairsResult::input_bytes) derives from it.
-using ScanLimb = std::uint32_t;
 
 /// Upper-triangle block decomposition of the m×m pair matrix into
 /// ⌈m/r⌉ groups of r. Blocks are indexed row-major: (0,0), (0,1), …,
@@ -84,14 +82,17 @@ class BlockSweeper {
     gcd::GcdStats scalar;
   };
 
-  /// bit_lengths must hold bit_length() of every modulus (precomputed once
-  /// per scan so per-pair thresholds are O(1)).
+  /// corpus: the scan-limb repack of the moduli (bulk/scan_corpus.hpp),
+  /// carrying normalized limb spans and cached bit lengths so per-pair
+  /// thresholds are O(1). Must outlive the sweeper.
+  /// config must be pre-resolved (resolve_backend) — the sweeper constructs
+  /// the engine config.backend names and never re-probes the CPU.
   /// panels: optional staged corpus (built once per scan with the same grid
   /// and capacity_limbs + kBatchPadLimbs padding). When non-null and the
-  /// config selects the staged SIMT path, each block round refreshes the
-  /// batch by bulk panel copy + broadcast instead of per-lane loads.
-  BlockSweeper(std::span<const mp::BigInt> moduli,
-               std::span<const std::size_t> bit_lengths, const BlockGrid& grid,
+  /// config selects the staged SIMT or vector path, each block round
+  /// refreshes the batch by bulk panel copy + broadcast instead of per-lane
+  /// loads.
+  BlockSweeper(const ScanCorpus& corpus, const BlockGrid& grid,
                const AllPairsConfig& config, std::size_t capacity_limbs,
                const CorpusPanels<ScanLimb>* panels = nullptr);
 
@@ -105,9 +106,19 @@ class BlockSweeper {
  private:
   std::size_t pair_early_bits(std::size_t a, std::size_t b) const noexcept {
     return config_.early_terminate
-               ? std::min(bits_[a], bits_[b]) / 2
+               ? std::min(corpus_->bits(a), corpus_->bits(b)) / 2
                : 0;
   }
+
+  /// One SIMT block sweep, generic over the executing engine (SimtBatch or
+  /// a VecBatchBase) — the round structure, masking, and verification are
+  /// backend-invariant; only run()/iteration accounting differ (shimmed in
+  /// block_grid.cpp).
+  template <typename Engine, typename Record>
+  void simt_block_rounds(Engine& eng, std::size_t i, std::size_t i_begin,
+                         std::size_t j, std::size_t j_begin, std::size_t j_end,
+                         std::size_t i_count, bool staged, Record&& record,
+                         std::uint64_t& early_coprime);
 
   /// Handles into the optional metrics registry, resolved once per sweeper.
   /// Counters flush once per block from plain locals; the per-pair
@@ -133,13 +144,15 @@ class BlockSweeper {
     obs::HistogramMetric* verify_target = nullptr;
   };
 
-  std::span<const mp::BigInt> moduli_;
-  std::span<const std::size_t> bits_;
+  const ScanCorpus* corpus_;
   BlockGrid grid_;
   AllPairsConfig config_;
   const CorpusPanels<ScanLimb>* panels_;
   gcd::GcdEngine<ScanLimb> scalar_engine_;
   SimtBatch<ScanLimb, ColumnMatrix> batch_;
+  /// The SIMD warp engine, constructed only when config.backend resolved to
+  /// kVector; run_block then drives it instead of batch_.
+  std::unique_ptr<VecBatchBase<ScanLimb>> vec_;
   Output out_;
   std::unique_ptr<Telemetry> tele_;  ///< null on the null-registry path
 };

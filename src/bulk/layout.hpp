@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <concepts>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
@@ -139,30 +140,25 @@ class CorpusPanels {
   /// capacity the consuming SimtBatch was constructed with.
   CorpusPanels(std::span<const mp::BigIntT<Limb>> moduli,
                std::size_t group_size, std::size_t padded_limbs)
-      : m_(moduli.size()),
-        r_(std::max<std::size_t>(1, group_size)),
-        pad_(padded_limbs),
-        groups_((m_ + r_ - 1) / r_),
-        data_(groups_ * r_ * pad_, Limb{0}),
-        sizes_(groups_ * r_, 0),
-        bits_(m_, 0),
-        rows_(groups_, 1) {
+      : CorpusPanels(moduli.size(), group_size, padded_limbs) {
     for (std::size_t idx = 0; idx < m_; ++idx) {
-      const auto limbs = moduli[idx].limbs();
-      if (limbs.size() + kBatchPadLimbs > pad_) {
-        throw std::length_error("CorpusPanels: modulus exceeds panel capacity");
-      }
-      const std::size_t g = idx / r_;
-      const std::size_t lane = idx % r_;
-      Limb* panel_base = data_.data() + g * r_ * pad_;
-      for (std::size_t i = 0; i < limbs.size(); ++i) {
-        panel_base[i * r_ + lane] = limbs[i];
-      }
-      sizes_[g * r_ + lane] = limbs.size();
-      bits_[idx] = moduli[idx].bit_length();
-      // One row above the longest member so the β > 0 write row is refreshed
-      // along with the values.
-      rows_[g] = std::max(rows_[g], limbs.size() + 1);
+      stage(idx, moduli[idx].limbs(), moduli[idx].bit_length());
+    }
+  }
+
+  /// Same staging from any repacked corpus view (bulk/scan_corpus.hpp) —
+  /// the limb width the panels carry need not match the BigInt limb width.
+  template <typename Corpus>
+    requires requires(const Corpus& c, std::size_t i) {
+      { c.size() } -> std::convertible_to<std::size_t>;
+      { c.limbs(i) } -> std::convertible_to<std::span<const Limb>>;
+      { c.bits(i) } -> std::convertible_to<std::size_t>;
+    }
+  CorpusPanels(const Corpus& corpus, std::size_t group_size,
+               std::size_t padded_limbs)
+      : CorpusPanels(corpus.size(), group_size, padded_limbs) {
+    for (std::size_t idx = 0; idx < m_; ++idx) {
+      stage(idx, corpus.limbs(idx), corpus.bits(idx));
     }
   }
 
@@ -201,6 +197,34 @@ class CorpusPanels {
   }
 
  private:
+  CorpusPanels(std::size_t corpus_size, std::size_t group_size,
+               std::size_t padded_limbs)
+      : m_(corpus_size),
+        r_(std::max<std::size_t>(1, group_size)),
+        pad_(padded_limbs),
+        groups_((m_ + r_ - 1) / r_),
+        data_(groups_ * r_ * pad_, Limb{0}),
+        sizes_(groups_ * r_, 0),
+        bits_(m_, 0),
+        rows_(groups_, 1) {}
+
+  void stage(std::size_t idx, std::span<const Limb> limbs, std::size_t bits) {
+    if (limbs.size() + kBatchPadLimbs > pad_) {
+      throw std::length_error("CorpusPanels: modulus exceeds panel capacity");
+    }
+    const std::size_t g = idx / r_;
+    const std::size_t lane = idx % r_;
+    Limb* panel_base = data_.data() + g * r_ * pad_;
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+      panel_base[i * r_ + lane] = limbs[i];
+    }
+    sizes_[g * r_ + lane] = limbs.size();
+    bits_[idx] = bits;
+    // One row above the longest member so the β > 0 write row is refreshed
+    // along with the values.
+    rows_[g] = std::max(rows_[g], limbs.size() + 1);
+  }
+
   std::size_t m_, r_, pad_, groups_;
   std::vector<Limb> data_;
   std::vector<std::size_t> sizes_;

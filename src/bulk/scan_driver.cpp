@@ -285,7 +285,10 @@ std::optional<RestoredState> parse_journal(const std::string& bytes,
           ok = false;
           break;
         }
-        std::vector<ScanLimb> limbs(nlimbs);
+        // Hit factors are journaled as 32-bit BigInt limbs regardless of the
+        // scan limb width (BULKGCD_LIMB32), so checkpoints are portable
+        // across limb configurations.
+        std::vector<std::uint32_t> limbs(nlimbs);
         for (auto& limb : limbs) {
           if (!c.u32(limb)) {
             ok = false;
@@ -462,13 +465,16 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     return report;
   }
 
-  std::size_t cap = 0;
-  std::vector<std::size_t> bits(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    cap = std::max(cap, moduli[i].size());
-    bits[i] = moduli[i].bit_length();
-  }
-  const BlockGrid grid(m, config.pairs.group_size);
+  // Resolve the execution backend once for the whole scan (environment
+  // override + CPU probe). Backend and ISA are deliberately NOT part of the
+  // journal identity below: every backend produces bit-identical hits and
+  // stats, so a checkpoint written under one resumes under any other.
+  AllPairsConfig pairs_cfg = config.pairs;
+  resolve_backend(pairs_cfg);
+
+  const ScanCorpus scan(moduli);
+  const std::size_t cap = scan.max_limbs();
+  const BlockGrid grid(m, pairs_cfg.group_size);
   const std::size_t total_blocks = grid.block_count();
   const std::size_t chunk_blocks = std::max<std::size_t>(1, config.chunk_blocks);
   const std::size_t chunks_total =
@@ -484,8 +490,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   // journal identity: staged and unstaged sweeps produce bit-identical
   // results, so a checkpoint written by one resumes under the other.
   std::optional<CorpusPanels<ScanLimb>> panels;
-  if (config.pairs.engine == EngineKind::kSimt && config.pairs.staged) {
-    panels.emplace(moduli, grid.r, cap + kBatchPadLimbs);
+  if (pairs_cfg.engine == EngineKind::kSimt && pairs_cfg.staged) {
+    panels.emplace(scan, grid.r, cap + kBatchPadLimbs);
   }
 
   DriverTelemetry tele = DriverTelemetry::resolve(config.pairs.metrics);
@@ -591,11 +597,11 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
       try {
         if (attempt == 1 && tele.chunks_retried) tele.chunks_retried->inc();
         if (config.chunk_hook) config.chunk_hook(chunk, attempt);
-        AllPairsConfig pairs_config = config.pairs;
+        AllPairsConfig pairs_config = pairs_cfg;
         // Retry runs on the scalar engine: the simplest code path, isolated
         // from whatever state the first attempt died in.
         if (attempt == 1) pairs_config.engine = EngineKind::kScalar;
-        BlockSweeper sweeper(moduli, bits, grid, pairs_config, cap,
+        BlockSweeper sweeper(scan, grid, pairs_config, cap,
                              attempt == 0 && panels ? &*panels : nullptr);
         sweeper.run_blocks(lo, hi);
         auto out = sweeper.take();

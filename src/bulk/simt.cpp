@@ -4,5 +4,7 @@ namespace bulkgcd::bulk {
 
 template class SimtBatch<std::uint32_t, ColumnMatrix>;
 template class SimtBatch<std::uint32_t, RowMatrix>;
+template class SimtBatch<std::uint64_t, ColumnMatrix>;
+template class SimtBatch<std::uint64_t, RowMatrix>;
 
 }  // namespace bulkgcd::bulk

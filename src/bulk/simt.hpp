@@ -35,49 +35,12 @@
 #include <vector>
 
 #include "bulk/layout.hpp"
+#include "bulk/simt_stats.hpp"
 #include "gcd/algorithms.hpp"
 #include "gcd/approx.hpp"
 #include "gcd/kernels.hpp"
 
 namespace bulkgcd::bulk {
-
-struct SimtStats {
-  std::uint64_t rounds = 0;            ///< lockstep rounds executed
-  std::uint64_t warp_rounds = 0;       ///< (warp, round) pairs with a live lane
-  std::uint64_t lane_iterations = 0;   ///< algorithm iterations across lanes
-  std::uint64_t branch_slots = 0;      ///< Σ distinct branches per warp round
-  std::uint64_t divergent_warp_rounds = 0;  ///< warp rounds with > 1 branch
-  std::uint64_t active_lane_slots = 0; ///< Σ active lanes per warp round
-  std::uint64_t lane_slots = 0;        ///< Σ warp width per warp round
-  gcd::GcdStats gcd;                   ///< aggregated algorithm statistics
-
-  /// Mean number of serialized branch groups per warp round (1.0 = no
-  /// divergence; Binary Euclidean approaches its 3-way case split).
-  double serialization_factor() const noexcept {
-    return warp_rounds == 0 ? 1.0
-                            : double(branch_slots) / double(warp_rounds);
-  }
-  /// Fraction of lane slots doing useful work (predication utilization).
-  double lane_utilization() const noexcept {
-    return lane_slots == 0 ? 1.0
-                           : double(active_lane_slots) / double(lane_slots);
-  }
-
-  SimtStats& operator+=(const SimtStats& o) noexcept {
-    rounds += o.rounds;
-    warp_rounds += o.warp_rounds;
-    lane_iterations += o.lane_iterations;
-    branch_slots += o.branch_slots;
-    divergent_warp_rounds += o.divergent_warp_rounds;
-    active_lane_slots += o.active_lane_slots;
-    lane_slots += o.lane_slots;
-    gcd += o.gcd;
-    return *this;
-  }
-
-  friend bool operator==(const SimtStats&, const SimtStats&) noexcept =
-      default;
-};
 
 /// A batch of GCD lanes executed in warp lockstep.
 /// Matrix selects the memory layout: ColumnMatrix (the paper's coalesced
@@ -278,7 +241,7 @@ class SimtBatch {
         run_staged_impl<gcd::Variant::kApproximate>();
         break;
     }
-    replay_warp_stats();
+    replay_warp_stats(branch_log_, lanes_, warp_, stats_);
   }
 
   /// True when the lane's run terminated early with Y still nonzero — the
@@ -377,43 +340,6 @@ class SimtBatch {
       stats_.lane_iterations += log.size();
     }
     stats_.gcd += tally;
-  }
-
-  /// Replay the recorded branch traces through the lockstep accounting of
-  /// run(). In the round loop, warp w is counted for round t iff some lane
-  /// in it still has an iteration to execute (t < n_lane); the branch mask of
-  /// that round is exactly the set of branch ids those lanes logged at index
-  /// t; and the global round counter advances while any warp is live, i.e.
-  /// max over lanes of n_lane times. So every counter of run() is a pure
-  /// function of {n_lane, trace_lane} and can be rebuilt without lockstep
-  /// execution.
-  void replay_warp_stats() noexcept {
-    std::uint64_t global_rounds = 0;
-    for (std::size_t base = 0; base < lanes_; base += warp_) {
-      const std::size_t end = std::min(base + warp_, lanes_);
-      std::size_t warp_max = 0;
-      for (std::size_t lane = base; lane < end; ++lane) {
-        warp_max = std::max(warp_max, branch_log_[lane].size());
-      }
-      global_rounds = std::max<std::uint64_t>(global_rounds, warp_max);
-      for (std::size_t t = 0; t < warp_max; ++t) {
-        std::uint32_t branch_mask = 0;
-        std::size_t active_count = 0;
-        for (std::size_t lane = base; lane < end; ++lane) {
-          if (t < branch_log_[lane].size()) {
-            branch_mask |= 1u << branch_log_[lane][t];
-            ++active_count;
-          }
-        }
-        ++stats_.warp_rounds;
-        const int branches = std::popcount(branch_mask);
-        stats_.branch_slots += branches;
-        if (branches > 1) ++stats_.divergent_warp_rounds;
-        stats_.active_lane_slots += active_count;
-        stats_.lane_slots += warp_;
-      }
-    }
-    stats_.rounds += global_rounds;
   }
 
   Strided<Limb> x_lane(std::size_t lane) noexcept {
@@ -558,5 +484,7 @@ class SimtBatch {
 
 extern template class SimtBatch<std::uint32_t, ColumnMatrix>;
 extern template class SimtBatch<std::uint32_t, RowMatrix>;
+extern template class SimtBatch<std::uint64_t, ColumnMatrix>;
+extern template class SimtBatch<std::uint64_t, RowMatrix>;
 
 }  // namespace bulkgcd::bulk

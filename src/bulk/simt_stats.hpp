@@ -1,0 +1,103 @@
+// Warp-level execution statistics shared by every bulk engine (Section VI).
+//
+// SimtStats is the contract between the three execution shapes of the SIMT
+// batch — lockstep run(), lane-serial run_staged(), and the W-lane vector
+// engine (bulk/vec/) — and everything that consumes engine statistics
+// (AllPairsResult, telemetry counters, checkpoint journals). The staged and
+// vector engines do not execute in warp lockstep, so they reconstruct the
+// lockstep counters exactly from recorded per-lane branch traces via
+// replay_warp_stats(): every counter of the lockstep loop is a pure function
+// of {iterations-per-lane, branch-id trace per lane}, so engines that agree
+// on the traces agree on the stats bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gcd/stats.hpp"
+
+namespace bulkgcd::bulk {
+
+struct SimtStats {
+  std::uint64_t rounds = 0;            ///< lockstep rounds executed
+  std::uint64_t warp_rounds = 0;       ///< (warp, round) pairs with a live lane
+  std::uint64_t lane_iterations = 0;   ///< algorithm iterations across lanes
+  std::uint64_t branch_slots = 0;      ///< Σ distinct branches per warp round
+  std::uint64_t divergent_warp_rounds = 0;  ///< warp rounds with > 1 branch
+  std::uint64_t active_lane_slots = 0; ///< Σ active lanes per warp round
+  std::uint64_t lane_slots = 0;        ///< Σ warp width per warp round
+  gcd::GcdStats gcd;                   ///< aggregated algorithm statistics
+
+  /// Mean number of serialized branch groups per warp round (1.0 = no
+  /// divergence; Binary Euclidean approaches its 3-way case split).
+  double serialization_factor() const noexcept {
+    return warp_rounds == 0 ? 1.0
+                            : double(branch_slots) / double(warp_rounds);
+  }
+  /// Fraction of lane slots doing useful work (predication utilization).
+  double lane_utilization() const noexcept {
+    return lane_slots == 0 ? 1.0
+                           : double(active_lane_slots) / double(lane_slots);
+  }
+
+  SimtStats& operator+=(const SimtStats& o) noexcept {
+    rounds += o.rounds;
+    warp_rounds += o.warp_rounds;
+    lane_iterations += o.lane_iterations;
+    branch_slots += o.branch_slots;
+    divergent_warp_rounds += o.divergent_warp_rounds;
+    active_lane_slots += o.active_lane_slots;
+    lane_slots += o.lane_slots;
+    gcd += o.gcd;
+    return *this;
+  }
+
+  friend bool operator==(const SimtStats&, const SimtStats&) noexcept =
+      default;
+};
+
+/// Replay recorded branch traces through the lockstep accounting of
+/// SimtBatch::run(). In the round loop, warp w is counted for round t iff
+/// some lane in it still has an iteration to execute (t < n_lane); the
+/// branch mask of that round is exactly the set of branch ids those lanes
+/// logged at index t; and the global round counter advances while any warp
+/// is live, i.e. max over lanes of n_lane times. So every counter of run()
+/// is a pure function of {n_lane, trace_lane} and can be rebuilt without
+/// lockstep execution. branch_log must hold `lanes` traces (one per lane,
+/// empty for disabled lanes); warp is the accounting warp width, NOT the
+/// executing engine's physical group width.
+inline void replay_warp_stats(
+    const std::vector<std::vector<std::uint8_t>>& branch_log,
+    std::size_t lanes, std::size_t warp, SimtStats& stats) noexcept {
+  std::uint64_t global_rounds = 0;
+  for (std::size_t base = 0; base < lanes; base += warp) {
+    const std::size_t end = std::min(base + warp, lanes);
+    std::size_t warp_max = 0;
+    for (std::size_t lane = base; lane < end; ++lane) {
+      warp_max = std::max(warp_max, branch_log[lane].size());
+    }
+    global_rounds = std::max<std::uint64_t>(global_rounds, warp_max);
+    for (std::size_t t = 0; t < warp_max; ++t) {
+      std::uint32_t branch_mask = 0;
+      std::size_t active_count = 0;
+      for (std::size_t lane = base; lane < end; ++lane) {
+        if (t < branch_log[lane].size()) {
+          branch_mask |= 1u << branch_log[lane][t];
+          ++active_count;
+        }
+      }
+      ++stats.warp_rounds;
+      const int branches = std::popcount(branch_mask);
+      stats.branch_slots += branches;
+      if (branches > 1) ++stats.divergent_warp_rounds;
+      stats.active_lane_slots += active_count;
+      stats.lane_slots += warp;
+    }
+  }
+  stats.rounds += global_rounds;
+}
+
+}  // namespace bulkgcd::bulk

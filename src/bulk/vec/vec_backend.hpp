@@ -1,0 +1,97 @@
+// The SIMD warp engine's public surface (docs/GPU_PORTING.md).
+//
+// VecBatchBase is the batch interface BlockSweeper drives — deliberately the
+// same verbs as SimtBatch (load_panel / broadcast_y / reset_lane_state /
+// disable / run / early_coprime / gcd_of) so the vector backend slots into
+// the staged sweep without touching the scan driver, telemetry, or
+// checkpoint identity. The implementation template (vec_batch_impl.hpp) is
+// compiled twice into the library: once with baseline flags (the portable
+// leg — the compiler lowers the W-wide lane loops to scalar code, same code
+// shape everywhere) and once with -mavx2 on x86-64 (256-bit registers:
+// W = 8 lanes on 32-bit limbs, W = 4 on 64-bit). make_vec_batch() picks the
+// implementation by cpuid probe or explicit VecIsa.
+//
+// Virtual dispatch happens once per batch verb (a block round spans
+// thousands of limb operations), never inside a kernel.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "bulk/backend.hpp"
+#include "bulk/simt_stats.hpp"
+#include "gcd/algorithms.hpp"
+#include "mp/bigint.hpp"
+
+namespace bulkgcd::bulk {
+
+/// Best vector ISA compiled into this binary AND supported by this CPU.
+/// Never returns kAuto; returns kPortable when no SIMD leg applies.
+VecIsa detect_vec_isa() noexcept;
+
+/// Whether make_vec_batch(..., isa) can honor the request on this machine.
+bool vec_isa_available(VecIsa isa) noexcept;
+
+template <mp::LimbType Limb>
+class VecBatchBase {
+ public:
+  /// Sentinel for load()/reset_lane_state(): inherit run()'s early_bits.
+  static constexpr std::size_t kInheritEarlyBits = std::size_t(-1);
+
+  virtual ~VecBatchBase() = default;
+
+  virtual std::size_t lanes() const noexcept = 0;
+  virtual std::size_t capacity() const noexcept = 0;
+  /// Input bytes a GPU would copy host→device for this batch.
+  virtual std::size_t input_bytes() const noexcept = 0;
+
+  /// Load one pair into a lane (and mark it active). Values must be odd.
+  virtual void load(std::size_t lane, std::span<const Limb> x,
+                    std::span<const Limb> y,
+                    std::size_t early_bits = kInheritEarlyBits) = 0;
+  /// Bulk-stage the X side from a column-major CorpusPanels panel.
+  virtual void load_panel(std::span<const Limb> panel,
+                          std::span<const std::size_t> sizes,
+                          std::size_t rows) = 0;
+  /// Broadcast one normalized value into every lane's Y side.
+  virtual void broadcast_y(std::span<const Limb> y) = 0;
+  /// Re-arm one lane after load_panel()/broadcast_y().
+  virtual void reset_lane_state(std::size_t lane,
+                                std::size_t early_bits = kInheritEarlyBits) = 0;
+  /// Mask a lane off (padding at the tail of a block).
+  virtual void disable(std::size_t lane) noexcept = 0;
+
+  /// Run all active lanes to completion, W at a time per vector register.
+  /// Supported variants: kBinary, kFastBinary, kApproximate (Table V).
+  virtual void run(gcd::Variant variant, std::size_t early_bits = 0) = 0;
+
+  virtual bool early_coprime(std::size_t lane) const noexcept = 0;
+  virtual mp::BigIntT<Limb> gcd_of(std::size_t lane) const = 0;
+  /// Iterations the lane executed in the most recent run() (branch-trace
+  /// length — feeds the iterations-per-pair histogram like run_staged()).
+  virtual std::size_t lane_iterations(std::size_t lane) const noexcept = 0;
+
+  virtual const SimtStats& stats() const noexcept = 0;
+  virtual void reset_stats() noexcept = 0;
+
+  /// The ISA this batch executes with (resolved, never kAuto).
+  virtual VecIsa isa() const noexcept = 0;
+  /// Lanes per vector register for this limb width.
+  virtual std::size_t vector_width() const noexcept = 0;
+};
+
+/// Construct a vector batch. isa = kAuto probes the CPU; an explicit ISA
+/// throws std::invalid_argument when unavailable (missing TU or CPU
+/// support) so tests can pin the portable-vs-AVX2 comparison.
+template <mp::LimbType Limb>
+std::unique_ptr<VecBatchBase<Limb>> make_vec_batch(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width = 32,
+    VecIsa isa = VecIsa::kAuto);
+
+extern template std::unique_ptr<VecBatchBase<std::uint32_t>>
+make_vec_batch<std::uint32_t>(std::size_t, std::size_t, std::size_t, VecIsa);
+extern template std::unique_ptr<VecBatchBase<std::uint64_t>>
+make_vec_batch<std::uint64_t>(std::size_t, std::size_t, std::size_t, VecIsa);
+
+}  // namespace bulkgcd::bulk

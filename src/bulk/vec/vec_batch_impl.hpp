@@ -1,0 +1,1519 @@
+// W-lane SIMD warp engine — implementation template (Section VI on vector
+// registers instead of CUDA warps; see docs/GPU_PORTING.md).
+//
+// This header is the single source of the vector backend and is compiled
+// into the library TWICE under distinct namespaces: vec_portable.cpp with
+// baseline flags and vec_avx2.cpp with -mavx2 (x86-64 only). The kernels
+// are written as fixed-trip-count W-wide loops over the contiguous
+// column-major limb rows of the batch matrices — exactly the loads a CUDA
+// warp coalesces (Figure 3) — so the -mavx2 TU lowers them to 256-bit
+// vector loads/stores and blends, while the portable TU lowers the same
+// code shape to scalar instructions. No intrinsics; no ODR violation (the
+// including TU defines BULKGCD_VEC_IMPL_NS / BULKGCD_VEC_IMPL_ISA).
+//
+// Execution model per W-lane group (the "vector warp"):
+//   * Approximate Euclidean in the Section-V regime (the all-pairs scan
+//     configuration: early termination >= 3 limbs, so the quotient head is
+//     always Case 4) runs FULLY vector-resident: lane sizes, swap flags,
+//     live masks and iteration counts stay in vector registers for the
+//     whole group run; the round head (termination test, Case-4
+//     classification, the quotient via 4-lane double division + exact
+//     fixup, the d0 classify) computes all W lanes at once from
+//     register-carried top words plus two gathers per round; the masked
+//     submul sweep tracks the normalized result size in-register — the
+//     common path does no per-lane scalar work at all;
+//   * Binary, Fast Binary and non-Section-V Approximate rounds use a
+//     scalar per-lane head that classifies each live lane's branch, then
+//     serialize branch groups like a SIMT machine serializes divergent
+//     warps, each group one masked vector sweep over the limb rows;
+//     finished lanes and lanes in other branches are masked off exactly
+//     like predicated-off CUDA threads (stores blend the computed limb
+//     against the lane's previous value);
+//   * rare paths — the d0 = 0 slow strip (probability ~2^-d per iteration),
+//     the β > 0 shifted-add kernel, the case-1 register tail, full-compare
+//     swap ties, and the tail group when lanes % W != 0 — drop to the
+//     identical scalar kernels of gcd/kernels.hpp on strided accessors, so
+//     they are bit-identical to the staged scalar engine by construction
+//     rather than by re-derivation.
+//
+// Ragged lane sizes inside a group are handled by sweeping every masked
+// lane to the group's maximum size: rows above a lane's own size hold zero
+// limbs (the SimtBatch dirty-row invariant, maintained identically here),
+// and zero rows are arithmetic fixed points of every kernel — the sweep
+// computes and stores zeros there, and the final store of a short lane
+// lands at its own top row with the same value the scalar kernel writes.
+//
+// Statistics: per-lane branch traces are recorded exactly as run_staged()
+// records them, and replay_warp_stats() (bulk/simt_stats.hpp) reconstructs
+// the lockstep SimtStats from the traces — the accounting warp width stays
+// the configured warp_width, NOT W, so stats are bit-identical to both
+// SimtBatch modes no matter the vector width.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bulk/layout.hpp"
+#include "bulk/simt_stats.hpp"
+#include "bulk/vec/vec_backend.hpp"
+#include "gcd/algorithms.hpp"
+#include "gcd/approx.hpp"
+#include "gcd/kernels.hpp"
+
+#ifndef BULKGCD_VEC_IMPL_NS
+#error "vec_batch_impl.hpp must be included with BULKGCD_VEC_IMPL_NS defined"
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+// The v_load/v_store helpers pass vector-extension values in and out of
+// functions that are always inlined into this TU; no real ABI boundary is
+// crossed, so gcc's psABI note about vector returns is noise here.
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+#ifndef BULKGCD_VEC_IMPL_ISA
+#error "vec_batch_impl.hpp must be included with BULKGCD_VEC_IMPL_ISA defined"
+#endif
+
+namespace bulkgcd::bulk {
+namespace BULKGCD_VEC_IMPL_NS {
+
+/// GNU vector extensions express the masked row sweeps directly as W-wide
+/// SIMD values: the -mavx2 TU lowers them to 256-bit loads, blends and
+/// per-lane variable shifts, while the portable TU lowers the identical
+/// source to baseline (SSE2 or scalar) code. The auto-vectorizer refuses
+/// the mixed 32/64-bit carry chains of the plain loops, so the hot kernels
+/// go through these types when available; compilers without the extension
+/// and the 64-bit-limb build (whose Wide is __int128, not a vectorizable
+/// element type) keep the plain W-wide loops, which remain the semantic
+/// reference — both paths are exact integer arithmetic, bit-identical.
+template <class Limb>
+struct VecTraits {
+  static constexpr bool available = false;
+};
+#if defined(__GNUC__) || defined(__clang__)
+template <>
+struct VecTraits<std::uint32_t> {
+  static constexpr bool available = true;
+  typedef std::uint32_t LimbVec __attribute__((vector_size(32)));  // W = 8
+  // Lane sizes fit far below 2^31, so the per-row "i < ly" test uses the
+  // single-instruction signed compare instead of the unsigned sequence.
+  typedef std::int32_t SignedVec __attribute__((vector_size(32)));
+  // The carry/borrow chains run as two u64x4 half-chains (even and odd
+  // lanes), keeping every value in native 256-bit registers AND giving the
+  // out-of-order core two independent dependency chains per row.
+  typedef std::uint64_t PairVec __attribute__((vector_size(32)));
+
+  typedef std::int64_t SignedPairVec __attribute__((vector_size(32)));
+  typedef double DblVec __attribute__((vector_size(32)));
+  typedef float FloatVec __attribute__((vector_size(32)));
+
+  /// Eight per-lane loads from arbitrary 32-bit element offsets off one base
+  /// (vpgatherdd) — how the vector-resident round reads the strided top
+  /// words of all lanes at once. Offsets must stay below 2^31 elements.
+  static LimbVec gather(const std::uint32_t* b, LimbVec idx) noexcept {
+#if defined(__AVX2__)
+    return (LimbVec)_mm256_i32gather_epi32(reinterpret_cast<const int*>(b),
+                                           (__m256i)idx, 4);
+#else
+    LimbVec r;
+    for (int l = 0; l < 8; ++l) r[l] = b[idx[l]];
+    return r;
+#endif
+  }
+
+  /// One bit per 32-bit lane from a 0/~0 mask vector (vmovmskps).
+  static int movemask(LimbVec m) noexcept {
+#if defined(__AVX2__)
+    return _mm256_movemask_ps((__m256)m);
+#else
+    int r = 0;
+    for (int l = 0; l < 8; ++l) r |= int(m[l] >> 31) << l;
+    return r;
+#endif
+  }
+
+  /// Full 64-bit product of the low 32 bits of each 64-bit lane (vpmuludq).
+  /// gcc has no pattern that simplifies the generic u64x4 multiply when the
+  /// operands' high words are known zero — it always expands the 64 x 64
+  /// sequence — so the AVX2 TU uses the intrinsic; everything else in the
+  /// kernels stays plain vector-extension arithmetic.
+  static PairVec mul32(PairVec a, PairVec b) noexcept {
+#if defined(__AVX2__)
+    return (PairVec)_mm256_mul_epu32((__m256i)a, (__m256i)b);
+#else
+    return (a & 0xffffffffu) * (b & 0xffffffffu);
+#endif
+  }
+};
+#endif
+
+template <mp::LimbType Limb>
+class VecBatch final : public VecBatchBase<Limb> {
+  using Wide = typename mp::LimbTraits<Limb>::Wide;
+  static constexpr int LB = mp::limb_bits<Limb>;
+  static constexpr Wide kMask = mp::limb_base<Limb> - 1;
+
+ public:
+  /// Lanes per 256-bit vector register.
+  static constexpr std::size_t W = 32 / sizeof(Limb);
+  static constexpr std::size_t kInheritEarlyBits = std::size_t(-1);
+
+  VecBatch(std::size_t lanes, std::size_t capacity_limbs,
+           std::size_t warp_width)
+      : lanes_(lanes),
+        cap_(capacity_limbs + kBatchPadLimbs),
+        warp_(warp_width),
+        mat_(lanes, 2 * cap_),
+        lx_(lanes, 0),
+        ly_(lanes, 0),
+        early_(lanes, kInheritEarlyBits),
+        eff_early_(lanes, 0),
+        swapped_(lanes, 0),
+        active_(lanes, 0) {
+    if (warp_width == 0) throw std::invalid_argument("warp width must be > 0");
+  }
+
+  std::size_t lanes() const noexcept override { return lanes_; }
+  std::size_t capacity() const noexcept override {
+    return cap_ - kBatchPadLimbs;
+  }
+  std::size_t input_bytes() const noexcept override { return mat_.bytes(); }
+  VecIsa isa() const noexcept override { return BULKGCD_VEC_IMPL_ISA; }
+  std::size_t vector_width() const noexcept override { return W; }
+
+  void load(std::size_t lane, std::span<const Limb> x, std::span<const Limb> y,
+            std::size_t early_bits) override {
+    assert(lane < lanes_);
+    early_[lane] = early_bits;
+    if (x.size() > capacity() || y.size() > capacity()) {
+      throw std::length_error("VecBatch: input exceeds capacity");
+    }
+    fill_half(a_data(), lane, x.data(), x.size());
+    fill_half(b_data(), lane, y.data(), y.size());
+    x_rows_ = cap_;
+    y_rows_ = cap_;
+    lx_[lane] = gcd::acc_normalized_size(lane_a(lane), x.size());
+    ly_[lane] = gcd::acc_normalized_size(lane_b(lane), y.size());
+    swapped_[lane] = 0;
+    if (gcd::acc_compare(lane_a(lane), lx_[lane], lane_b(lane),
+                         ly_[lane]) < 0) {
+      swapped_[lane] ^= 1;
+      std::swap(lx_[lane], ly_[lane]);
+    }
+    active_[lane] = 1;
+  }
+
+  void load_panel(std::span<const Limb> panel,
+                  std::span<const std::size_t> sizes,
+                  std::size_t rows) override {
+    if (rows > cap_ || panel.size() < rows * lanes_ ||
+        sizes.size() != lanes_) {
+      throw std::invalid_argument("VecBatch: panel does not fit this batch");
+    }
+    Limb* dst = a_data();
+    std::copy_n(panel.data(), rows * lanes_, dst);
+    if (x_rows_ > rows) {
+      std::fill(dst + rows * lanes_, dst + x_rows_ * lanes_, Limb{0});
+    }
+    x_rows_ = rows;
+    std::copy_n(sizes.data(), lanes_, lx_.data());
+  }
+
+  void broadcast_y(std::span<const Limb> y) override {
+    if (y.size() > capacity()) {
+      throw std::length_error("VecBatch: input exceeds capacity");
+    }
+    Limb* dst = b_data();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      std::fill_n(dst + i * lanes_, lanes_, y[i]);
+    }
+    if (y_rows_ > y.size()) {
+      std::fill(dst + y.size() * lanes_, dst + y_rows_ * lanes_, Limb{0});
+    }
+    y_rows_ = std::min(cap_, y.size() + 1);
+    std::fill_n(ly_.data(), lanes_, y.size());
+  }
+
+  void reset_lane_state(std::size_t lane, std::size_t early_bits) override {
+    assert(lane < lanes_);
+    early_[lane] = early_bits;
+    swapped_[lane] = 0;
+    if (gcd::acc_compare(lane_a(lane), lx_[lane], lane_b(lane),
+                         ly_[lane]) < 0) {
+      swapped_[lane] ^= 1;
+      std::swap(lx_[lane], ly_[lane]);
+    }
+    active_[lane] = 1;
+  }
+
+  void disable(std::size_t lane) noexcept override { active_[lane] = 0; }
+
+  void run(gcd::Variant variant, std::size_t early_bits) override {
+    if (variant != gcd::Variant::kBinary &&
+        variant != gcd::Variant::kFastBinary &&
+        variant != gcd::Variant::kApproximate) {
+      throw std::invalid_argument("VecBatch: unsupported variant");
+    }
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      eff_early_[lane] =
+          early_[lane] == kInheritEarlyBits ? early_bits : early_[lane];
+    }
+    if (branch_log_.size() != lanes_) branch_log_.resize(lanes_);
+    for (auto& log : branch_log_) {
+      if (log.capacity() < 160) log.reserve(160);
+      log.clear();
+    }
+    switch (variant) {
+      case gcd::Variant::kBinary:
+        run_impl<gcd::Variant::kBinary>();
+        break;
+      case gcd::Variant::kFastBinary:
+        run_impl<gcd::Variant::kFastBinary>();
+        break;
+      default:
+        run_impl<gcd::Variant::kApproximate>();
+        break;
+    }
+    replay_warp_stats(branch_log_, lanes_, warp_, stats_);
+  }
+
+  bool early_coprime(std::size_t lane) const noexcept override {
+    return ly_[lane] > 0;
+  }
+
+  mp::BigIntT<Limb> gcd_of(std::size_t lane) const override {
+    std::vector<Limb> limbs(lx_[lane]);
+    auto x = swapped_[lane] ? lane_b(lane) : lane_a(lane);
+    for (std::size_t i = 0; i < lx_[lane]; ++i) limbs[i] = x[i];
+    return mp::BigIntT<Limb>::from_limbs(limbs);
+  }
+
+  std::size_t lane_iterations(std::size_t lane) const noexcept override {
+    return lane < branch_log_.size() ? branch_log_[lane].size() : 0;
+  }
+
+  const SimtStats& stats() const noexcept override { return stats_; }
+  void reset_stats() noexcept override { stats_ = SimtStats{}; }
+
+ private:
+  /// Register-resident view of one lane's algorithm state (identical to
+  /// SimtBatch::LaneState — the scalar fallback steps below are verbatim
+  /// copies operating on it).
+  struct LaneState {
+    Strided<Limb> x{nullptr, 0}, y{nullptr, 0};
+    std::size_t lx = 0, ly = 0;
+    std::uint8_t swapped = 0;
+  };
+
+  // The A and B operand matrices live in the two halves of ONE column-major
+  // allocation (A rows [0, cap_), B rows [cap_, 2·cap_)): the vector-resident
+  // round addresses the current X/Y role of every lane as a single gather
+  // from one base pointer plus a per-lane half offset.
+  Limb* a_data() noexcept { return mat_.storage().data(); }
+  Limb* b_data() noexcept { return mat_.storage().data() + cap_ * lanes_; }
+  const Limb* a_data() const noexcept { return mat_.storage().data(); }
+  const Limb* b_data() const noexcept {
+    return mat_.storage().data() + cap_ * lanes_;
+  }
+  Strided<Limb> lane_a(std::size_t lane) noexcept {
+    return {a_data() + lane, lanes_};
+  }
+  Strided<Limb> lane_b(std::size_t lane) noexcept {
+    return {b_data() + lane, lanes_};
+  }
+  ConstStrided<Limb> lane_a(std::size_t lane) const noexcept {
+    return {a_data() + lane, lanes_};
+  }
+  ConstStrided<Limb> lane_b(std::size_t lane) const noexcept {
+    return {b_data() + lane, lanes_};
+  }
+  /// ColumnMatrix::fill_lane for one half of the shared allocation (the
+  /// matrix's own would zero-pad across both operands).
+  void fill_half(Limb* half, std::size_t lane, const Limb* src,
+                 std::size_t n) noexcept {
+    Limb* p = half + lane;
+    std::size_t i = 0;
+    for (; i < n; ++i) p[i * lanes_] = src[i];
+    for (; i < cap_; ++i) p[i * lanes_] = Limb{0};
+  }
+
+  LaneState lane_state(std::size_t lane) noexcept {
+    auto a = lane_a(lane);
+    auto b = lane_b(lane);
+    if (swapped_[lane]) std::swap(a, b);
+    return {a, b, lx_[lane], ly_[lane], swapped_[lane]};
+  }
+  void store_lane(std::size_t lane, const LaneState& s) noexcept {
+    lx_[lane] = s.lx;
+    ly_[lane] = s.ly;
+    swapped_[lane] = s.swapped;
+  }
+
+  static void swap_lane(LaneState& s) noexcept {
+    std::swap(s.x, s.y);
+    std::swap(s.lx, s.ly);
+    s.swapped ^= 1;
+  }
+
+  bool keeps_going(const LaneState& s, std::size_t early_bits) const noexcept {
+    if (s.ly == 0) return false;
+    if (early_bits == 0) return true;
+    const std::size_t top = s.ly - 1;
+    if (top * LB >= early_bits) return true;
+    if (s.ly * LB < early_bits) return false;
+    const std::size_t bits = top * LB + (LB - std::countl_zero(s.y[top]));
+    return bits >= early_bits;
+  }
+
+  static bool section_v(std::size_t early_bits) noexcept {
+    return early_bits >= 3u * std::size_t(LB);
+  }
+
+  // ---- scalar per-lane steps (verbatim SimtBatch semantics) ---------------
+  // Used for tail groups (lanes % W) and as the in-round fallback of the
+  // rare kernel paths; branch ids MUST match SimtBatch for stats identity.
+
+  int step_binary(LaneState& s, gcd::GcdStats& gs) {
+    int branch;
+    if ((s.x[0] & 1u) == 0) {
+      s.lx = gcd::halve(s.x, s.lx, null_tracer_);
+      branch = 0;
+    } else if ((s.y[0] & 1u) == 0) {
+      s.ly = gcd::halve(s.y, s.ly, null_tracer_);
+      branch = 1;
+    } else {
+      s.lx = gcd::sub_halve(s.x, s.lx, s.y, s.ly, null_tracer_);
+      branch = 2;
+    }
+    swap_if_less(s, gs);
+    return branch;
+  }
+
+  int step_fast_binary(LaneState& s, gcd::GcdStats& gs) {
+    s.lx = gcd::fused_submul_strip(s.x, s.lx, s.y, s.ly, Limb{1},
+                                   null_tracer_);
+    swap_if_less(s, gs);
+    return 0;
+  }
+
+  int step_approximate(LaneState& s, bool use_case4, gcd::GcdStats& gs) {
+    const auto ar = use_case4
+                        ? gcd::approx_case4_only(s.x, s.lx, s.y, s.ly)
+                        : gcd::approx(s.x, s.lx, s.y, s.ly);
+    gs.count_case(ar.which);
+    ++gs.divisions;
+    int branch;
+    if (ar.which == gcd::ApproxCase::k1) {
+      case1_tail(s, ar.alpha);
+      branch = 2;
+    } else if (ar.beta == 0) {
+      Limb alpha = Limb(ar.alpha);
+      if ((alpha & 1u) == 0) --alpha;
+      s.lx = gcd::fused_submul_strip(s.x, s.lx, s.y, s.ly, alpha,
+                                     null_tracer_);
+      branch = 0;
+    } else {
+      ++gs.beta_nonzero;
+      s.lx = gcd::fused_submul_shifted_add_strip(
+          s.x, s.lx, s.y, s.ly, Limb(ar.alpha), ar.beta, null_tracer_);
+      branch = 1;
+    }
+    swap_if_less(s, gs);
+    return branch;
+  }
+
+  /// Register-resident case-1 tail (only reachable in non-terminate runs).
+  void case1_tail(LaneState& s, Wide alpha) {
+    const Wide xv = s.lx == 2 ? gcd::top_two_words(s.x, 2) : Wide(s.x[0]);
+    const Wide yv = s.ly == 2 ? gcd::top_two_words(s.y, 2) : Wide(s.y[0]);
+    if ((alpha & 1u) == 0) --alpha;
+    Wide t = xv - yv * alpha;
+    if (t != 0) t >>= gcd::wide_ctz(t);
+    std::size_t n = 0;
+    while (t != 0) {
+      s.x[n++] = Limb(t);
+      t >>= LB;
+    }
+    s.lx = n;
+  }
+
+  void swap_if_less(LaneState& s, gcd::GcdStats& gs) {
+    if (gcd::acc_compare(s.x, s.lx, s.y, s.ly) < 0) {
+      swap_lane(s);
+      ++gs.swaps;
+    }
+  }
+
+  // ---- group driver -------------------------------------------------------
+
+  template <gcd::Variant V>
+#if defined(__GNUC__)
+  [[gnu::flatten]]
+#endif
+  void run_impl() {
+    gcd::GcdStats tally;
+    for (std::size_t base = 0; base < lanes_; base += W) {
+      const std::size_t n = std::min(W, lanes_ - base);
+      if (n == W) {
+        if constexpr (V == gcd::Variant::kApproximate &&
+                      VecTraits<Limb>::available && LB == 32) {
+          // The vector-resident round covers the Section-V regime (every
+          // active lane keeps early >= 3 limbs, so the quotient head is
+          // always Case 4) with 32-bit gather offsets; mixed or non-Section-V
+          // groups take the generic masked-round driver below.
+          bool vec_ok = 2 * cap_ * lanes_ < (std::size_t(1) << 31);
+          for (std::size_t l = 0; vec_ok && l < W; ++l) {
+            if (active_[base + l] && !section_v(eff_early_[base + l])) {
+              vec_ok = false;
+            }
+          }
+          if (vec_ok) {
+            run_group_approx_vec(base, tally);
+            continue;
+          }
+        }
+        run_group_full<V>(base, tally);
+      } else {
+        run_group_tail<V>(base, n, tally);
+      }
+    }
+    stats_.gcd += tally;
+  }
+
+  /// Tail group (< W lanes): pure scalar lane-to-completion, exactly
+  /// run_staged(). The masked-tail correctness burden stays on the scalar
+  /// kernels every other engine already uses.
+  template <gcd::Variant V>
+  void run_group_tail(std::size_t base, std::size_t n, gcd::GcdStats& tally) {
+    for (std::size_t l = 0; l < n; ++l) {
+      const std::size_t lane = base + l;
+      if (!active_[lane]) continue;
+      auto& log = branch_log_[lane];
+      LaneState s = lane_state(lane);
+      const std::size_t early = eff_early_[lane];
+      const bool use_case4 = section_v(early);
+      while (keeps_going(s, early)) {
+        ++tally.iterations;
+        int branch;
+        if constexpr (V == gcd::Variant::kBinary) {
+          branch = step_binary(s, tally);
+        } else if constexpr (V == gcd::Variant::kFastBinary) {
+          branch = step_fast_binary(s, tally);
+        } else {
+          branch = step_approximate(s, use_case4, tally);
+        }
+        log.push_back(std::uint8_t(branch));
+      }
+      store_lane(lane, s);
+      active_[lane] = 0;
+      stats_.lane_iterations += log.size();
+    }
+  }
+
+  /// Full W-lane group: lockstep rounds with masked vector sweeps.
+  template <gcd::Variant V>
+  void run_group_full(std::size_t base, gcd::GcdStats& tally) {
+    std::array<LaneState, W> s;
+    std::array<bool, W> live{};
+    std::array<std::size_t, W> early{};
+    std::array<bool, W> use_case4{};
+    bool any = false;
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t lane = base + l;
+      live[l] = active_[lane] != 0;
+      if (!live[l]) continue;
+      s[l] = lane_state(lane);
+      early[l] = eff_early_[lane];
+      use_case4[l] = section_v(early[l]);
+      any = true;
+    }
+
+    while (any) {
+      any = false;
+      for (std::size_t l = 0; l < W; ++l) {
+        if (live[l] && !keeps_going(s[l], early[l])) live[l] = false;
+        any |= live[l];
+      }
+      if (!any) break;
+
+      if constexpr (V == gcd::Variant::kBinary) {
+        round_binary(base, s, live, tally);
+      } else if constexpr (V == gcd::Variant::kFastBinary) {
+        round_fast_binary(base, s, live, tally);
+      } else {
+        round_approximate(base, s, live, use_case4, tally);
+      }
+    }
+
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t lane = base + l;
+      if (!active_[lane]) continue;
+      store_lane(lane, s[l]);
+      active_[lane] = 0;
+      stats_.lane_iterations += branch_log_[lane].size();
+    }
+  }
+
+  // ---- per-variant rounds -------------------------------------------------
+
+  void round_binary(std::size_t base, std::array<LaneState, W>& s,
+                    const std::array<bool, W>& live, gcd::GcdStats& tally) {
+    std::array<int, W> br{};
+    std::array<bool, W> m0{}, m1{}, m2{};
+    bool any0 = false, any1 = false, any2 = false;
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      if ((s[l].x[0] & 1u) == 0) {
+        br[l] = 0;
+        m0[l] = any0 = true;
+      } else if ((s[l].y[0] & 1u) == 0) {
+        br[l] = 1;
+        m1[l] = any1 = true;
+      } else {
+        br[l] = 2;
+        m2[l] = any2 = true;
+      }
+    }
+    // Serialized branch groups, each one masked vector sweep (the SIMT
+    // divergence model made literal).
+    if (any0) vec_halve(base, s, m0, /*halve_y=*/false);
+    if (any1) vec_halve(base, s, m1, /*halve_y=*/true);
+    if (any2) vec_sub_halve(base, s, m2);
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      ++tally.iterations;
+      swap_if_less(s[l], tally);
+      branch_log_[base + l].push_back(std::uint8_t(br[l]));
+    }
+  }
+
+  void round_fast_binary(std::size_t base, std::array<LaneState, W>& s,
+                         const std::array<bool, W>& live,
+                         gcd::GcdStats& tally) {
+    SubmulArgs args{};
+    bool any_vec = false;
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      if (!args.classify(l, s[l], Limb{1})) {
+        // d0 == 0: the rare slow strip, scalar (identical code path).
+        s[l].lx = gcd::fused_submul_strip(s[l].x, s[l].lx, s[l].y, s[l].ly,
+                                          Limb{1}, null_tracer_);
+      } else {
+        any_vec = true;
+      }
+    }
+    if (any_vec) vec_submul(base, s, args);
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      ++tally.iterations;
+      swap_if_less(s[l], tally);
+      branch_log_[base + l].push_back(0);
+    }
+  }
+
+  /// Vectorized Section-V quotient head: the Case-4 classification of
+  /// approx_case4_only with the eight hardware divisions replaced by two
+  /// 4-lane double-precision divisions plus an exact integer fixup. The
+  /// double estimate's error is < 2^-19 absolute (quotients fit a limb), so
+  /// round(q̂) ∈ {q, q+1}; starting from round(q̂) − 1 at most two predicated
+  /// increments against the exact 64-bit remainder land on ⌊x12/div⌋ — the
+  /// result is bit-identical to the scalar engine's divide, just never
+  /// serialized through the divider unit. Lanes it declines (non-Section-V
+  /// runs, 64-bit limbs) keep have[l] == 0 and take the scalar head.
+  void vec_approx_case4(const std::array<LaneState, W>& s,
+                        const std::array<bool, W>& live,
+                        const std::array<bool, W>& use_case4,
+                        std::array<Wide, W>& qa,
+                        std::array<gcd::ApproxCase, W>& wh,
+                        std::array<std::size_t, W>& beta,
+                        std::array<std::uint8_t, W>& have) {
+    if constexpr (VecTraits<Limb>::available && LB == 32) {
+      alignas(32) Wide x12a[W], diva[W];
+      bool any = false;
+      for (std::size_t l = 0; l < W; ++l) {
+        x12a[l] = 1;  // benign operands for lanes without a division
+        diva[l] = 1;
+        if (!live[l] || !use_case4[l]) continue;
+        // Section-V regime: keeps_going kept ly >= 3 limbs and the swap
+        // invariant keeps lx >= ly, exactly approx_case4_only's contract.
+        const auto& t = s[l];
+        const Wide x12 = gcd::top_two_words(t.x, t.lx);
+        const Wide y12 = gcd::top_two_words(t.y, t.ly);
+        have[l] = 1;
+        if (x12 > y12) {
+          wh[l] = gcd::ApproxCase::k4A;
+          beta[l] = t.lx - t.ly;
+          x12a[l] = x12;
+          diva[l] = y12 + 1;
+          any = true;
+        } else if (t.lx > t.ly) {
+          wh[l] = gcd::ApproxCase::k4B;
+          beta[l] = t.lx - t.ly - 1;
+          x12a[l] = x12;
+          diva[l] = Wide(t.y[t.ly - 1]) + 1;
+          any = true;
+        } else {
+          wh[l] = gcd::ApproxCase::k4C;
+          beta[l] = 0;
+          qa[l] = 1;
+        }
+      }
+      if (!any) return;
+      using VT = VecTraits<Limb>;
+      using V4 = typename VT::PairVec;
+      using S4 = typename VT::SignedPairVec;
+      using D4 = typename VT::DblVec;
+      const V4 kexp = V4{} + 0x4330000000000000ull;  // double exponent of 2^52
+      const D4 k52 = D4{} + 4503599627370496.0;      // 2^52
+      const D4 kscale = D4{} + 4294967296.0;         // 2^32
+      const V4 bias = V4{} + (Wide(1) << 63);
+      for (std::size_t h = 0; h < W; h += 4) {
+        const V4 xv = v_load<V4>(x12a + h);
+        const V4 dv = v_load<V4>(diva + h);
+        // Exact u64 -> double by halves: or the u32 half into a 2^52-biased
+        // mantissa, subtract the bias (both halves exact, one rounding each
+        // on the recombines).
+        const D4 xd = ((D4)((xv >> LB) | kexp) - k52) * kscale +
+                      ((D4)((xv & kMask) | kexp) - k52);
+        const D4 dd = ((D4)((dv >> LB) | kexp) - k52) * kscale +
+                      ((D4)((dv & kMask) | kexp) - k52);
+        const D4 qd = xd / dd + k52;  // + 2^52 rounds to the nearest integer
+        V4 q = ((V4)qd & ((Wide(1) << 52) - 1)) - 1;
+        const V4 dm1 = (dv - 1) ^ bias;
+        const V4 low = VT::mul32(q, dv) + (VT::mul32(q, dv >> LB) << LB);
+        V4 r = xv - low;  // q <= floor: no wrap
+        const V4 c1 = (V4)((S4)(r ^ bias) > (S4)dm1);  // r >= dv, biased cmp
+        q -= c1;  // c is 0/~0: subtracting the mask increments
+        r -= dv & c1;
+        const V4 c2 = (V4)((S4)(r ^ bias) > (S4)dm1);
+        q -= c2;
+        v_store(qa.data() + h, q);
+      }
+    }
+  }
+
+  void round_approximate(std::size_t base, std::array<LaneState, W>& s,
+                         const std::array<bool, W>& live,
+                         const std::array<bool, W>& use_case4,
+                         gcd::GcdStats& tally) {
+    std::array<int, W> br{};
+    SubmulArgs args{};
+    bool any_vec = false;
+    std::array<Wide, W> qa{};
+    std::array<gcd::ApproxCase, W> wh{};
+    std::array<std::size_t, W> betas{};
+    std::array<std::uint8_t, W> have{};
+    vec_approx_case4(s, live, use_case4, qa, wh, betas, have);
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      const auto ar =
+          have[l] ? gcd::ApproxResult<Limb>{qa[l], betas[l], wh[l]}
+          : use_case4[l]
+              ? gcd::approx_case4_only(s[l].x, s[l].lx, s[l].y, s[l].ly)
+              : gcd::approx(s[l].x, s[l].lx, s[l].y, s[l].ly);
+      tally.count_case(ar.which);
+      ++tally.divisions;
+      if (ar.which == gcd::ApproxCase::k1) {
+        case1_tail(s[l], ar.alpha);
+        br[l] = 2;
+      } else if (ar.beta == 0) {
+        Limb alpha = Limb(ar.alpha);
+        if ((alpha & 1u) == 0) --alpha;
+        if (args.classify(l, s[l], alpha)) {
+          any_vec = true;
+        } else {
+          s[l].lx = gcd::fused_submul_strip(s[l].x, s[l].lx, s[l].y, s[l].ly,
+                                            alpha, null_tracer_);
+        }
+        br[l] = 0;
+      } else {
+        ++tally.beta_nonzero;
+        s[l].lx = gcd::fused_submul_shifted_add_strip(
+            s[l].x, s[l].lx, s[l].y, s[l].ly, Limb(ar.alpha), ar.beta,
+            null_tracer_);
+        br[l] = 1;
+      }
+    }
+    if (any_vec) vec_submul(base, s, args);
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!live[l]) continue;
+      ++tally.iterations;
+      swap_if_less(s[l], tally);
+      branch_log_[base + l].push_back(std::uint8_t(br[l]));
+    }
+  }
+
+  /// Fully vector-resident Approximate Euclidean driver for one W-lane
+  /// group in the Section-V regime (early termination >= 3 limbs, the
+  /// all-pairs scan configuration): lane sizes, swap flags, live masks and
+  /// iteration counts live in vector registers for the whole group run, the
+  /// per-round head (keeps_going, the Case-4 classification, the quotient,
+  /// the d0 classify) is computed for all W lanes at once from five gathers
+  /// and two row-0 loads, and the submul sweep tracks the normalized result
+  /// size in-register — no per-lane scalar work at all on the common path.
+  /// Rare lanes (β > 0, d0 = 0, full-compare ties) extract to the scalar
+  /// kernels exactly like the generic driver, preserving bit-identity.
+  ///
+  /// In the Section-V regime the quotient head is always Case 4
+  /// (approx_case4_only's contract: keeps_going keeps ly >= 3 limbs and the
+  /// swap invariant keeps lx >= ly), Case 1 is unreachable, and every
+  /// vector-handled iteration logs branch 0 — so the branch trace is a bulk
+  /// fill plus one patch per rare β > 0 event.
+  void run_group_approx_vec(std::size_t base, gcd::GcdStats& tally) {
+    if constexpr (VecTraits<Limb>::available && LB == 32) {
+      using VT = VecTraits<Limb>;
+      using VL = typename VT::LimbVec;
+      using SL = typename VT::SignedVec;
+      using V4 = typename VT::PairVec;
+      using S4 = typename VT::SignedPairVec;
+      using D4 = typename VT::DblVec;
+
+      const std::size_t L = lanes_;
+      Limb* __restrict__ Sd = mat_.storage().data();
+      const Limb capL = Limb(cap_ * L);
+
+      // ---- scalar -> vector state load ----
+      alignas(32) Limb t32[W];
+      std::array<std::uint8_t, W> init_live{};
+      std::array<std::size_t, W> log_base{};
+      for (std::size_t l = 0; l < W; ++l) {
+        init_live[l] = active_[base + l];
+        log_base[l] = branch_log_[base + l].size();
+      }
+      for (std::size_t l = 0; l < W; ++l) t32[l] = Limb(lx_[base + l]);
+      VL lxv = v_load<VL>(t32);
+      for (std::size_t l = 0; l < W; ++l) t32[l] = Limb(ly_[base + l]);
+      VL lyv = v_load<VL>(t32);
+      for (std::size_t l = 0; l < W; ++l) {
+        t32[l] = swapped_[base + l] ? ~Limb{0} : Limb{0};
+      }
+      VL swm = v_load<VL>(t32);
+      for (std::size_t l = 0; l < W; ++l) {
+        t32[l] = init_live[l] ? ~Limb{0} : Limb{0};
+      }
+      VL livem = v_load<VL>(t32);
+      for (std::size_t l = 0; l < W; ++l) t32[l] = Limb(eff_early_[base + l]);
+      const VL earlyv = v_load<VL>(t32);
+
+      const VL iota = {0, 1, 2, 3, 4, 5, 6, 7};
+      const VL lanecol = iota + Limb(base);
+      const VL capLv = VL{} + capL;
+      const VL rowmul = VL{} + Limb(L);
+      const VL one = VL{} + 1;
+      const VL two = VL{} + 2;
+      const VL kLBv = VL{} + Limb(LB);
+      const V4 kMaskV = V4{} + kMask;
+      const V4 hiKeep = V4{} + (Wide(kMask) << LB);
+      const V4 bias = V4{} + (Wide(1) << 63);
+      const V4 kexp = V4{} + 0x4330000000000000ull;  // double bits of 2^52
+      const D4 k52 = D4{} + 4503599627370496.0;      // 2^52
+      const D4 kscale = D4{} + 4294967296.0;         // 2^32
+
+      // Exact 64/64 -> floor quotient for quotients < 2^32: two 4-lane
+      // double divisions plus <= 2 predicated fixup increments (see
+      // vec_approx_case4 for the error argument).
+      const auto divq = [&](V4 xv, V4 dv) noexcept -> V4 {
+        const D4 xd = ((D4)((xv >> LB) | kexp) - k52) * kscale +
+                      ((D4)((xv & kMask) | kexp) - k52);
+        const D4 dd = ((D4)((dv >> LB) | kexp) - k52) * kscale +
+                      ((D4)((dv & kMask) | kexp) - k52);
+        const D4 qd = xd / dd + k52;
+        V4 q = ((V4)qd & ((Wide(1) << 52) - 1)) - 1;
+        const V4 dm1 = (dv - 1) ^ bias;
+        const V4 low = VT::mul32(q, dv) + (VT::mul32(q, dv >> LB) << LB);
+        V4 r = xv - low;
+        const V4 f1 = (V4)((S4)(r ^ bias) > (S4)dm1);  // r >= dv, biased cmp
+        q -= f1;
+        r -= dv & f1;
+        const V4 f2 = (V4)((S4)(r ^ bias) > (S4)dm1);
+        q -= f2;
+        return q;
+      };
+
+      VL iters{};                              // per-lane iteration counts
+      VL n4a{}, n4b{}, n4c{}, nswap{}, nbnz{};  // per-lane stat counters
+      std::vector<std::pair<std::uint8_t, Limb>> patches;  // (lane, iter idx)
+
+      // The top two words of X and Y ride across rounds in registers: the
+      // new X words come from the two post-sweep gathers at the bottom of
+      // the loop, and a swap just exchanges the X and Y registers — the
+      // round head issues no gathers at all. (The values are junk for dead
+      // lanes and for X sides about to die, where every consumer is masked;
+      // clamped offsets keep the gathers themselves in bounds.)
+      VL y1, x1, y2, x2;
+      {
+        const VL lyc0 = (VL)((SL)lyv > (SL)two) ? lyv : two;
+        const VL lxc0 = (VL)((SL)lxv > (SL)two) ? lxv : two;
+        const VL yoff0 = ((VL)(swm ? VL{} : capLv)) + lanecol;
+        const VL xoff0 = ((VL)(swm ? capLv : VL{})) + lanecol;
+        y1 = VT::gather(Sd, yoff0 + (lyc0 - one) * rowmul);
+        x1 = VT::gather(Sd, xoff0 + (lxc0 - one) * rowmul);
+        y2 = VT::gather(Sd, yoff0 + (lyc0 - two) * rowmul);
+        x2 = VT::gather(Sd, xoff0 + (lxc0 - two) * rowmul);
+      }
+
+      while (true) {
+        // ---- keeps_going, vectorized ----
+        // ly > 0 and: (ly-1)*LB >= early, or ly*LB >= early and the top
+        // word still reaches bit (early - (ly-1)*LB - 1). Lane sizes and
+        // early bounds are far below 2^31: signed compares.
+        const VL topbits = (lyv - one) * kLBv;
+        const VL c1 = (VL)((SL)topbits >= (SL)earlyv);
+        const VL c2 = (VL)((SL)(lyv * kLBv) < (SL)earlyv);
+        const VL sh = (earlyv - topbits - one) & (kLBv - one);
+        const VL mid = (VL)((y1 >> sh) != VL{});
+        const VL going = (VL)(lyv != VL{}) & (c1 | (~c2 & mid));
+        livem &= going;
+        if (!VT::movemask(livem)) break;
+        iters -= livem;  // masks are 0/~0: subtracting counts the live lanes
+
+        // ---- Case-4 classification + quotient, all lanes at once ----
+        const V4 x12e = ((V4)x1 << LB) | ((V4)x2 & kMaskV);
+        const V4 x12o = ((V4)x1 & hiKeep) | ((V4)x2 >> LB);
+        const V4 y12e = ((V4)y1 << LB) | ((V4)y2 & kMaskV);
+        const V4 y12o = ((V4)y1 & hiKeep) | ((V4)y2 >> LB);
+        const V4 c4ae = (V4)((S4)(x12e ^ bias) > (S4)(y12e ^ bias));
+        const V4 c4ao = (V4)((S4)(x12o ^ bias) > (S4)(y12o ^ bias));
+        const VL c4a = (VL)((c4ae & kMaskV) | (c4ao << LB));
+        const VL szeq = (VL)(lxv == lyv);
+        const VL c4c = ~c4a & szeq;  // x12 <= y12 and lx == ly: alpha = 1
+        const V4 dve = ((V4)(c4ae ? y12e : ((V4)y1 & kMaskV))) + 1;
+        const V4 dvo = ((V4)(c4ao ? y12o : ((V4)y1 >> LB))) + 1;
+        const V4 qe = divq(x12e, dve);
+        const V4 qo = divq(x12o, dvo);
+        VL q = (VL)((qe & kMask) | (qo << LB));
+        q = (VL)(c4c ? one : q);
+        const VL alphav = (q - one) | one;  // the scalar head's odd-adjust
+        VL beta = lxv - lyv - (~c4a & one);
+        beta = (VL)(c4c ? VL{} : beta);
+        const VL bnz = (VL)(beta != VL{}) & livem;
+        n4a -= c4a & livem;
+        n4b -= ~c4a & ~szeq & livem;
+        n4c -= c4c & livem;
+        nbnz -= bnz;
+
+        // ---- classify: the submul launch state from limb row 0 ----
+        const VL A0 = v_load<VL>(Sd + base);
+        const VL B0 = v_load<VL>(Sd + cap_ * L + base);
+        const VL x0 = (VL)(swm ? B0 : A0);
+        const VL y0 = (VL)(swm ? A0 : B0);
+        const VL plo = y0 * alphav;
+        const V4 alpha_o = (V4)alphav >> LB;
+        const V4 pe = VT::mul32((V4)y0, (V4)alphav);
+        const V4 po = VT::mul32((V4)y0 >> LB, alpha_o);
+        const VL phi = (VL)(((V4)pe >> LB) | (po & hiKeep));
+        const VL d0 = x0 - plo;
+        const VL bor0 = (VL)(x0 < plo);
+        const VL dzm = (VL)(d0 == VL{}) & livem & ~bnz;
+        const VL swept = livem & ~bnz & ~dzm;
+        VL lxw = lxv;  // post-kernel sizes, filled per class below
+
+        // ---- rare lanes: the exact scalar kernels, this lane only ----
+        if (VT::movemask(bnz | dzm)) [[unlikely]] {
+          alignas(32) Limb lxa[W], lya[W], swa[W], qa[W], ala[W], bza[W],
+              dza[W], bta[W], itc[W], y1a[W], y2a[W];
+          v_store(lxa, lxv);
+          v_store(lya, lyv);
+          v_store(swa, swm);
+          v_store(qa, q);
+          v_store(ala, alphav);
+          v_store(bza, bnz);
+          v_store(dza, dzm);
+          v_store(bta, beta);
+          v_store(itc, iters);
+          v_store(y1a, y1);
+          v_store(y2a, y2);
+          for (std::size_t l = 0; l < W; ++l) {
+            if (!(bza[l] | dza[l])) continue;
+            LaneState t;
+            const std::size_t xo = swa[l] ? std::size_t(capL) : 0;
+            t.x = Strided<Limb>{Sd + xo + base + l, L};
+            t.y = Strided<Limb>{Sd + (std::size_t(capL) - xo) + base + l, L};
+            t.lx = lxa[l];
+            t.ly = lya[l];
+            t.swapped = swa[l] & 1u;
+            if (bza[l]) {
+              // β > 0 passes the RAW quotient (the scalar head only
+              // odd-adjusts alpha on the β = 0 branch).
+              t.lx = gcd::fused_submul_shifted_add_strip(
+                  t.x, t.lx, t.y, t.ly, Limb(qa[l]), std::size_t(bta[l]),
+                  null_tracer_);
+              patches.emplace_back(std::uint8_t(l), itc[l] - 1);
+            } else {
+              t.lx = gcd::fused_submul_strip(t.x, t.lx, t.y, t.ly, ala[l],
+                                             null_tracer_);
+            }
+            swap_if_less(t, tally);
+            lxa[l] = Limb(t.lx);
+            lya[l] = Limb(t.ly);
+            swa[l] = t.swapped ? ~Limb{0} : Limb{0};
+            y1a[l] = t.ly ? t.y[t.ly - 1] : Limb{0};
+            y2a[l] = t.ly > 1 ? t.y[t.ly - 2] : Limb{0};
+          }
+          lxw = v_load<VL>(lxa);
+          lyv = v_load<VL>(lya);
+          swm = v_load<VL>(swa);
+          y1 = v_load<VL>(y1a);
+          y2 = v_load<VL>(y2a);
+        }
+
+        // ---- the masked submul sweep, result size tracked in-register ----
+        if (VT::movemask(swept)) {
+          v_store(t32, (VL)(swept ? lxv : VL{}));
+          std::size_t n_max = 0;
+          for (std::size_t l = 0; l < W; ++l) {
+            n_max = std::max(n_max, std::size_t(t32[l]));
+          }
+          Limb* __restrict__ A = Sd + base;
+          Limb* __restrict__ B = Sd + cap_ * L + base;
+          const VL sa = swept & ~swm;
+          const VL sb = swept & swm;
+          const SL lysv = (SL)lyv;
+          // countr_zero(d0) from the float exponent of the isolated lowest
+          // set bit (d0 is even and nonzero on swept lanes, so the result
+          // is exact and in [1, LB-1]).
+          const VL lsb = d0 & (VL{} - d0);
+          const VL fb =
+              (VL)__builtin_convertvector((SL)lsb, typename VT::FloatVec);
+          VL rshv = ((fb >> 23) & 0xff) - 127;
+          rshv = (VL)(swept ? rshv : one);  // benign shifts on junk lanes
+          const VL lshv = kLBv - rshv;
+          VL carry = phi;
+          VL bor = bor0;
+          VL dp = d0;
+          VL apv = A0;
+          VL bpv = B0;
+          VL newlx{};
+          SL iv = SL{} + 1;
+          for (std::size_t i = 1; i < n_max; ++i) {
+            const VL a = v_load<VL>(A + i * L);
+            const VL b = v_load<VL>(B + i * L);
+            const VL xi = (VL)(swm ? b : a);
+            const VL yb = a ^ b ^ xi;
+            const VL ym = (VL)(iv < lysv);
+            const VL yi = yb & ym;
+            const VL lo = yi * alphav;
+            const V4 pei = VT::mul32((V4)yi, (V4)alphav);
+            const V4 poi = VT::mul32((V4)yi >> LB, alpha_o);
+            const VL hi = (VL)(((V4)pei >> LB) | (poi & hiKeep));
+            const VL pl = lo + carry;
+            carry = hi - (VL)(pl < carry);
+            const VL t = xi - pl;
+            const VL d = t + bor;
+            bor = (VL)(xi < pl) | ((VL)(t == VL{}) & bor);
+            const VL out = (dp >> rshv) | (d << lshv);
+            dp = d;
+            // iv doubles as the output-row index + 1: out lands at row i-1.
+            newlx = (VL)((VL)(out != VL{}) ? (VL)iv : newlx);
+            iv += 1;
+            v_store(A + (i - 1) * L, (VL)(sa ? out : apv));
+            v_store(B + (i - 1) * L, (VL)(sb ? out : bpv));
+            apv = a;
+            bpv = b;
+          }
+          const VL outf = dp >> rshv;
+          newlx = (VL)((VL)(outf != VL{}) ? (VL)iv : newlx);
+          v_store(A + (n_max - 1) * L, (VL)(sa ? outf : apv));
+          v_store(B + (n_max - 1) * L, (VL)(sb ? outf : bpv));
+          lxw = (VL)(swept ? newlx : lxw);
+        }
+
+        // ---- swap_if_less, vectorized on the top words ----
+        const VL lxc2 = (VL)((SL)lxw > (SL)two) ? lxw : two;
+        const VL xb2 = ((VL)(swm ? capLv : VL{})) + lanecol;
+        const VL xt = VT::gather(Sd, xb2 + (lxc2 - one) * rowmul);
+        const VL xt2 = VT::gather(Sd, xb2 + (lxc2 - two) * rowmul);
+        const VL szlt = (VL)((SL)lxw < (SL)lyv);
+        const VL szeq2 = (VL)(lxw == lyv);
+        const VL wlt = (VL)(xt < y1);
+        const VL weq = (VL)(xt == y1);
+        VL less = (szlt | (szeq2 & wlt)) & swept;
+        const VL tie = szeq2 & weq & swept;
+        if (VT::movemask(tie)) [[unlikely]] {
+          // Equal sizes AND equal top words: only the full limb walk can
+          // order the values (Y is unchanged this round, X just shrank).
+          alignas(32) Limb ta[W], la[W], lxa[W], lya[W], swa[W];
+          v_store(ta, tie);
+          v_store(la, less);
+          v_store(lxa, lxw);
+          v_store(lya, lyv);
+          v_store(swa, swm);
+          for (std::size_t l = 0; l < W; ++l) {
+            if (!ta[l]) continue;
+            const std::size_t xo = swa[l] ? std::size_t(capL) : 0;
+            const Strided<Limb> tx{Sd + xo + base + l, L};
+            const Strided<Limb> ty{Sd + (std::size_t(capL) - xo) + base + l,
+                                   L};
+            la[l] = gcd::acc_compare(tx, lxa[l], ty, lya[l]) < 0 ? ~Limb{0}
+                                                                 : Limb{0};
+          }
+          less = v_load<VL>(la);
+        }
+        nswap -= less;
+        swm ^= less;
+        const VL nlx = (VL)(less ? lyv : lxw);
+        lyv = (VL)(less ? lxw : lyv);
+        lxv = nlx;
+        // Register-carried top words: the new X words are the post-sweep
+        // gathers (rare lanes included — lxw and swm were already patched),
+        // and a swapping round exchanges the X and Y registers.
+        const VL ny1 = (VL)(less ? xt : y1);
+        const VL ny2 = (VL)(less ? xt2 : y2);
+        x1 = (VL)(less ? y1 : xt);
+        x2 = (VL)(less ? y2 : xt2);
+        y1 = ny1;
+        y2 = ny2;
+      }
+
+      // ---- group epilogue: state, stats and branch traces write-back ----
+      alignas(32) Limb itc[W], lxa[W], lya[W], swa[W], c4aa[W], c4ba[W],
+          c4ca[W], swc[W], bzc[W];
+      v_store(itc, iters);
+      v_store(lxa, lxv);
+      v_store(lya, lyv);
+      v_store(swa, swm);
+      v_store(c4aa, n4a);
+      v_store(c4ba, n4b);
+      v_store(c4ca, n4c);
+      v_store(swc, nswap);
+      v_store(bzc, nbnz);
+      std::uint64_t itsum = 0;
+      for (std::size_t l = 0; l < W; ++l) {
+        if (!init_live[l]) continue;
+        const std::size_t lane = base + l;
+        lx_[lane] = lxa[l];
+        ly_[lane] = lya[l];
+        swapped_[lane] = swa[l] & 1u;
+        active_[lane] = 0;
+        auto& log = branch_log_[lane];
+        log.insert(log.end(), itc[l], std::uint8_t{0});
+        stats_.lane_iterations += log.size();
+        itsum += itc[l];
+        tally.swaps += swc[l];
+        tally.beta_nonzero += bzc[l];
+        tally.approx_cases[std::size_t(gcd::ApproxCase::k4A)] += c4aa[l];
+        tally.approx_cases[std::size_t(gcd::ApproxCase::k4B)] += c4ba[l];
+        tally.approx_cases[std::size_t(gcd::ApproxCase::k4C)] += c4ca[l];
+      }
+      tally.iterations += itsum;
+      tally.divisions += itsum;  // one Case-4 division per live iteration
+      for (const auto& [l, idx] : patches) {
+        branch_log_[base + l][log_base[l] + idx] = 1;
+      }
+    } else {
+      (void)base;
+      (void)tally;
+    }
+  }
+
+  // ---- masked vector kernels ----------------------------------------------
+
+  /// Unaligned vector load/store (the batch matrices only guarantee the
+  /// allocator's alignment); compiles to vmovdqu under -mavx2.
+  template <class V, class T>
+  static V v_load(const T* p) noexcept {
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+  }
+  template <class V, class T>
+  static void v_store(T* p, V v) noexcept {
+    std::memcpy(p, &v, sizeof(V));
+  }
+
+  /// Per-lane launch state of the fused submul sweep, computed by the scalar
+  /// head from limb row 0 (exactly fused_submul_strip's prologue). Unmasked
+  /// lanes keep benign defaults so the uniform sweep is UB-free.
+  struct SubmulArgs {
+    std::array<Limb, W> mask{};       ///< ~0 = lane participates
+    std::array<Limb, W> alpha{};
+    std::array<Limb, W> d_prev{};
+    std::array<Wide, W> mul_carry{};
+    std::array<Wide, W> borrow{};
+    std::array<Limb, W> rsh{};        ///< countr_zero(d0), 1..LB-1
+    std::array<Limb, W> lsh{};        ///< LB - rsh
+    std::size_t n_max = 0;            ///< max lx over masked lanes
+
+    SubmulArgs() {
+      rsh.fill(Limb{1});
+      lsh.fill(Limb(LB - 1));
+      alpha.fill(Limb{1});
+    }
+
+    /// Returns false (leaving the lane unmasked) when d0 == 0 — the caller
+    /// must run the scalar slow path for that lane.
+    bool classify(std::size_t l, const LaneState& s, Limb a) {
+      const Wide p = Wide(s.y[0]) * a;
+      const Wide diff = Wide(s.x[0]) - (p & kMask);
+      const Limb d0 = Limb(diff);
+      if (d0 == 0) return false;
+      mask[l] = ~Limb{0};
+      alpha[l] = a;
+      d_prev[l] = d0;
+      mul_carry[l] = p >> LB;
+      borrow[l] = (diff >> LB) & 1u;
+      const int r = std::countr_zero(d0);
+      rsh[l] = Limb(r);
+      lsh[l] = Limb(LB - r);
+      n_max = std::max(n_max, s.lx);
+      return true;
+    }
+  };
+
+  /// X ← rshift(X − Y·α): the dominant kernel of Fast Binary and of
+  /// Approximate Euclidean's β = 0 branch, swept once for all masked lanes.
+  void vec_submul(std::size_t base, std::array<LaneState, W>& s,
+                  SubmulArgs& g) {
+    Limb* __restrict__ A = a_data() + base;
+    Limb* __restrict__ B = b_data() + base;
+    const std::size_t L = lanes_;
+    const std::size_t n_max = g.n_max;
+
+    // Lane-select and store-enable masks: xs picks the X role (B when the
+    // lane is swapped), sa/sb enable the blended store into A/B.
+    alignas(32) Limb xs[W], sa[W], sb[W], lyv[W];
+    alignas(32) Limb a_prev[W], b_prev[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      const Limb in_b = s[l].swapped ? ~Limb{0} : Limb{0};
+      xs[l] = in_b;
+      sa[l] = g.mask[l] & ~in_b;
+      sb[l] = g.mask[l] & in_b;
+      lyv[l] = g.mask[l] ? Limb(s[l].ly) : Limb{0};
+      a_prev[l] = A[l];
+      b_prev[l] = B[l];
+    }
+    alignas(32) Limb d_prev[W];
+    alignas(32) Wide mul_carry[W], borrow[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      d_prev[l] = g.d_prev[l];
+      mul_carry[l] = g.mul_carry[l];
+      borrow[l] = g.borrow[l];
+    }
+
+    if constexpr (VecTraits<Limb>::available) {
+      // Limb-native row arithmetic: the carry and borrow of the scalar
+      // kernel's Wide chain are carried as limb lanes (carry value + 0/~0
+      // borrow mask), the 32x32->64 product comes from one vpmulld low half
+      // plus two vpmuludq high halves, and the cross-row shift uses the
+      // per-lane variable limb shifts. Everything stays in native 256-bit
+      // registers; the row-to-row latency chain is a handful of 1-cycle ops
+      // (the multiplies feed it from outside), so the loop runs at
+      // instruction throughput, not chain latency.
+      using VT = VecTraits<Limb>;
+      using VL = typename VT::LimbVec;
+      using SL = typename VT::SignedVec;
+      using V4 = typename VT::PairVec;
+      const VL xsv = v_load<VL>(xs);
+      const VL sav = v_load<VL>(sa);
+      const VL sbv = v_load<VL>(sb);
+      const SL lysv = (SL)v_load<VL>(lyv);
+      const VL alphav = v_load<VL>(g.alpha.data());
+      const V4 alpha_o = (V4)alphav >> LB;
+      const V4 hi_keep = V4{} + (Wide(kMask) << LB);
+      const VL rshv = v_load<VL>(g.rsh.data());
+      const VL lshv = v_load<VL>(g.lsh.data());
+      VL apv = v_load<VL>(a_prev);
+      VL bpv = v_load<VL>(b_prev);
+      VL dp = v_load<VL>(d_prev);
+      alignas(32) Limb mc32[W], bw32[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        mc32[l] = Limb(mul_carry[l]);          // carry fits a limb
+        bw32[l] = borrow[l] ? ~Limb{0} : Limb{0};  // borrow 0/1 -> 0/~0 mask
+      }
+      VL carry = v_load<VL>(mc32);
+      VL bor = v_load<VL>(bw32);
+      SL iv = SL{} + 1;
+      for (std::size_t i = 1; i < n_max; ++i) {
+        const VL a = v_load<VL>(A + i * L);
+        const VL b = v_load<VL>(B + i * L);
+        const VL xi = xsv ? b : a;
+        const VL yb = a ^ b ^ xi;
+        const VL ym = (VL)(iv < lysv);  // lane sizes << 2^31: signed compare
+        iv += 1;
+        const VL yi = yb & ym;
+        const VL lo = yi * alphav;
+        const V4 pe = VT::mul32((V4)yi, (V4)alphav);
+        const V4 po = VT::mul32((V4)yi >> LB, alpha_o);
+        const VL hi = (VL)(((V4)pe >> LB) | (po & hi_keep));
+        const VL pl = lo + carry;
+        carry = hi - (VL)(pl < carry);
+        const VL t = xi - pl;
+        const VL d = t + bor;  // bor is a 0/~0 mask: +~0 subtracts the borrow
+        bor = (VL)(xi < pl) | ((VL)(t == VL{}) & bor);
+        const VL out = (dp >> rshv) | (d << lshv);
+        dp = d;
+        v_store(A + (i - 1) * L, sav ? out : apv);
+        v_store(B + (i - 1) * L, sbv ? out : bpv);
+        apv = a;
+        bpv = b;
+      }
+      const VL out = dp >> rshv;
+      v_store(A + (n_max - 1) * L, sav ? out : apv);
+      v_store(B + (n_max - 1) * L, sbv ? out : bpv);
+      v_store(mc32, carry);
+      v_store(bw32, bor);
+      for (std::size_t l = 0; l < W; ++l) {
+        mul_carry[l] = mc32[l];
+        borrow[l] = bw32[l] & 1u;  // mask back to the scalar 0/1 borrow
+      }
+    } else {
+      for (std::size_t i = 1; i < n_max; ++i) {
+        Limb* __restrict__ row_a = A + i * L;
+        Limb* __restrict__ row_b = B + i * L;
+        Limb* __restrict__ out_a = A + (i - 1) * L;
+        Limb* __restrict__ out_b = B + (i - 1) * L;
+        for (std::size_t l = 0; l < W; ++l) {
+          const Limb a = row_a[l];
+          const Limb b = row_b[l];
+          const Limb xi = (b & xs[l]) | (a & ~xs[l]);
+          const Limb yb = (a & xs[l]) | (b & ~xs[l]);
+          const Limb ym = Limb(i) < lyv[l] ? ~Limb{0} : Limb{0};
+          const Limb yi = yb & ym;
+          const Wide p = Wide(yi) * g.alpha[l] + mul_carry[l];
+          mul_carry[l] = p >> LB;
+          const Wide diff = Wide(xi) - (p & kMask) - borrow[l];
+          const Limb d = Limb(diff);
+          borrow[l] = (diff >> LB) & 1u;
+          const Limb out =
+              Limb(d_prev[l] >> g.rsh[l]) | Limb(d << g.lsh[l]);
+          d_prev[l] = d;
+          out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+          out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+          a_prev[l] = a;
+          b_prev[l] = b;
+        }
+      }
+      Limb* __restrict__ out_a = A + (n_max - 1) * L;
+      Limb* __restrict__ out_b = B + (n_max - 1) * L;
+      for (std::size_t l = 0; l < W; ++l) {
+        const Limb out = Limb(d_prev[l] >> g.rsh[l]);
+        out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+        out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+      }
+    }
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!g.mask[l]) continue;
+      assert(borrow[l] == 0 && mul_carry[l] == 0 &&
+             "X - Y*alpha must be non-negative");
+      s[l].lx = gcd::acc_normalized_size(s[l].x, s[l].lx);
+    }
+  }
+
+  /// X ← X/2 (halve_y = false) or Y ← Y/2 (halve_y = true) for all masked
+  /// lanes — Binary Euclidean's even cases.
+  void vec_halve(std::size_t base, std::array<LaneState, W>& s,
+                 const std::array<bool, W>& m, bool halve_y) {
+    Limb* __restrict__ A = a_data() + base;
+    Limb* __restrict__ B = b_data() + base;
+    const std::size_t L = lanes_;
+
+    alignas(32) Limb ts[W], sa[W], sb[W];
+    alignas(32) Limb prev[W], a_prev[W], b_prev[W];
+    std::size_t n_max = 0;
+    for (std::size_t l = 0; l < W; ++l) {
+      // Target role lives in B when (swapped XOR halve_y) — X is the swapped
+      // side, Y the other.
+      const bool in_b = (s[l].swapped != 0) != halve_y;
+      const Limb en = m[l] ? ~Limb{0} : Limb{0};
+      ts[l] = in_b ? ~Limb{0} : Limb{0};
+      sa[l] = en & ~ts[l];
+      sb[l] = en & ts[l];
+      if (m[l]) n_max = std::max(n_max, halve_y ? s[l].ly : s[l].lx);
+      a_prev[l] = A[l];
+      b_prev[l] = B[l];
+      prev[l] = (b_prev[l] & ts[l]) | (a_prev[l] & ~ts[l]);
+    }
+
+    if constexpr (VecTraits<Limb>::available) {
+      using VL = typename VecTraits<Limb>::LimbVec;
+      const VL tsv = v_load<VL>(ts);
+      const VL sav = v_load<VL>(sa);
+      const VL sbv = v_load<VL>(sb);
+      VL apv = v_load<VL>(a_prev);
+      VL bpv = v_load<VL>(b_prev);
+      VL prevv = v_load<VL>(prev);
+      for (std::size_t i = 1; i < n_max; ++i) {
+        const VL a = v_load<VL>(A + i * L);
+        const VL b = v_load<VL>(B + i * L);
+        const VL cur = (b & tsv) | (a & ~tsv);
+        const VL out = (prevv >> 1) | (cur << (LB - 1));
+        v_store(A + (i - 1) * L, (out & sav) | (apv & ~sav));
+        v_store(B + (i - 1) * L, (out & sbv) | (bpv & ~sbv));
+        prevv = cur;
+        apv = a;
+        bpv = b;
+      }
+      const VL out = prevv >> 1;
+      v_store(A + (n_max - 1) * L, (out & sav) | (apv & ~sav));
+      v_store(B + (n_max - 1) * L, (out & sbv) | (bpv & ~sbv));
+    } else {
+      for (std::size_t i = 1; i < n_max; ++i) {
+        Limb* __restrict__ row_a = A + i * L;
+        Limb* __restrict__ row_b = B + i * L;
+        Limb* __restrict__ out_a = A + (i - 1) * L;
+        Limb* __restrict__ out_b = B + (i - 1) * L;
+        for (std::size_t l = 0; l < W; ++l) {
+          const Limb a = row_a[l];
+          const Limb b = row_b[l];
+          const Limb cur = (b & ts[l]) | (a & ~ts[l]);
+          const Limb out = Limb(prev[l] >> 1) | Limb(cur << (LB - 1));
+          out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+          out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+          prev[l] = cur;
+          a_prev[l] = a;
+          b_prev[l] = b;
+        }
+      }
+      Limb* __restrict__ out_a = A + (n_max - 1) * L;
+      Limb* __restrict__ out_b = B + (n_max - 1) * L;
+      for (std::size_t l = 0; l < W; ++l) {
+        const Limb out = Limb(prev[l] >> 1);
+        out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+        out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+      }
+    }
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!m[l]) continue;
+      if (halve_y) {
+        s[l].ly = gcd::acc_normalized_size(s[l].y, s[l].ly);
+      } else {
+        s[l].lx = gcd::acc_normalized_size(s[l].x, s[l].lx);
+      }
+    }
+  }
+
+  /// X ← (X − Y)/2 for all masked lanes — Binary Euclidean's odd-odd case.
+  void vec_sub_halve(std::size_t base, std::array<LaneState, W>& s,
+                     const std::array<bool, W>& m) {
+    Limb* __restrict__ A = a_data() + base;
+    Limb* __restrict__ B = b_data() + base;
+    const std::size_t L = lanes_;
+
+    alignas(32) Limb xs[W], sa[W], sb[W], lyv[W];
+    alignas(32) Limb d_prev[W], a_prev[W], b_prev[W];
+    alignas(32) Wide borrow[W];
+    std::size_t n_max = 0;
+    for (std::size_t l = 0; l < W; ++l) {
+      const Limb in_b = s[l].swapped ? ~Limb{0} : Limb{0};
+      const Limb en = m[l] ? ~Limb{0} : Limb{0};
+      xs[l] = in_b;
+      sa[l] = en & ~in_b;
+      sb[l] = en & in_b;
+      lyv[l] = m[l] ? Limb(s[l].ly) : Limb{0};
+      a_prev[l] = A[l];
+      b_prev[l] = B[l];
+      const Limb x0 = (b_prev[l] & in_b) | (a_prev[l] & ~in_b);
+      const Limb y0 = (a_prev[l] & in_b) | (b_prev[l] & ~in_b);
+      const Wide diff = Wide(x0) - (y0 & en);
+      d_prev[l] = Limb(diff) & en;
+      borrow[l] = m[l] ? (diff >> LB) & 1u : Wide{0};
+      if (m[l]) n_max = std::max(n_max, s[l].lx);
+    }
+
+    if constexpr (VecTraits<Limb>::available) {
+      // Same limb-native scheme as vec_submul, minus the multiply (see
+      // there for the rationale).
+      using VT = VecTraits<Limb>;
+      using VL = typename VT::LimbVec;
+      using SL = typename VT::SignedVec;
+      const VL xsv = v_load<VL>(xs);
+      const VL sav = v_load<VL>(sa);
+      const VL sbv = v_load<VL>(sb);
+      const SL lysv = (SL)v_load<VL>(lyv);
+      VL apv = v_load<VL>(a_prev);
+      VL bpv = v_load<VL>(b_prev);
+      VL dp = v_load<VL>(d_prev);
+      alignas(32) Limb bw32[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        bw32[l] = borrow[l] ? ~Limb{0} : Limb{0};
+      }
+      VL bor = v_load<VL>(bw32);
+      SL iv = SL{} + 1;
+      for (std::size_t i = 1; i < n_max; ++i) {
+        const VL a = v_load<VL>(A + i * L);
+        const VL b = v_load<VL>(B + i * L);
+        const VL xi = xsv ? b : a;
+        const VL yb = a ^ b ^ xi;
+        const VL ym = (VL)(iv < lysv);
+        iv += 1;
+        const VL yi = yb & ym;
+        const VL t = xi - yi;
+        const VL d = t + bor;
+        bor = (VL)(xi < yi) | ((VL)(t == VL{}) & bor);
+        const VL out = (dp >> 1) | (d << (LB - 1));
+        dp = d;
+        v_store(A + (i - 1) * L, sav ? out : apv);
+        v_store(B + (i - 1) * L, sbv ? out : bpv);
+        apv = a;
+        bpv = b;
+      }
+      const VL out = dp >> 1;
+      v_store(A + (n_max - 1) * L, sav ? out : apv);
+      v_store(B + (n_max - 1) * L, sbv ? out : bpv);
+      v_store(bw32, bor);
+      for (std::size_t l = 0; l < W; ++l) borrow[l] = bw32[l] & 1u;
+    } else {
+      for (std::size_t i = 1; i < n_max; ++i) {
+        Limb* __restrict__ row_a = A + i * L;
+        Limb* __restrict__ row_b = B + i * L;
+        Limb* __restrict__ out_a = A + (i - 1) * L;
+        Limb* __restrict__ out_b = B + (i - 1) * L;
+        for (std::size_t l = 0; l < W; ++l) {
+          const Limb a = row_a[l];
+          const Limb b = row_b[l];
+          const Limb xi = (b & xs[l]) | (a & ~xs[l]);
+          const Limb yb = (a & xs[l]) | (b & ~xs[l]);
+          const Limb ym = Limb(i) < lyv[l] ? ~Limb{0} : Limb{0};
+          const Wide diff = Wide(xi) - (yb & ym) - borrow[l];
+          const Limb d = Limb(diff);
+          borrow[l] = (diff >> LB) & 1u;
+          const Limb out = Limb(d_prev[l] >> 1) | Limb(d << (LB - 1));
+          d_prev[l] = d;
+          out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+          out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+          a_prev[l] = a;
+          b_prev[l] = b;
+        }
+      }
+      Limb* __restrict__ out_a = A + (n_max - 1) * L;
+      Limb* __restrict__ out_b = B + (n_max - 1) * L;
+      for (std::size_t l = 0; l < W; ++l) {
+        const Limb out = Limb(d_prev[l] >> 1);
+        out_a[l] = (out & sa[l]) | (a_prev[l] & ~sa[l]);
+        out_b[l] = (out & sb[l]) | (b_prev[l] & ~sb[l]);
+      }
+    }
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!m[l]) continue;
+      assert(borrow[l] == 0 && "X must be >= Y");
+      s[l].lx = gcd::acc_normalized_size(s[l].x, s[l].lx);
+    }
+  }
+
+  std::size_t lanes_, cap_, warp_;
+  ColumnMatrix<Limb> mat_;
+  std::vector<std::size_t> lx_, ly_;
+  std::vector<std::size_t> early_;
+  std::vector<std::size_t> eff_early_;
+  std::vector<std::uint8_t> swapped_, active_;
+  // Dirty-row watermarks — identical invariant to SimtBatch: kernel writes
+  // never land above a value's staged size + 1 (the β write row), so panel
+  // refreshes only zero what a previous run may have touched.
+  std::size_t x_rows_ = 0, y_rows_ = 0;
+  std::vector<std::vector<std::uint8_t>> branch_log_;
+  SimtStats stats_;
+  gcd::NullTracer null_tracer_;
+};
+
+}  // namespace BULKGCD_VEC_IMPL_NS
+}  // namespace bulkgcd::bulk

@@ -1,0 +1,26 @@
+// Internal factory seams between dispatch.cpp and the per-ISA translation
+// units of the vector engine. Each TU compiles vec_batch_impl.hpp under its
+// own namespace and exports exactly these constructors; dispatch.cpp picks
+// one at runtime. Not installed / not part of the public surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bulk/vec/vec_backend.hpp"
+
+namespace bulkgcd::bulk::detail {
+
+std::unique_ptr<VecBatchBase<std::uint32_t>> make_vec_batch_portable_u32(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width);
+std::unique_ptr<VecBatchBase<std::uint64_t>> make_vec_batch_portable_u64(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width);
+
+#if defined(BULKGCD_HAVE_AVX2_TU)
+std::unique_ptr<VecBatchBase<std::uint32_t>> make_vec_batch_avx2_u32(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width);
+std::unique_ptr<VecBatchBase<std::uint64_t>> make_vec_batch_avx2_u64(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width);
+#endif
+
+}  // namespace bulkgcd::bulk::detail

@@ -1,0 +1,27 @@
+// Portable leg of the vector engine: vec_batch_impl.hpp compiled with the
+// project's baseline flags. Same W-wide code shape as the AVX2 leg — the
+// compiler simply lowers the lane loops to whatever the target has (scalar
+// on a plain build), which keeps the engine's behavior identical on every
+// platform and gives the bit-identity tests a second implementation to pin
+// the AVX2 leg against.
+#define BULKGCD_VEC_IMPL_NS vec_portable
+#define BULKGCD_VEC_IMPL_ISA ::bulkgcd::bulk::VecIsa::kPortable
+#include "bulk/vec/vec_batch_impl.hpp"
+
+#include "bulk/vec/vec_factories.hpp"
+
+namespace bulkgcd::bulk::detail {
+
+std::unique_ptr<VecBatchBase<std::uint32_t>> make_vec_batch_portable_u32(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width) {
+  return std::make_unique<vec_portable::VecBatch<std::uint32_t>>(
+      lanes, capacity_limbs, warp_width);
+}
+
+std::unique_ptr<VecBatchBase<std::uint64_t>> make_vec_batch_portable_u64(
+    std::size_t lanes, std::size_t capacity_limbs, std::size_t warp_width) {
+  return std::make_unique<vec_portable::VecBatch<std::uint64_t>>(
+      lanes, capacity_limbs, warp_width);
+}
+
+}  // namespace bulkgcd::bulk::detail

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "bulk/scan_corpus.hpp"
+#include "mp/bigint.hpp"
 #include "umm/umm.hpp"
 
 namespace bulkgcd {
@@ -78,6 +82,95 @@ TEST(MapAddressTest, RowWiseSeparatesThreadsBySpan) {
 TEST(LayoutTest, ToStringNames) {
   EXPECT_STREQ(to_string(umm::Layout::kColumnWise), "column-wise");
   EXPECT_STREQ(to_string(umm::Layout::kRowWise), "row-wise");
+}
+
+TEST(StridedTest, IndexScalesByStride) {
+  std::uint32_t buf[12] = {};
+  for (std::uint32_t i = 0; i < 12; ++i) buf[i] = i;
+  // stride 4 starting at offset 1 picks 1, 5, 9 — a lane of a 4-lane
+  // column-major matrix.
+  bulk::Strided<std::uint32_t> acc{buf + 1, 4};
+  EXPECT_EQ(acc[0], 1u);
+  EXPECT_EQ(acc[1], 5u);
+  EXPECT_EQ(acc[2], 9u);
+  acc[1] = 77;
+  EXPECT_EQ(buf[5], 77u);
+  bulk::ConstStrided<std::uint32_t> cacc{buf + 1, 4};
+  EXPECT_EQ(cacc[1], 77u);
+  EXPECT_EQ(&cacc[2], buf + 9);
+  // stride 1 degenerates to a plain contiguous view (RowMatrix lanes).
+  bulk::ConstStrided<std::uint32_t> flat{buf, 1};
+  EXPECT_EQ(&flat[3], buf + 3);
+}
+
+TEST(CorpusPanelsTest, GeometryAndTailLanes) {
+  // 7 moduli in groups of 3: 3 groups, last one 1-lane ragged.
+  std::vector<mp::BigInt> moduli;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    moduli.push_back(mp::BigInt((std::uint64_t(i + 1) << 33) | 1u));
+  }
+  const std::size_t pad = moduli[6].size() + bulk::kBatchPadLimbs;
+  bulk::CorpusPanels<std::uint32_t> panels(moduli, 3, pad);
+  EXPECT_EQ(panels.corpus_size(), 7u);
+  EXPECT_EQ(panels.group_count(), 3u);
+  EXPECT_EQ(panels.lanes(), 3u);
+  EXPECT_EQ(panels.padded_limbs(), pad);
+  // Column-major panel: limb i of member t at panel[i*r + t].
+  const auto p0 = panels.panel(0);
+  ASSERT_EQ(p0.size(), 3u * pad);
+  EXPECT_EQ(p0[0], moduli[0].limbs()[0]);
+  EXPECT_EQ(p0[1], moduli[1].limbs()[0]);
+  EXPECT_EQ(p0[3 + 2], moduli[2].limbs()[1]);  // limb 1, lane 2
+  // rows = max member size + 1 (the β write row).
+  EXPECT_EQ(panels.rows(0), moduli[2].size() + 1);
+  // Tail group: lanes past the corpus end carry size 0 and zero limbs.
+  const auto tail_sizes = panels.sizes(2);
+  EXPECT_EQ(tail_sizes[0], moduli[6].size());
+  EXPECT_EQ(tail_sizes[1], 0u);
+  EXPECT_EQ(tail_sizes[2], 0u);
+  const auto p2 = panels.panel(2);
+  EXPECT_EQ(p2[1], 0u);  // limb 0 of dead lane 1
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(panels.bits(i), moduli[i].bit_length());
+  }
+}
+
+TEST(CorpusPanelsTest, RejectsModuliThatOverrunThePadRow) {
+  // padded_limbs must leave kBatchPadLimbs rows above the longest modulus —
+  // one short and construction must throw rather than stage a panel the
+  // batch would overrun.
+  std::vector<mp::BigInt> moduli{mp::BigInt(1) << 95};  // 4 limbs
+  EXPECT_THROW(
+      (bulk::CorpusPanels<std::uint32_t>(
+          moduli, 2, moduli[0].size() + bulk::kBatchPadLimbs - 1)),
+      std::length_error);
+  // Exactly enough is accepted.
+  EXPECT_NO_THROW((bulk::CorpusPanels<std::uint32_t>(
+      moduli, 2, moduli[0].size() + bulk::kBatchPadLimbs)));
+}
+
+TEST(CorpusPanelsTest, CorpusViewCtorMatchesBigIntCtor) {
+  // The ScanCorpus-view constructor must stage byte-identical panels to the
+  // BigInt-span constructor (at the default 32-bit scan limb width they use
+  // the same limbs).
+  std::vector<mp::BigInt> moduli;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    moduli.push_back(mp::BigInt((std::uint64_t(i + 3) << 40) | 0x1fffu));
+  }
+  const std::size_t pad = 8;
+  bulk::CorpusPanels<std::uint32_t> direct(moduli, 2, pad);
+  const bulk::ScanCorpusT<std::uint32_t> scan(moduli);
+  bulk::CorpusPanels<std::uint32_t> viaView(scan, 2, pad);
+  ASSERT_EQ(direct.group_count(), viaView.group_count());
+  for (std::size_t g = 0; g < direct.group_count(); ++g) {
+    const auto a = direct.panel(g);
+    const auto b = viaView.panel(g);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << g;
+    EXPECT_EQ(direct.rows(g), viaView.rows(g));
+    const auto sa = direct.sizes(g);
+    const auto sb = viaView.sizes(g);
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
 }
 
 }  // namespace

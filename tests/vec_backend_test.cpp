@@ -1,0 +1,321 @@
+// The SIMD warp engine (bulk/vec/) pinned three ways:
+//  1. bit-identity against SimtBatch::run_staged — GCD limbs, early-coprime
+//     verdicts, per-lane iteration counts, AND the full reconstructed
+//     SimtStats must match exactly, for every compiled-in ISA leg, at both
+//     limb widths (W = 8 and W = 4 lane groups, including masked tails);
+//  2. GMP oracle on the values themselves;
+//  3. dispatch: cpuid probe, explicit-ISA construction, the
+//     BULKGCD_FORCE_BACKEND override, and end-to-end all_pairs_gcd /
+//     probe_incremental equivalence across backends.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bulk/allpairs.hpp"
+#include "bulk/layout.hpp"
+#include "bulk/scan_corpus.hpp"
+#include "bulk/simt.hpp"
+#include "bulk/vec/vec_backend.hpp"
+#include "gmp_oracle.hpp"
+
+namespace bulkgcd {
+namespace {
+
+using bulk::BulkBackend;
+using bulk::VecIsa;
+using gcd::Variant;
+using mp::BigInt;
+using test::gmp_gcd;
+using test::random_odd;
+
+constexpr Variant kBulkVariants[] = {Variant::kBinary, Variant::kFastBinary,
+                                     Variant::kApproximate};
+
+std::vector<VecIsa> available_isas() {
+  std::vector<VecIsa> isas{VecIsa::kPortable};
+  if (bulk::vec_isa_available(VecIsa::kAvx2)) isas.push_back(VecIsa::kAvx2);
+  return isas;
+}
+
+/// Load the same random mixed-size pair set into a staged SimtBatch and a
+/// vector batch of every available ISA; everything observable must agree.
+template <mp::LimbType Limb>
+void expect_bit_identity(std::uint64_t seed, std::size_t lanes,
+                         bool early_terminate) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<mp::BigIntT<Limb>, mp::BigIntT<Limb>>> pairs;
+  std::vector<std::size_t> early(lanes, 0);
+  std::size_t cap = 0;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const std::size_t bx = 1 + rng.below(700);
+    const std::size_t by = 1 + rng.below(700);
+    pairs.emplace_back(random_odd<Limb>(rng, bx), random_odd<Limb>(rng, by));
+    if (early_terminate) early[i] = std::min(bx, by) / 2;
+    cap = std::max({cap, pairs[i].first.size(), pairs[i].second.size()});
+  }
+
+  for (const Variant variant : kBulkVariants) {
+    bulk::SimtBatch<Limb> ref(lanes, cap, 32);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      ref.load(i, pairs[i].first.limbs(), pairs[i].second.limbs(), early[i]);
+    }
+    ref.run_staged(variant);
+
+    for (const VecIsa isa : available_isas()) {
+      auto vec = bulk::make_vec_batch<Limb>(lanes, cap, 32, isa);
+      ASSERT_EQ(vec->isa(), isa);
+      ASSERT_EQ(vec->vector_width(), 32 / sizeof(Limb));
+      for (std::size_t i = 0; i < lanes; ++i) {
+        vec->load(i, pairs[i].first.limbs(), pairs[i].second.limbs(),
+                  early[i]);
+      }
+      vec->run(variant);
+
+      ASSERT_EQ(vec->stats(), ref.stats())
+          << to_string(variant) << " isa=" << to_string(isa)
+          << " lanes=" << lanes << " seed=" << seed;
+      for (std::size_t i = 0; i < lanes; ++i) {
+        ASSERT_EQ(vec->early_coprime(i), ref.early_coprime(i))
+            << to_string(variant) << " isa=" << to_string(isa) << " lane "
+            << i;
+        ASSERT_EQ(vec->lane_iterations(i), ref.staged_lane_iterations(i))
+            << to_string(variant) << " isa=" << to_string(isa) << " lane "
+            << i;
+        if (!vec->early_coprime(i)) {
+          ASSERT_EQ(vec->gcd_of(i), ref.gcd_of(i))
+              << to_string(variant) << " isa=" << to_string(isa) << " lane "
+              << i;
+          ASSERT_EQ(vec->gcd_of(i),
+                    gmp_gcd(pairs[i].first, pairs[i].second))
+              << to_string(variant) << " isa=" << to_string(isa) << " lane "
+              << i;
+        }
+      }
+    }
+  }
+}
+
+class VecBitIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VecBitIdentity, MatchesStagedScalar32) {
+  // 37 lanes: ragged over both W = 8 (4 full groups + 5-lane masked tail)
+  // and W = 4 (9 full + 1).
+  expect_bit_identity<std::uint32_t>(GetParam(), 37, false);
+}
+
+TEST_P(VecBitIdentity, MatchesStagedScalar64) {
+  expect_bit_identity<std::uint64_t>(GetParam(), 37, false);
+}
+
+TEST_P(VecBitIdentity, MatchesStagedScalarWithEarlyTerminate) {
+  expect_bit_identity<std::uint32_t>(GetParam() ^ 0xabcdef, 32 / 4 + 3, true);
+  expect_bit_identity<std::uint64_t>(GetParam() ^ 0xfedcba, 32 / 8 + 3, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VecBitIdentity,
+                         ::testing::Values(7u, 19u, 101u, 4242u));
+
+TEST(VecBackend, PanelPathMatchesStagedScalar) {
+  // Drive both engines through the exact BlockSweeper verb sequence:
+  // load_panel + broadcast_y + reset_lane_state + disable, then run.
+  Xoshiro256 rng(515151);
+  const std::size_t m = 21;  // not a multiple of any W
+  std::vector<BigInt> moduli;
+  for (std::size_t i = 0; i < m; ++i) {
+    moduli.push_back(random_odd<std::uint32_t>(rng, 64 + rng.below(512)));
+  }
+  const bulk::ScanCorpus scan(moduli);
+  const std::size_t cap = scan.max_limbs();
+  const std::size_t r = 8;
+  const bulk::CorpusPanels<bulk::ScanLimb> panels(scan, r,
+                                                  cap + bulk::kBatchPadLimbs);
+  const auto y = scan.limbs(m - 1);
+
+  for (const Variant variant : kBulkVariants) {
+    for (std::size_t g = 0; g < panels.group_count(); ++g) {
+      const std::size_t live = std::min(r, m - g * r);
+
+      bulk::SimtBatch<bulk::ScanLimb> ref(r, cap, 32);
+      ref.load_panel(panels.panel(g), panels.sizes(g), panels.rows(g));
+      ref.broadcast_y(y);
+      for (std::size_t k = 0; k < live; ++k) ref.reset_lane_state(k, 64);
+      for (std::size_t k = live; k < r; ++k) ref.disable(k);
+      ref.run_staged(variant);
+
+      for (const VecIsa isa : available_isas()) {
+        auto vec = bulk::make_vec_batch<bulk::ScanLimb>(r, cap, 32, isa);
+        vec->load_panel(panels.panel(g), panels.sizes(g), panels.rows(g));
+        vec->broadcast_y(y);
+        for (std::size_t k = 0; k < live; ++k) vec->reset_lane_state(k, 64);
+        for (std::size_t k = live; k < r; ++k) vec->disable(k);
+        vec->run(variant);
+
+        ASSERT_EQ(vec->stats(), ref.stats())
+            << to_string(variant) << " group " << g << " isa "
+            << to_string(isa);
+        for (std::size_t k = 0; k < live; ++k) {
+          ASSERT_EQ(vec->early_coprime(k), ref.early_coprime(k));
+          if (!vec->early_coprime(k)) {
+            ASSERT_EQ(vec->gcd_of(k), ref.gcd_of(k))
+                << to_string(variant) << " group " << g << " lane " << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VecBackend, ReusedBatchStaysIdentical) {
+  // Panel-refresh hygiene: a batch that just ran long values must produce
+  // identical results when refreshed with shorter ones (dirty-row zeroing).
+  Xoshiro256 rng(777);
+  const std::size_t lanes = 32 / sizeof(bulk::ScanLimb);  // one full group
+  auto vec = bulk::make_vec_batch<bulk::ScanLimb>(lanes, 24, 32);
+  bulk::SimtBatch<bulk::ScanLimb> ref(lanes, 24, 32);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t bits = round % 2 == 0 ? 700 : 40;  // long, short, …
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const auto x = random_odd<bulk::ScanLimb>(rng, 1 + rng.below(bits));
+      const auto y = random_odd<bulk::ScanLimb>(rng, 1 + rng.below(bits));
+      vec->load(i, x.limbs(), y.limbs());
+      ref.load(i, x.limbs(), y.limbs());
+    }
+    vec->run(Variant::kApproximate);
+    ref.run_staged(Variant::kApproximate);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      ASSERT_EQ(vec->gcd_of(i), ref.gcd_of(i)) << "round " << round;
+    }
+  }
+  ASSERT_EQ(vec->stats(), ref.stats());
+}
+
+TEST(VecBackend, DispatchProbes) {
+  const VecIsa best = bulk::detect_vec_isa();
+  ASSERT_NE(best, VecIsa::kAuto);
+  ASSERT_TRUE(bulk::vec_isa_available(VecIsa::kPortable));
+  ASSERT_TRUE(bulk::vec_isa_available(best));
+  auto batch = bulk::make_vec_batch<bulk::ScanLimb>(4, 8);
+  ASSERT_EQ(batch->isa(), best);
+  if (!bulk::vec_isa_available(VecIsa::kAvx2)) {
+    ASSERT_THROW(
+        bulk::make_vec_batch<bulk::ScanLimb>(4, 8, 32, VecIsa::kAvx2),
+        std::invalid_argument);
+  }
+}
+
+TEST(VecBackend, ForceBackendEnvOverride) {
+  bulk::AllPairsConfig cfg;
+  ::setenv("BULKGCD_FORCE_BACKEND", "vector-portable", 1);
+  bulk::resolve_backend(cfg);
+  EXPECT_EQ(cfg.backend, BulkBackend::kVector);
+  EXPECT_EQ(cfg.vec_isa, VecIsa::kPortable);
+
+  cfg = {};
+  ::setenv("BULKGCD_FORCE_BACKEND", "staged", 1);
+  bulk::resolve_backend(cfg);
+  EXPECT_EQ(cfg.backend, BulkBackend::kStaged);
+
+  cfg = {};
+  ::setenv("BULKGCD_FORCE_BACKEND", "lockstep", 1);
+  bulk::resolve_backend(cfg);
+  EXPECT_EQ(cfg.backend, BulkBackend::kLockstep);
+
+  cfg = {};
+  ::setenv("BULKGCD_FORCE_BACKEND", "quantum", 1);
+  EXPECT_THROW(bulk::resolve_backend(cfg), std::invalid_argument);
+
+  ::unsetenv("BULKGCD_FORCE_BACKEND");
+  cfg = {};
+  bulk::resolve_backend(cfg);
+  EXPECT_NE(cfg.backend, BulkBackend::kAuto);  // auto always collapses
+  if (cfg.backend == BulkBackend::kVector) {
+    EXPECT_NE(cfg.vec_isa, VecIsa::kAuto);
+  }
+}
+
+/// Corpus with planted shared factors for end-to-end backend equivalence.
+std::vector<BigInt> planted_corpus(std::uint64_t seed, std::size_t m) {
+  Xoshiro256 rng(seed);
+  std::vector<BigInt> moduli;
+  const BigInt shared = random_odd<std::uint32_t>(rng, 128);
+  for (std::size_t i = 0; i < m; ++i) {
+    BigInt n = random_odd<std::uint32_t>(rng, 128 + rng.below(384));
+    if (i % 5 == 0) n = n * shared;  // every 5th key shares a "prime"
+    moduli.push_back(std::move(n));
+  }
+  return moduli;
+}
+
+TEST(VecBackend, AllPairsBackendsAgree) {
+  const auto moduli = planted_corpus(90210, 33);
+
+  bulk::AllPairsConfig staged;
+  staged.backend = BulkBackend::kStaged;
+  staged.group_size = 8;
+  staged.pool_threads = 1;
+  staged.early_terminate = false;
+  const auto want = bulk::all_pairs_gcd(moduli, staged);
+  ASSERT_GT(want.hits.size(), 0u);
+
+  for (const VecIsa isa : available_isas()) {
+    bulk::AllPairsConfig cfg = staged;
+    cfg.backend = BulkBackend::kVector;
+    cfg.vec_isa = isa;
+    const auto got = bulk::all_pairs_gcd(moduli, cfg);
+    ASSERT_EQ(got.hits.size(), want.hits.size()) << to_string(isa);
+    for (std::size_t h = 0; h < want.hits.size(); ++h) {
+      EXPECT_EQ(got.hits[h].i, want.hits[h].i);
+      EXPECT_EQ(got.hits[h].j, want.hits[h].j);
+      EXPECT_EQ(got.hits[h].factor, want.hits[h].factor);
+      EXPECT_EQ(got.hits[h].full_modulus, want.hits[h].full_modulus);
+    }
+    EXPECT_EQ(got.pairs_tested, want.pairs_tested);
+    EXPECT_EQ(got.simt, want.simt) << to_string(isa);
+  }
+}
+
+TEST(VecBackend, ProbeIncrementalBackendsAgree) {
+  auto moduli = planted_corpus(1729, 21);
+  const BigInt candidate = moduli.back() * BigInt(3);
+  moduli.pop_back();
+
+  bulk::AllPairsConfig staged;
+  staged.backend = BulkBackend::kStaged;
+  staged.group_size = 8;
+  staged.early_terminate = false;
+  const auto want = bulk::probe_incremental(candidate, moduli, staged);
+
+  for (const VecIsa isa : available_isas()) {
+    bulk::AllPairsConfig cfg = staged;
+    cfg.backend = BulkBackend::kVector;
+    cfg.vec_isa = isa;
+    const auto got = bulk::probe_incremental(candidate, moduli, cfg);
+    ASSERT_EQ(got.size(), want.size()) << to_string(isa);
+    for (std::size_t h = 0; h < want.size(); ++h) {
+      EXPECT_EQ(got[h].corpus_index, want[h].corpus_index);
+      EXPECT_EQ(got[h].factor, want[h].factor);
+      EXPECT_EQ(got[h].full_modulus, want[h].full_modulus);
+    }
+  }
+}
+
+TEST(VecBackend, ScanCorpusRoundTrips) {
+  Xoshiro256 rng(31415);
+  std::vector<BigInt> moduli;
+  for (int i = 0; i < 9; ++i) {
+    moduli.push_back(random_odd<std::uint32_t>(rng, 1 + rng.below(600)));
+  }
+  const bulk::ScanCorpus scan(moduli);
+  ASSERT_EQ(scan.size(), moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    EXPECT_EQ(bulk::to_default_bigint<bulk::ScanLimb>(scan.limbs(i)),
+              moduli[i]);
+    EXPECT_EQ(scan.bits(i), moduli[i].bit_length());
+    // Normalized: no high zero limb.
+    if (!scan.limbs(i).empty()) EXPECT_NE(scan.limbs(i).back(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bulkgcd

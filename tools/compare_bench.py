@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bench trend guard: compare a fresh BENCH_allpairs.json against a baseline.
+
+Usage:
+    tools/compare_bench.py BASELINE.json FRESH.json [--threshold PCT]
+
+For every sample row present in both files (an object carrying a
+"pairs_per_second" field — unstaged / staged / staged_instrumented / vector),
+prints a GitHub Actions `::warning` annotation when the fresh throughput is
+more than --threshold percent (default 10) below the baseline. Shared CI
+runners are far too noisy for a hard perf gate, so this is advisory only:
+the script always exits 0. Stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def sample_rows(doc):
+    """Yield (name, row) for every throughput sample in a bench document."""
+    for key, value in doc.items():
+        if isinstance(value, dict) and "pairs_per_second" in value:
+            yield key, value
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"::notice ::compare_bench: cannot read {path}: {exc}")
+        return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_allpairs.json")
+    parser.add_argument("fresh", help="BENCH_allpairs.json from this run")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression percentage that triggers a warning")
+    args = parser.parse_args(argv)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    if base is None or fresh is None:
+        return 0  # missing/garbled input is not a CI failure
+
+    fresh_rows = dict(sample_rows(fresh))
+    regressions = 0
+    for name, brow in sample_rows(base):
+        frow = fresh_rows.get(name)
+        if frow is None:
+            continue  # row added/removed across the change — nothing to trend
+        bpps = brow.get("pairs_per_second") or 0.0
+        fpps = frow.get("pairs_per_second") or 0.0
+        if bpps <= 0.0:
+            continue
+        delta_pct = (fpps / bpps - 1.0) * 100.0
+        print(f"{name}: baseline {bpps:,.0f} pairs/s, fresh {fpps:,.0f} "
+              f"pairs/s ({delta_pct:+.1f}%)")
+        if delta_pct < -args.threshold:
+            regressions += 1
+            print(f"::warning ::bench_staging '{name}' throughput down "
+                  f"{-delta_pct:.1f}% vs baseline "
+                  f"({bpps:,.0f} -> {fpps:,.0f} pairs/s); advisory only — "
+                  f"shared runners are noisy, re-run before reading much "
+                  f"into it")
+    if regressions == 0:
+        print(f"no sample regressed more than {args.threshold:.0f}%")
+    return 0  # advisory guard: never fail the build on throughput
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
