@@ -1,0 +1,366 @@
+// Streaming key-intake daemon — the long-running front end of the bulk-GCD
+// pipeline (docs/INTAKE_SERVICE.md). Clients connect over TCP and stream key
+// records (PEM public keys, keystore `modulus`/`keypair` lines, or raw hex
+// moduli); every parsed modulus flows through the svc::IntakeService pipeline:
+//
+//   parse → dedup → bounded admission queue → batch → probe → corpus fold
+//
+// The daemon answers one status line per record so a submitting client sees
+// exactly what happened to each key:
+//
+//   admitted          queued for probing against the accumulated corpus
+//   duplicate         exact modulus already known
+//   shed              admission queue full (overload backpressure; retry)
+//   closed            daemon is shutting down
+//   reject <reason>   parse/validation failure (bad PEM, even modulus, ...)
+//   hit <i> <j> <p>   factor found (pushed asynchronously as probes land)
+//
+// Usage:
+//   $ ./keyintake_daemon --port 7411 --metrics-port 9100 \
+//         --seed corpus.keys --metrics-out intake.ndjson
+//
+// Options:
+//   --port <n>             intake listener port on 127.0.0.1 (0 = ephemeral;
+//                          the bound port is printed as `listening ...`)
+//   --metrics-port <n>     serve GET /metrics (Prometheus) + /healthz on
+//                          127.0.0.1:<n> (0 = ephemeral; off when omitted)
+//   --seed <file>          keystore file preloaded as the base corpus
+//   --queue-capacity <n>   admission queue bound (default 1024; full = shed)
+//   --batch-max <n>        max keys per probe-element wakeup (default 64)
+//   --engine simt|scalar   probe engine (default simt)
+//   --backend auto|lockstep|staged|vector   bulk backend (default auto)
+//   --threads <n>          probe pool threads (1 = inline, 0 = global pool)
+//   --metrics-out <file>   append NDJSON telemetry snapshots
+//   --metrics-interval <s> seconds between snapshots (default 5)
+//   --exit-after-idle <s>  exit after <s> seconds with no connections
+//                          (testing hook; default: run until SIGINT/SIGTERM)
+//
+// Shutdown (SIGINT/SIGTERM or idle timeout): the listener closes, in-flight
+// connections finish, the admission queue drains through the probe element
+// (every admitted key is still probed and folded), the final telemetry
+// snapshot is flushed, and a summary with every hit is printed. Exit code 0.
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bulkgcd.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port <n>] [--metrics-port <n>] [--seed <file>]\n"
+               "          [--queue-capacity <n>] [--batch-max <n>]\n"
+               "          [--engine simt|scalar]\n"
+               "          [--backend auto|lockstep|staged|vector]\n"
+               "          [--threads <n>] [--metrics-out <file>]\n"
+               "          [--metrics-interval <sec>] [--exit-after-idle <sec>]\n",
+               argv0);
+  return 2;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += std::size_t(n);
+  }
+}
+
+/// Prints hits as they land (probe-worker thread) and mirrors them to the
+/// submitting connection when one is attached.
+class HitReporter : public bulkgcd::bulk::ProgressSink {
+ public:
+  void on_hit(const bulkgcd::bulk::FactorHit& hit) override {
+    const std::string line = "hit " + std::to_string(hit.i) + " " +
+                             std::to_string(hit.j) + " " + hit.factor.to_hex();
+    std::lock_guard lock(mutex_);
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (client_fd_ >= 0) send_all(client_fd_, line + "\n");
+  }
+
+  void attach(int fd) {
+    std::lock_guard lock(mutex_);
+    client_fd_ = fd;
+  }
+  void detach() {
+    std::lock_guard lock(mutex_);
+    client_fd_ = -1;
+  }
+
+ private:
+  std::mutex mutex_;
+  int client_fd_ = -1;
+};
+
+const char* admission_word(bulkgcd::svc::Admission a) {
+  using bulkgcd::svc::Admission;
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kDuplicate: return "duplicate";
+    case Admission::kShed: return "shed";
+    case Admission::kClosed: return "closed";
+  }
+  return "closed";
+}
+
+/// One client connection: stream chunks into the parser, submit every parsed
+/// record, answer one status line per record. Parse failures get `reject` —
+/// the connection (and the daemon) keep going.
+void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
+                      HitReporter& reporter) {
+  reporter.attach(fd);
+  bulkgcd::svc::IntakeParser parser;
+  char buf[4096];
+  auto respond = [&](const std::vector<bulkgcd::svc::IntakeRecord>& records) {
+    std::string out;
+    for (const auto& rec : records) {
+      if (!rec.ok) {
+        out += "reject line " + std::to_string(rec.line) + ": " + rec.error +
+               "\n";
+        continue;
+      }
+      out += admission_word(service.submit(rec.n));
+      out += '\n';
+    }
+    if (!out.empty()) send_all(fd, out);
+  };
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (g_stop.load()) break;
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    parser.feed(std::string_view(buf, std::size_t(n)));
+    respond(parser.drain());
+  }
+  respond(parser.finish());
+  reporter.detach();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bulkgcd;
+
+  std::uint16_t port = 7411;
+  int metrics_port = -1;  // -1 = disabled
+  std::string seed_path;
+  std::string metrics_path;
+  double metrics_interval = 5.0;
+  double exit_after_idle = 0.0;
+  svc::IntakeServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&](const char* what) -> std::string {
+      if (has_inline) {
+        has_inline = false;
+        return inline_value;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_u64 = [&](const char* what) {
+      return std::strtoull(next(what).c_str(), nullptr, 10);
+    };
+    if (arg == "--port") {
+      port = std::uint16_t(next_u64("--port"));
+    } else if (arg == "--metrics-port") {
+      metrics_port = int(next_u64("--metrics-port"));
+    } else if (arg == "--seed") {
+      seed_path = next("--seed");
+    } else if (arg == "--queue-capacity") {
+      config.queue_capacity = next_u64("--queue-capacity");
+    } else if (arg == "--batch-max") {
+      config.batch_max = next_u64("--batch-max");
+    } else if (arg == "--engine") {
+      const std::string engine = next("--engine");
+      if (engine == "simt") {
+        config.probe.engine = bulk::EngineKind::kSimt;
+      } else if (engine == "scalar") {
+        config.probe.engine = bulk::EngineKind::kScalar;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--backend") {
+      const std::string backend = next("--backend");
+      if (backend == "auto") {
+        config.probe.backend = bulk::BulkBackend::kAuto;
+      } else if (backend == "lockstep") {
+        config.probe.backend = bulk::BulkBackend::kLockstep;
+      } else if (backend == "staged") {
+        config.probe.backend = bulk::BulkBackend::kStaged;
+      } else if (backend == "vector") {
+        config.probe.backend = bulk::BulkBackend::kVector;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--threads") {
+      config.probe.pool_threads = next_u64("--threads");
+    } else if (arg == "--metrics-out") {
+      metrics_path = next("--metrics-out");
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::strtod(next("--metrics-interval").c_str(),
+                                     nullptr);
+    } else if (arg == "--exit-after-idle") {
+      exit_after_idle = std::strtod(next("--exit-after-idle").c_str(),
+                                    nullptr);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // One registry feeds the probe-path counters, the intake_* pipeline gauges,
+  // the /metrics scrape endpoint, and the NDJSON emitter.
+  obs::MetricsRegistry registry;
+  config.probe.metrics = &registry;
+
+  std::vector<mp::BigInt> seed;
+  if (!seed_path.empty()) {
+    try {
+      seed = rsa::load_moduli(seed_path, &registry);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("seed corpus: %zu moduli from %s\n", seed.size(),
+                seed_path.c_str());
+  }
+
+  HitReporter reporter;
+  config.sink = &reporter;
+  svc::IntakeService service(std::move(seed), std::move(config));
+
+  std::optional<obs::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    try {
+      metrics_server.emplace(registry, std::uint16_t(metrics_port));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("metrics on 127.0.0.1:%u (/metrics, /healthz)\n",
+                unsigned(metrics_server->port()));
+  }
+
+  std::optional<obs::TelemetryEmitter> emitter;
+  if (!metrics_path.empty()) {
+    try {
+      emitter.emplace(registry, metrics_path, metrics_interval);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("telemetry -> %s (interval %.1fs)\n", metrics_path.c_str(),
+                metrics_interval);
+  }
+
+  // Intake listener. Connections are served one at a time — admission is a
+  // hash lookup plus a bounded push, so the service keeps up with a serial
+  // accept loop, and overload lands on the queue (shed) where it is counted,
+  // not on a thread explosion.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%u: %s\n",
+                 unsigned(port), std::strerror(errno));
+    ::close(listen_fd);
+    return 2;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::printf("listening on 127.0.0.1:%u\n", unsigned(ntohs(addr.sin_port)));
+  std::fflush(stdout);
+
+  double idle_ms = 0.0;
+  while (!g_stop.load()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (g_stop.load()) break;
+    if (ready <= 0) {
+      idle_ms += 200.0;
+      if (exit_after_idle > 0.0 && idle_ms >= exit_after_idle * 1000.0) {
+        std::printf("idle for %.1fs, shutting down\n", idle_ms / 1000.0);
+        break;
+      }
+      continue;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    idle_ms = 0.0;
+    serve_connection(fd, service, reporter);
+    ::close(fd);
+  }
+  ::close(listen_fd);
+
+  // Graceful shutdown: drain every admitted key through the probe element,
+  // then flush the final telemetry snapshot before the summary prints.
+  std::printf("draining %zu queued keys...\n", service.queue_depth());
+  service.stop();
+  if (emitter) emitter->stop();
+  if (metrics_server) metrics_server->stop();
+
+  const svc::IntakeStats stats = service.stats();
+  std::printf(
+      "intake summary: %llu submitted, %llu admitted, %llu duplicates, "
+      "%llu shed, %llu probed (%llu pairs in %llu batches), %llu hits\n",
+      (unsigned long long)stats.submitted, (unsigned long long)stats.admitted,
+      (unsigned long long)stats.duplicates, (unsigned long long)stats.shed,
+      (unsigned long long)stats.probed, (unsigned long long)stats.pairs,
+      (unsigned long long)stats.batches, (unsigned long long)stats.hits);
+  for (const auto& hit : service.hits()) {
+    std::printf("  keys %zu and %zu share a %zu-bit prime %s\n", hit.i, hit.j,
+                hit.factor.bit_length(), hit.factor.to_hex().c_str());
+  }
+  return 0;
+}

@@ -77,8 +77,10 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
 
 std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
                                               std::span<const mp::BigInt> corpus,
-                                              const AllPairsConfig& config) {
+                                              const AllPairsConfig& config,
+                                              ProbeStats* stats) {
   std::vector<IncrementalHit> hits;
+  if (stats) *stats = ProbeStats{};
   if (corpus.empty() || candidate.is_zero()) return hits;
 
   AllPairsConfig cfg = config;
@@ -119,7 +121,8 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   // Generic over the executing batch (SimtBatch or the vector engine) —
   // identical verbs, modulo the staged/lockstep entry-point split.
   auto probe_blocks = [&](auto& batch, std::size_t lo, std::size_t hi,
-                          std::vector<IncrementalHit>& local) {
+                          std::vector<IncrementalHit>& local,
+                          std::uint64_t& pairs) {
     using Batch = std::decay_t<decltype(batch)>;
     for (std::size_t block = lo; block < hi; ++block) {
       const std::size_t begin = block * r;
@@ -148,6 +151,7 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
         }
         batch.run(cfg.variant);
       }
+      pairs += end - begin;
       for (std::size_t k = 0; begin + k < end; ++k) {
         if (batch.early_coprime(k)) continue;
         push_hit(local, begin + k, batch.gcd_of(k));
@@ -155,17 +159,22 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
     }
   };
 
-  global_pool().parallel_for(0, (corpus.size() + r - 1) / r, [&](std::size_t lo,
-                                                                 std::size_t hi) {
+  ProbeStats total;
+  auto probe_chunk = [&](std::size_t lo, std::size_t hi) {
     std::vector<IncrementalHit> local;
+    ProbeStats work;
     if (cfg.engine == EngineKind::kSimt) {
+      // Worker batches start with zeroed statistics; after the chunk their
+      // accumulated SimtStats are the worker's exact share of the probe.
       if (cfg.backend == BulkBackend::kVector) {
         auto batch =
             make_vec_batch<ScanLimb>(r, cap, cfg.warp_width, cfg.vec_isa);
-        probe_blocks(*batch, lo, hi, local);
+        probe_blocks(*batch, lo, hi, local, work.pairs_tested);
+        work.simt = batch->stats();
       } else {
         SimtBatch<ScanLimb, ColumnMatrix> batch(r, cap, cfg.warp_width);
-        probe_blocks(batch, lo, hi, local);
+        probe_blocks(batch, lo, hi, local, work.pairs_tested);
+        work.simt = batch.stats();
       }
     } else {
       gcd::GcdEngine<ScanLimb> engine(cap);
@@ -174,16 +183,38 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
         const std::size_t end = std::min(begin + r, corpus.size());
         for (std::size_t i = begin; i < end; ++i) {
           const auto run = engine.run(cfg.variant, scan.limbs(i), cand,
-                                      early(i));
+                                      early(i), &work.scalar);
+          ++work.pairs_tested;
           if (run.early_coprime) continue;
           push_hit(local, i, mp::BigIntT<ScanLimb>::from_limbs(run.gcd));
         }
       }
     }
+    // Same contract as all_pairs_gcd: engine counters are fed once per
+    // worker merge, so their totals equal the returned ProbeStats.
+    fold_engine_stats(cfg.metrics, work.simt, work.scalar);
+
     std::lock_guard lock(merge_mutex);
+    total.pairs_tested += work.pairs_tested;
+    total.simt += work.simt;
+    total.scalar += work.scalar;
     hits.insert(hits.end(), std::make_move_iterator(local.begin()),
                 std::make_move_iterator(local.end()));
-  });
+  };
+
+  // Same thread-placement contract as all_pairs_gcd: 1 = inline on the
+  // caller (no pool hop — the latency-sensitive intake path), 0 = global
+  // pool, N = a private pool of N workers.
+  const std::size_t blocks = (corpus.size() + r - 1) / r;
+  if (cfg.pool_threads == 1) {
+    probe_chunk(0, blocks);
+  } else if (cfg.pool_threads == 0) {
+    global_pool().parallel_for(0, blocks, probe_chunk);
+  } else {
+    ThreadPool pool(cfg.pool_threads);
+    pool.parallel_for(0, blocks, probe_chunk);
+  }
+  if (stats) *stats = std::move(total);
 
   std::sort(hits.begin(), hits.end(),
             [](const IncrementalHit& a, const IncrementalHit& b) {

@@ -109,8 +109,20 @@ struct IncrementalHit {
   /// see FactorHit::full_modulus.
   bool full_modulus = false;
 };
+
+/// Work accounting for one probe_incremental call, mirroring the
+/// AllPairsResult stats block. When config.metrics is set, the same values
+/// are folded into the scan_*/simt_*/gcd_* counters at the worker merge
+/// points (fold_engine_stats), so counter totals exactly equal the returned
+/// stats — the probe path feeds telemetry like the full sweep does.
+struct ProbeStats {
+  std::uint64_t pairs_tested = 0;  ///< candidate × corpus pairs executed
+  SimtStats simt;                  ///< filled for EngineKind::kSimt
+  gcd::GcdStats scalar;            ///< filled for EngineKind::kScalar
+};
+
 std::vector<IncrementalHit> probe_incremental(
     const mp::BigInt& candidate, std::span<const mp::BigInt> corpus,
-    const AllPairsConfig& config = {});
+    const AllPairsConfig& config = {}, ProbeStats* stats = nullptr);
 
 }  // namespace bulkgcd::bulk

@@ -633,6 +633,7 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
 
   // ---- commit path (driver thread only) -----------------------------------
   std::uint64_t pairs_this_run = 0;
+  std::uint64_t blocks_this_run = 0;
   std::uint64_t committed_this_run = 0;
 
   auto emit_progress = [&] {
@@ -655,8 +656,10 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
       const std::uint64_t remaining =
           p.pairs_total > p.pairs_done ? p.pairs_total - p.pairs_done : 0;
       p.pairs_per_second = double(pairs_this_run) / p.elapsed_seconds;
-      p.blocks_per_second =
-          double(committed_this_run * chunk_blocks) / p.elapsed_seconds;
+      // Actual committed block count — NOT committed_this_run * chunk_blocks,
+      // which overstates the rate (and skews the ETA) whenever the final
+      // chunk is shorter than chunk_blocks or a chunk was quarantined.
+      p.blocks_per_second = double(blocks_this_run) / p.elapsed_seconds;
       p.eta_seconds = double(remaining) / p.pairs_per_second;
     }
     // The progress pipeline doubles as the gauge feed: every record a sink
@@ -693,6 +696,7 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
       ++report.chunks_done_this_run;
       const auto [lo, hi] = chunk_range(outcome.chunk_index);
       blocks_done += hi - lo;
+      blocks_this_run += hi - lo;
       agg.blocks_run = blocks_done;
       agg.pairs_tested += outcome.pairs;
       pairs_this_run += outcome.pairs;

@@ -15,6 +15,9 @@
 //   bulk::SimtBatch                     warp-lockstep execution engine
 //   obs::MetricsRegistry                telemetry counters/gauges/histograms
 //   obs::TelemetryEmitter               periodic NDJSON snapshot writer
+//   obs::MetricsHttpServer              /metrics Prometheus scrape endpoint
+//   svc::IntakeService                  streaming key-intake pipeline
+//   svc::IntakeParser                   PEM/keystore/raw-hex stream parser
 //   batchgcd::batch_gcd                 Bernstein product/remainder tree
 //   gcd::gcd_lehmer                     Lehmer's GCD (extension baseline)
 //   umm::UmmSimulator                   the paper's GPU cost model
@@ -37,6 +40,7 @@
 #include "mp/bigint.hpp"
 #include "obs/emitter.hpp"
 #include "obs/exposition.hpp"
+#include "obs/http_exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "rsa/barrett.hpp"
@@ -47,6 +51,9 @@
 #include "rsa/montgomery.hpp"
 #include "rsa/prime.hpp"
 #include "rsa/rsa.hpp"
+#include "svc/bounded_queue.hpp"
+#include "svc/intake_parser.hpp"
+#include "svc/intake_service.hpp"
 #include "umm/oblivious.hpp"
 #include "umm/pipeline.hpp"
 #include "umm/umm.hpp"

@@ -1,0 +1,150 @@
+#include "obs/http_exposition.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/exposition.hpp"
+
+namespace bulkgcd::obs {
+
+namespace {
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scrape endpoint just moves on
+    off += std::size_t(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry& registry,
+                                     std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("metrics server: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("metrics server: cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+std::uint64_t MetricsHttpServer::requests() const noexcept {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void MetricsHttpServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // The accept loop polls with a timeout, so the flag alone unblocks it;
+    // shutdown() additionally kicks any accept() already in flight.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // Read until the end of the request head (or a sane cap) — the request
+  // body, if any, is irrelevant to a GET-only endpoint.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, std::size_t(n));
+  }
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string method, path;
+  {
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos) {
+      method = line.substr(0, sp1);
+      path = line.substr(sp1 + 1, sp2 == std::string::npos
+                                      ? std::string::npos
+                                      : sp2 - sp1 - 1);
+    }
+  }
+
+  if (method != "GET" && method != "HEAD") {
+    send_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                               "metrics endpoint is read-only\n"));
+    return;
+  }
+  if (path == "/metrics" || path == "/metrics/") {
+    const std::string body = to_prometheus(registry_.snapshot());
+    send_all(fd, http_response(200, "OK",
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               method == "HEAD" ? std::string() : body));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response(200, "OK", "text/plain", "ok\n"));
+  } else {
+    send_all(fd, http_response(404, "Not Found", "text/plain",
+                               "try /metrics\n"));
+  }
+}
+
+}  // namespace bulkgcd::obs

@@ -1,0 +1,52 @@
+// Minimal TCP listener serving a registry's Prometheus text exposition —
+// the scrape endpoint a long-running intake daemon needs, kept deliberately
+// tiny (no HTTP library, no keep-alive, no TLS: a loopback scrape target).
+//
+//   GET /metrics  → 200, text/plain; version=0.0.4, obs::to_prometheus()
+//   GET /healthz  → 200, "ok" (liveness probe)
+//   anything else → 404
+//
+// One accept thread, one connection served at a time (scrapes are rare and
+// the snapshot render is microseconds). Binds 127.0.0.1 only — exposing
+// metrics beyond the host is a reverse proxy's job.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace bulkgcd::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:port and starts the accept thread. port 0 picks an
+  /// ephemeral port (see port()). Throws std::runtime_error on bind failure.
+  MetricsHttpServer(MetricsRegistry& registry, std::uint16_t port);
+  ~MetricsHttpServer();  ///< stop()
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (any path).
+  std::uint64_t requests() const noexcept;
+
+  /// Close the listener and join the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace bulkgcd::obs

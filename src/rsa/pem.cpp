@@ -1,6 +1,7 @@
 #include "rsa/pem.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace bulkgcd::rsa {
@@ -270,6 +271,42 @@ std::vector<PublicKey> pem_decode_bundle(std::string_view text) {
     cursor = end + end_marker.size();
   }
   return keys;
+}
+
+mp::BigInt hex_decode_modulus(std::string_view text) {
+  // Strip the tolerated decorations first so position reports below refer to
+  // the digit string a human sees.
+  std::string digits;
+  digits.reserve(text.size());
+  std::size_t start = 0;
+  while (start < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[start]))) {
+    ++start;
+  }
+  constexpr std::string_view kLabel = "Modulus=";
+  if (text.substr(start, kLabel.size()) == kLabel) start += kLabel.size();
+  if (start + 1 < text.size() && text[start] == '0' &&
+      (text[start + 1] == 'x' || text[start + 1] == 'X')) {
+    start += 2;
+  }
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F');
+    if (!hex) {
+      throw std::runtime_error("hex modulus: non-hex character at offset " +
+                               std::to_string(i));
+    }
+    digits.push_back(c);
+  }
+  if (digits.empty()) throw std::runtime_error("hex modulus: empty input");
+  if (digits.size() % 2 != 0) {
+    throw std::runtime_error("hex modulus: odd digit count (" +
+                             std::to_string(digits.size()) +
+                             "); raw keys are byte strings");
+  }
+  return mp::BigInt::from_hex(digits);
 }
 
 }  // namespace bulkgcd::rsa

@@ -60,4 +60,15 @@ PublicKey pem_decode_public_key(std::string_view pem);
 /// blocks is ignored.
 std::vector<PublicKey> pem_decode_bundle(std::string_view text);
 
+// ---- raw hex --------------------------------------------------------------
+
+/// Parse a raw-hex modulus record — the third wire format a harvester meets
+/// (scan dumps, certificate-transparency exports, `openssl -modulus` output).
+/// Tolerates surrounding/internal whitespace, an optional `0x`/`0X` prefix,
+/// and an optional `Modulus=` label; strict about everything else: empty
+/// input, an odd digit count (raw keys are byte strings), or a non-hex
+/// character throw std::runtime_error with a position. Leading zero bytes
+/// are accepted (DER-style padding) and normalized away by BigInt.
+mp::BigInt hex_decode_modulus(std::string_view text);
+
 }  // namespace bulkgcd::rsa

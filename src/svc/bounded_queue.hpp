@@ -1,0 +1,88 @@
+// Bounded MPMC admission queue with explicit backpressure — the buffering
+// element between intake connections and the probe worker of the streaming
+// service (docs/INTAKE_SERVICE.md).
+//
+// Capacity is a hard limit: try_push on a full queue returns false
+// immediately (the caller sheds the item and counts it) instead of blocking
+// the submitting connection or growing without bound. This is deliberately
+// NOT ThreadPool::submit's unbounded queue: a service drowning in arrivals
+// must refuse visibly, not buffer invisibly until the process dies.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace bulkgcd::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Admit one item. Returns false — without blocking — when the queue is
+  /// full (shed) or closed (shutting down); the item is untouched then.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item or close. Returns false only when the
+  /// queue is closed AND drained — the consumer's exit condition.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop, used to top up a batch after the blocking first item.
+  bool try_pop(T& out) {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stop admitting; wake every blocked consumer. Items already queued stay
+  /// poppable (drain-on-shutdown). Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bulkgcd::svc

@@ -1,0 +1,221 @@
+#include "svc/intake_service.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace bulkgcd::svc {
+
+/// intake_* metric handles (docs/OBSERVABILITY.md). All null without a
+/// registry; every use is guarded by a single branch. Queue-depth and
+/// batch-fill gauges give each pipeline element its own live backlog signal.
+struct IntakeService::Telemetry {
+  obs::Counter* submitted = nullptr;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* duplicates = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* probed = nullptr;
+  obs::Counter* pairs = nullptr;
+  obs::Counter* batches = nullptr;
+  obs::Counter* hits = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* batch_fill = nullptr;
+  obs::Gauge* corpus_size = nullptr;
+  obs::HistogramMetric* probe_seconds = nullptr;
+
+  static std::unique_ptr<Telemetry> resolve(obs::MetricsRegistry* m) {
+    if (!m) return nullptr;
+    auto t = std::make_unique<Telemetry>();
+    t->submitted = m->counter("intake_submitted_total");
+    t->admitted = m->counter("intake_admitted_total");
+    t->duplicates = m->counter("intake_duplicates_total");
+    t->shed = m->counter("intake_shed_total");
+    t->probed = m->counter("intake_probed_total");
+    t->pairs = m->counter("intake_pairs_total");
+    t->batches = m->counter("intake_batches_total");
+    t->hits = m->counter("intake_hits_total");
+    t->queue_depth = m->gauge("intake_queue_depth");
+    t->batch_fill = m->gauge("intake_batch_fill");
+    t->corpus_size = m->gauge("intake_corpus_size");
+    t->probe_seconds = m->histogram("intake_probe_seconds", 0.0, 10.0, 100);
+    return t;
+  }
+};
+
+IntakeService::IntakeService(std::vector<mp::BigInt> seed_corpus,
+                             IntakeServiceConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      corpus_(std::move(seed_corpus)),
+      tele_(Telemetry::resolve(config_.probe.metrics)) {
+  if (config_.batch_max == 0) config_.batch_max = 1;
+  resolve_backend(config_.probe);
+  // Seed the dedup element so a re-submitted seed key is recognized.
+  for (const auto& n : corpus_) seen_[fingerprint(n)].push_back(n);
+  if (tele_) tele_->corpus_size->set(double(corpus_.size()));
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+IntakeService::~IntakeService() { stop(); }
+
+std::uint64_t IntakeService::fingerprint(const mp::BigInt& n) const noexcept {
+  // The keystore loader's FNV-1a limb mix (rsa/keystore.cpp) — same weak-key
+  // fingerprint, so the two dedup layers agree on what "duplicate" means.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  for (const auto limb : n.limbs()) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((std::uint64_t(limb) >> (8 * byte)) & 0xff)) * kPrime;
+    }
+  }
+  return h;
+}
+
+Admission IntakeService::submit(const mp::BigInt& n) {
+  if (tele_) tele_->submitted->inc();
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  std::lock_guard lock(dedup_mutex_);
+  if (closed_) return Admission::kClosed;
+  auto& bucket = seen_[fingerprint(n)];
+  if (std::find(bucket.begin(), bucket.end(), n) != bucket.end()) {
+    if (tele_) tele_->duplicates->inc();
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.duplicates;
+    return Admission::kDuplicate;
+  }
+  // Shed BEFORE registering in the dedup set: a shed key was never admitted,
+  // so a later retry must be able to succeed.
+  mp::BigInt copy = n;
+  if (!queue_.try_push(std::move(copy))) {
+    if (bucket.empty()) seen_.erase(fingerprint(n));
+    if (tele_) {
+      tele_->shed->inc();
+      tele_->queue_depth->set(double(queue_.size()));
+    }
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.shed;
+    return Admission::kShed;
+  }
+  bucket.push_back(n);
+  if (tele_) {
+    tele_->admitted->inc();
+    tele_->queue_depth->set(double(queue_.size()));
+  }
+  std::lock_guard stats_lock(stats_mutex_);
+  ++stats_.admitted;
+  return Admission::kAdmitted;
+}
+
+void IntakeService::worker_loop() {
+  std::vector<mp::BigInt> batch;
+  mp::BigInt key;
+  // Blocking first pop per batch; then the accumulator greedily tops up to
+  // batch_max so a burst is probed in one wakeup. pop() returning false
+  // means closed AND drained — the graceful-shutdown exit.
+  while (queue_.pop(key)) {
+    batch.clear();
+    batch.push_back(std::move(key));
+    while (batch.size() < config_.batch_max && queue_.try_pop(key)) {
+      batch.push_back(std::move(key));
+    }
+    if (tele_) {
+      tele_->queue_depth->set(double(queue_.size()));
+      tele_->batch_fill->set(double(batch.size()));
+    }
+    if (config_.batch_hook) config_.batch_hook(batch.size());
+    probe_batch(batch);
+  }
+}
+
+void IntakeService::probe_batch(std::vector<mp::BigInt>& batch) {
+  obs::ScopedSpan span(tele_ ? tele_->probe_seconds : nullptr);
+  std::uint64_t batch_pairs = 0;
+  std::uint64_t batch_hits = 0;
+  for (auto& n : batch) {
+    // The stable prefix: only this thread appends to corpus_, so the span
+    // stays valid across the probe without holding state_mutex_.
+    const std::span<const mp::BigInt> prior(corpus_.data(), corpus_.size());
+    bulk::ProbeStats probe_stats;
+    const auto incremental =
+        bulk::probe_incremental(n, prior, config_.probe, &probe_stats);
+    batch_pairs += probe_stats.pairs_tested;
+
+    const std::size_t j = corpus_.size();  // fold index of this arrival
+    std::vector<bulk::FactorHit> found;
+    found.reserve(incremental.size());
+    for (const auto& hit : incremental) {
+      bulk::FactorHit fh;
+      fh.i = hit.corpus_index;
+      fh.j = j;
+      fh.factor = hit.factor;
+      fh.full_modulus = hit.full_modulus;
+      found.push_back(std::move(fh));
+    }
+    batch_hits += found.size();
+    if (config_.sink) {
+      for (const auto& fh : found) config_.sink->on_hit(fh);
+    }
+    {
+      // Corpus fold + hit record are one atomic step for snapshot readers.
+      std::lock_guard lock(state_mutex_);
+      corpus_.push_back(std::move(n));
+      hits_.insert(hits_.end(), std::make_move_iterator(found.begin()),
+                   std::make_move_iterator(found.end()));
+    }
+  }
+
+  if (tele_) {
+    tele_->probed->add(batch.size());
+    tele_->pairs->add(batch_pairs);
+    tele_->hits->add(batch_hits);
+    tele_->batches->inc();
+    tele_->corpus_size->set(double(corpus_.size()));
+  }
+  std::lock_guard stats_lock(stats_mutex_);
+  stats_.probed += batch.size();
+  stats_.pairs += batch_pairs;
+  stats_.hits += batch_hits;
+  ++stats_.batches;
+}
+
+void IntakeService::stop() {
+  {
+    std::lock_guard lock(dedup_mutex_);
+    closed_ = true;
+  }
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  if (tele_) tele_->queue_depth->set(0.0);
+}
+
+IntakeStats IntakeService::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+std::vector<bulk::FactorHit> IntakeService::hits() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<bulk::FactorHit> out = hits_;
+  std::sort(out.begin(), out.end(),
+            [](const bulk::FactorHit& a, const bulk::FactorHit& b) {
+              return std::pair(a.i, a.j) < std::pair(b.i, b.j);
+            });
+  return out;
+}
+
+std::vector<mp::BigInt> IntakeService::corpus() const {
+  std::lock_guard lock(state_mutex_);
+  return corpus_;
+}
+
+std::size_t IntakeService::corpus_size() const {
+  std::lock_guard lock(state_mutex_);
+  return corpus_.size();
+}
+
+}  // namespace bulkgcd::svc

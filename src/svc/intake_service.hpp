@@ -1,0 +1,141 @@
+// Streaming key-intake service — the long-running front end the ROADMAP's
+// north star names, built Click-style as a pipeline of small elements
+// (docs/INTAKE_SERVICE.md has the element graph):
+//
+//   parse (svc/intake_parser) → dedup (limb-hash set, exact-verify) →
+//   bounded admission queue (svc/bounded_queue, shed on overflow) →
+//   batch accumulator → probe (bulk::probe_incremental, new×corpus block
+//   columns on the configured backend) → corpus fold → hit report
+//
+// Each newly admitted key is probed against every modulus that arrived
+// before it (seed corpus + earlier arrivals), then folded into the corpus —
+// so a streamed corpus covers exactly the pair set a one-shot all_pairs_gcd
+// over the same list covers, pair by pair, GCD by GCD (asserted bit-identical
+// in tests/svc_test.cpp). Overload is observable, not fatal: a full queue
+// sheds the submission with Admission::kShed and a counter, never blocks the
+// submitting connection, and never buffers unboundedly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bulk/allpairs.hpp"
+#include "bulk/scan_driver.hpp"
+#include "svc/bounded_queue.hpp"
+
+namespace bulkgcd::obs {
+class MetricsRegistry;
+}
+
+namespace bulkgcd::svc {
+
+/// Outcome of one submission, decided synchronously at the admission gate.
+enum class Admission {
+  kAdmitted,   ///< queued; will be probed and folded into the corpus
+  kDuplicate,  ///< exact modulus already seen (seed, folded, or in flight)
+  kShed,       ///< admission queue full — overload backpressure, try later
+  kClosed,     ///< service is shutting down
+};
+
+struct IntakeServiceConfig {
+  /// Engine/backend/threads for the probe element. pool_threads follows the
+  /// all_pairs_gcd contract (1 = inline on the probe worker, 0 = global
+  /// pool, N = private pool). metrics (if set) also feeds the intake_*
+  /// counters and queue-depth gauges.
+  bulk::AllPairsConfig probe;
+  /// Admission queue capacity — the only buffer between intake connections
+  /// and the probe worker. Full ⇒ shed.
+  std::size_t queue_capacity = 1024;
+  /// Max keys the batch accumulator hands the probe element per wakeup.
+  std::size_t batch_max = 64;
+  /// Hit sink (bulk::ProgressSink::on_hit, called from the probe worker
+  /// thread). FactorHit::i is the index of the earlier corpus member,
+  /// FactorHit::j the index the new key was folded at.
+  bulk::ProgressSink* sink = nullptr;
+  /// Test/fault-injection hook, called by the probe worker before each
+  /// batch (like ScanConfig::chunk_hook). Exceptions are not caught.
+  std::function<void(std::size_t batch_keys)> batch_hook;
+};
+
+/// Monotonic totals over the service lifetime. Mirrored into intake_*
+/// metrics when a registry is configured (docs/OBSERVABILITY.md).
+struct IntakeStats {
+  std::uint64_t submitted = 0;   ///< submit() calls
+  std::uint64_t admitted = 0;    ///< entered the queue
+  std::uint64_t duplicates = 0;  ///< rejected by the dedup element
+  std::uint64_t shed = 0;        ///< rejected by the full queue
+  std::uint64_t probed = 0;      ///< keys probed + folded into the corpus
+  std::uint64_t pairs = 0;       ///< candidate×corpus GCDs executed
+  std::uint64_t batches = 0;     ///< probe-element wakeups with work
+  std::uint64_t hits = 0;        ///< shared-factor hits reported
+};
+
+class IntakeService {
+ public:
+  /// Starts the probe worker. `seed_corpus` is the already-scanned base the
+  /// stream grows from (arrivals are probed against it but seed-internal
+  /// pairs are assumed covered by a prior batch scan).
+  IntakeService(std::vector<mp::BigInt> seed_corpus,
+                IntakeServiceConfig config);
+  ~IntakeService();  ///< stop(/*drain=*/true)
+
+  IntakeService(const IntakeService&) = delete;
+  IntakeService& operator=(const IntakeService&) = delete;
+
+  /// Admission gate: dedup check + bounded enqueue. Thread-safe, never
+  /// blocks on the probe element. The returned verdict is final except for
+  /// kShed, which a client may retry after backoff.
+  Admission submit(const mp::BigInt& n);
+
+  /// Close intake, drain the queue through the probe element (every
+  /// already-admitted key is still probed and folded), join the worker.
+  /// Idempotent; submissions after stop() return kClosed.
+  void stop();
+
+  IntakeStats stats() const;
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Snapshot of the accumulated hit list (sorted by (i, j)). Indices refer
+  /// to corpus() order: seed first, then arrivals in fold order.
+  std::vector<bulk::FactorHit> hits() const;
+  /// Snapshot of the accumulated corpus (seed + folded arrivals).
+  std::vector<mp::BigInt> corpus() const;
+  std::size_t corpus_size() const;
+
+ private:
+  void worker_loop();
+  void probe_batch(std::vector<mp::BigInt>& batch);
+  std::uint64_t fingerprint(const mp::BigInt& n) const noexcept;
+
+  IntakeServiceConfig config_;
+  BoundedQueue<mp::BigInt> queue_;
+
+  // Dedup element: 64-bit FNV-1a fingerprint (the keystore loader's scheme)
+  // resolved exactly — colliding fingerprints fall back to value comparison,
+  // so a hash collision can never drop a genuinely new key.
+  mutable std::mutex dedup_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<mp::BigInt>> seen_;
+  bool closed_ = false;
+
+  // Corpus + hits: appended only by the probe worker; guarded for snapshot
+  // readers. The probe itself runs on a stable prefix span without the lock
+  // (only the worker appends, and only behind it).
+  mutable std::mutex state_mutex_;
+  std::vector<mp::BigInt> corpus_;
+  std::vector<bulk::FactorHit> hits_;
+
+  struct Telemetry;  ///< intake_* metric handles (null-registry safe)
+  std::unique_ptr<Telemetry> tele_;
+
+  mutable std::mutex stats_mutex_;
+  IntakeStats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace bulkgcd::svc

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 #include "rsa/corpus.hpp"
 #include "rsa/prime.hpp"
 
@@ -268,6 +272,141 @@ TEST(IncrementalProbeTest, AgreesWithFullSweepAfterAppend) {
     if (hit.j == extended.size() - 1) ++candidate_hits;
   }
   EXPECT_EQ(candidate_hits, inc.size());
+}
+
+TEST(IncrementalProbeTest, DifferentialAcrossBackendsAndThreadCounts) {
+  // The probe path must honor the all_pairs_gcd thread-placement contract
+  // (regression: it used to run on the global pool regardless of
+  // pool_threads) and return identical hits AND bit-identical engine
+  // statistics on every backend × thread-count combination. SimtStats are
+  // per-block sums, so partitioning blocks across workers must not change
+  // any total. Mixed-size corpus: the per-pair early-terminate threshold
+  // must hold on heterogeneous harvests.
+  Xoshiro256 rng(6161);
+  const BigInt shared = rsa::random_prime(rng, 128);
+  std::vector<BigInt> corpus;
+  corpus.push_back(shared * rsa::random_prime(rng, 128));  // weak, 256-bit
+  for (int k = 0; k < 2; ++k) {  // small bystanders (192-bit)
+    corpus.push_back(rsa::random_prime(rng, 96) * rsa::random_prime(rng, 96));
+  }
+  for (int k = 0; k < 2; ++k) {  // large bystanders (256-bit)
+    corpus.push_back(rsa::random_prime(rng, 128) * rsa::random_prime(rng, 128));
+  }
+  corpus.push_back(shared * rsa::random_prime(rng, 128));  // weak, 256-bit
+  for (int k = 0; k < 3; ++k) {
+    corpus.push_back(rsa::random_prime(rng, 96) * rsa::random_prime(rng, 96));
+  }
+  const BigInt candidate = shared * rsa::random_prime(rng, 128);
+
+  AllPairsConfig base;
+  base.engine = EngineKind::kSimt;
+  base.backend = BulkBackend::kLockstep;
+  base.group_size = 3;  // several blocks, so thread partitioning matters
+  base.warp_width = 4;
+  base.pool_threads = 1;
+  ProbeStats ref_stats;
+  const auto ref_hits = probe_incremental(candidate, corpus, base, &ref_stats);
+  ASSERT_EQ(ref_hits.size(), 2u);
+  EXPECT_EQ(ref_hits[0].corpus_index, 0u);
+  EXPECT_EQ(ref_hits[1].corpus_index, 5u);
+  EXPECT_EQ(ref_hits[0].factor, shared);
+  EXPECT_EQ(ref_stats.pairs_tested, corpus.size());
+
+  for (const auto backend :
+       {BulkBackend::kLockstep, BulkBackend::kStaged, BulkBackend::kVector}) {
+    for (const std::size_t threads : {std::size_t(1), std::size_t(2)}) {
+      AllPairsConfig config = base;
+      config.backend = backend;
+      config.pool_threads = threads;
+      ProbeStats stats;
+      const auto hits = probe_incremental(candidate, corpus, config, &stats);
+      const std::string label = "backend " + std::to_string(int(backend)) +
+                                " threads " + std::to_string(threads);
+      ASSERT_EQ(hits.size(), ref_hits.size()) << label;
+      for (std::size_t k = 0; k < hits.size(); ++k) {
+        EXPECT_EQ(hits[k].corpus_index, ref_hits[k].corpus_index) << label;
+        EXPECT_EQ(hits[k].factor, ref_hits[k].factor) << label;
+        EXPECT_EQ(hits[k].full_modulus, ref_hits[k].full_modulus) << label;
+      }
+      EXPECT_EQ(stats.pairs_tested, ref_stats.pairs_tested) << label;
+      EXPECT_EQ(stats.simt, ref_stats.simt) << label;
+    }
+  }
+}
+
+TEST(IncrementalProbeTest, ScalarDifferentialAcrossThreadCounts) {
+  const WeakCorpus corpus = test_corpus(17, 2, 16);  // not a block multiple
+  const auto& weak = corpus.weak[0];
+  AllPairsConfig config;
+  config.engine = EngineKind::kScalar;
+  config.group_size = 4;
+  config.pool_threads = 1;
+  ProbeStats ref_stats;
+  const auto ref_hits = probe_incremental(corpus.moduli[weak.first],
+                                          corpus.moduli, config, &ref_stats);
+  EXPECT_EQ(ref_stats.pairs_tested, corpus.moduli.size());
+  EXPECT_GT(ref_stats.scalar.iterations, 0u);
+  for (const std::size_t threads : {std::size_t(0), std::size_t(2)}) {
+    config.pool_threads = threads;
+    ProbeStats stats;
+    const auto hits = probe_incremental(corpus.moduli[weak.first],
+                                        corpus.moduli, config, &stats);
+    ASSERT_EQ(hits.size(), ref_hits.size()) << "threads " << threads;
+    for (std::size_t k = 0; k < hits.size(); ++k) {
+      EXPECT_EQ(hits[k].corpus_index, ref_hits[k].corpus_index);
+      EXPECT_EQ(hits[k].factor, ref_hits[k].factor);
+    }
+    EXPECT_EQ(stats.pairs_tested, ref_stats.pairs_tested);
+    EXPECT_EQ(stats.scalar.iterations, ref_stats.scalar.iterations);
+    EXPECT_EQ(stats.scalar.swaps, ref_stats.scalar.swaps);
+  }
+}
+
+TEST(IncrementalProbeTest, StatsFoldIntoRegistryCounters) {
+  // Regression: probe_incremental never called fold_engine_stats, so the
+  // simt_*/gcd_* counters stayed at zero while all_pairs_gcd fed them —
+  // telemetry silently undercounted all streamed work. Counter totals must
+  // exactly equal the returned ProbeStats, on both engines.
+  const WeakCorpus corpus = test_corpus(13, 1, 17);
+  for (const auto engine : {EngineKind::kSimt, EngineKind::kScalar}) {
+    obs::MetricsRegistry registry;
+    AllPairsConfig config;
+    config.engine = engine;
+    config.group_size = 4;
+    config.pool_threads = 2;
+    config.metrics = &registry;
+    ProbeStats stats;
+    probe_incremental(corpus.moduli[3], corpus.moduli, config, &stats);
+    const auto counter = [&](std::string_view name) {
+      return registry.counter(name)->value();
+    };
+    if (engine == EngineKind::kSimt) {
+      EXPECT_GT(stats.simt.lane_iterations, 0u);
+      EXPECT_EQ(counter("simt_rounds_total"), stats.simt.rounds);
+      EXPECT_EQ(counter("simt_warp_rounds_total"), stats.simt.warp_rounds);
+      EXPECT_EQ(counter("simt_lane_iterations_total"),
+                stats.simt.lane_iterations);
+      EXPECT_EQ(counter("simt_lane_slots_total"), stats.simt.lane_slots);
+    } else {
+      EXPECT_GT(stats.scalar.iterations, 0u);
+    }
+    EXPECT_EQ(counter("gcd_iterations_total"),
+              stats.simt.gcd.iterations + stats.scalar.iterations);
+    EXPECT_EQ(counter("gcd_swaps_total"),
+              stats.simt.gcd.swaps + stats.scalar.swaps);
+  }
+}
+
+TEST(IncrementalProbeTest, StatsResetBetweenCalls) {
+  const WeakCorpus corpus = test_corpus(8, 1, 18);
+  AllPairsConfig config;
+  config.pool_threads = 1;
+  ProbeStats stats;
+  probe_incremental(corpus.moduli[0], corpus.moduli, config, &stats);
+  const std::uint64_t first = stats.pairs_tested;
+  EXPECT_EQ(first, corpus.moduli.size());
+  probe_incremental(corpus.moduli[0], corpus.moduli, config, &stats);
+  EXPECT_EQ(stats.pairs_tested, first);  // overwritten, not accumulated
 }
 
 }  // namespace

@@ -305,6 +305,32 @@ TEST_F(ScanDriverTest, ProgressSinkSeesCommitsHitsAndTotals) {
   EXPECT_EQ(sink.last_.blocks_done, sink.last_.blocks_total);
 }
 
+TEST_F(ScanDriverTest, BlockRateUsesActualCommittedBlocks) {
+  // Regression: blocks_per_second was computed as
+  // committed_this_run * chunk_blocks / elapsed, which overstates the rate
+  // (and shrinks the ETA) whenever the final chunk is shorter than
+  // chunk_blocks. Geometry chosen so chunk_blocks does NOT divide the block
+  // count: 20 moduli / group 4 -> 5 groups -> 15 blocks; chunks of 4 cover
+  // them as 4+4+4+3, and the old formula would claim 16 blocks of work.
+  const WeakCorpus corpus = test_corpus(20, 1, 119);
+  CountingSink sink;
+  ScanConfig config;
+  config.pairs.group_size = 4;
+  config.pairs.pool_threads = 1;
+  config.chunk_blocks = 4;
+  config.sink = &sink;
+  config.progress_every = 1;
+  const ScanReport report = run_resumable_scan(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  const ScanProgress& last = sink.last_;
+  EXPECT_EQ(last.blocks_total, 15u);
+  EXPECT_EQ(last.blocks_done, 15u);
+  ASSERT_GT(last.elapsed_seconds, 0.0);
+  // Rate × elapsed must reconstruct the blocks actually committed, not a
+  // chunk-granular overestimate.
+  EXPECT_NEAR(last.blocks_per_second * last.elapsed_seconds, 15.0, 1e-6);
+}
+
 TEST(StreamProgressSinkTest, NonFiniteEtaRendersAsDashes) {
   // Regression: the first progress record of a run (or a resumed scan whose
   // run has committed nothing yet) has pairs_per_second == 0, which used to

@@ -1,0 +1,541 @@
+// Streaming intake service tests: the parser survives hostile input
+// (reject-and-continue, never throw-and-die), the bounded queue sheds
+// visibly instead of buffering invisibly, and a streamed corpus finds the
+// bit-identical hit set a one-shot all_pairs_gcd finds — including under
+// overload, shutdown, and every probe backend.
+#include "svc/intake_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bulk/allpairs.hpp"
+#include "core/rng.hpp"
+#include "obs/http_exposition.hpp"
+#include "obs/metrics.hpp"
+#include "rsa/corpus.hpp"
+#include "rsa/pem.hpp"
+#include "rsa/prime.hpp"
+#include "svc/bounded_queue.hpp"
+#include "svc/intake_parser.hpp"
+
+namespace bulkgcd::svc {
+namespace {
+
+using mp::BigInt;
+using rsa::CorpusSpec;
+using rsa::WeakCorpus;
+
+WeakCorpus test_corpus(std::size_t count, std::size_t weak,
+                       std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.count = count;
+  spec.modulus_bits = 128;
+  spec.weak_pairs = weak;
+  spec.seed = seed;
+  return rsa::generate_corpus(spec);
+}
+
+// ---- rsa::hex_decode_modulus ----------------------------------------------
+
+TEST(HexDecodeModulusTest, AcceptsPrefixesLabelsAndWhitespace) {
+  EXPECT_EQ(rsa::hex_decode_modulus("c3"), BigInt(0xc3));
+  EXPECT_EQ(rsa::hex_decode_modulus("0xC3"), BigInt(0xc3));
+  EXPECT_EQ(rsa::hex_decode_modulus("  0X00c3  "), BigInt(0xc3));
+  EXPECT_EQ(rsa::hex_decode_modulus("Modulus=c3"), BigInt(0xc3));
+  // openssl-style colon/whitespace-spread dumps collapse to one value.
+  EXPECT_EQ(rsa::hex_decode_modulus("c0 ff ee 11"), BigInt(0xc0ffee11));
+}
+
+TEST(HexDecodeModulusTest, RejectsEmptyOddAndNonHex) {
+  EXPECT_THROW(rsa::hex_decode_modulus(""), std::runtime_error);
+  EXPECT_THROW(rsa::hex_decode_modulus("   "), std::runtime_error);
+  EXPECT_THROW(rsa::hex_decode_modulus("abc"), std::runtime_error);  // odd
+  EXPECT_THROW(rsa::hex_decode_modulus("zz"), std::runtime_error);
+  EXPECT_THROW(rsa::hex_decode_modulus("0x"), std::runtime_error);
+}
+
+// ---- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueueTest, ShedsAtCapacityWithoutBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed, immediately
+  EXPECT_EQ(q.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(3));  // slot freed
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsThenReportsEmpty) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed: no new admissions
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));  // already-admitted items still drain
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));  // closed AND drained: consumer exits
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));  // blocks until close, then exits false
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+// ---- IntakeParser ----------------------------------------------------------
+
+std::vector<IntakeRecord> parse_all(std::string_view text) {
+  IntakeParser parser;
+  parser.feed(text);
+  return parser.finish();
+}
+
+TEST(IntakeParserTest, ParsesAllThreeRecordShapes) {
+  const rsa::PublicKey key{BigInt(0xbcbf), BigInt(65537)};
+  std::string input = rsa::pem_encode_public_key(key, rsa::PemKind::kPkcs1);
+  input += "modulus cee1 deadbeef 10001\n";  // keystore line: first field wins
+  input += "# a comment\n";
+  input += "\n";
+  input += "0xA0B1C2D3E4F5A6B7\n";
+  const auto records = parse_all(input);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_EQ(records[0].kind, RecordKind::kPem);
+  EXPECT_EQ(records[0].n, BigInt(0xbcbf));
+  EXPECT_TRUE(records[1].ok);
+  EXPECT_EQ(records[1].kind, RecordKind::kKeystore);
+  EXPECT_EQ(records[1].n, BigInt(0xcee1));
+  EXPECT_TRUE(records[2].ok);
+  EXPECT_EQ(records[2].kind, RecordKind::kRawHex);
+  EXPECT_EQ(records[2].n, BigInt(0xA0B1C2D3E4F5A6B7ULL));
+}
+
+TEST(IntakeParserTest, TruncatedBase64RejectsAndParsingContinues) {
+  const rsa::PublicKey key{BigInt(0xbcbf), BigInt(65537)};
+  std::string pem = rsa::pem_encode_public_key(key, rsa::PemKind::kSpki);
+  // Corrupt the body: drop a chunk of base64 but keep the END armor, so the
+  // block completes structurally and fails to decode.
+  const auto begin_end = pem.find('\n') + 1;
+  pem.erase(begin_end, 8);
+  std::string input = pem;
+  input += "cee1\n";  // the stream continues with a good record
+  const auto records = parse_all(input);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_NE(records[0].error.find("bad PEM block"), std::string::npos);
+  EXPECT_TRUE(records[1].ok) << "parser must continue after a bad block";
+  EXPECT_EQ(records[1].n, BigInt(0xcee1));
+}
+
+TEST(IntakeParserTest, NonPemInterleavingsInsideBlockRejectCleanly) {
+  // Hostile interleaving: a BEGIN armor, then junk, then a fresh BEGIN. The
+  // inner junk corrupts the first block; the second block must still parse.
+  const rsa::PublicKey key{BigInt(0xcee1), BigInt(3)};
+  std::string input = "-----BEGIN RSA PUBLIC KEY-----\n";
+  input += "this is not base64 at all!!\n";
+  input += "-----END RSA PUBLIC KEY-----\n";
+  input += rsa::pem_encode_public_key(key);
+  const auto records = parse_all(input);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_EQ(records[0].line, 1u) << "reject anchored at the BEGIN line";
+  EXPECT_TRUE(records[1].ok);
+  EXPECT_EQ(records[1].n, BigInt(0xcee1));
+}
+
+TEST(IntakeParserTest, UnterminatedPemAtEofRejects) {
+  IntakeParser parser;
+  parser.feed("-----BEGIN PUBLIC KEY-----\nAAAA\n");
+  EXPECT_TRUE(parser.drain().empty());  // block still open: nothing complete
+  const auto records = parser.finish();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_NE(records[0].error.find("unterminated"), std::string::npos);
+}
+
+TEST(IntakeParserTest, BadHexShapesRejectWithoutThrowing) {
+  const auto records = parse_all(
+      "abc\n"            // odd digit count
+      "hello world\n"    // not hex at all
+      "modulus\n"        // keystore record missing its field
+      "modulus xyz\n"    // keystore record with bad hex
+      "c0 ff 1\n"        // whitespace-spread hex, odd digit total -> reject
+      "cee1\n");         // good record at the end
+  ASSERT_EQ(records.size(), 6u);
+  for (std::size_t k = 0; k + 1 < records.size(); ++k) {
+    EXPECT_FALSE(records[k].ok) << "record " << k;
+    EXPECT_FALSE(records[k].error.empty());
+    EXPECT_EQ(records[k].line, k + 1);
+  }
+  EXPECT_TRUE(records.back().ok);
+}
+
+TEST(IntakeParserTest, ScreensDegenerateModuli) {
+  const auto records = parse_all(
+      "00\n"     // zero
+      "01\n"     // one
+      "c4\n"     // even
+      "c3\n");   // odd, fine
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_FALSE(records[2].ok);
+  EXPECT_NE(records[2].error.find("even"), std::string::npos);
+  EXPECT_TRUE(records[3].ok);
+}
+
+TEST(IntakeParserTest, RecordsSplitAcrossFeedChunksReassemble) {
+  const rsa::PublicKey key{BigInt(0xbcbf), BigInt(65537)};
+  std::string input = rsa::pem_encode_public_key(key);
+  input += "ce";  // raw-hex record split mid-value
+  IntakeParser parser;
+  // Feed one byte at a time — the worst possible TCP fragmentation.
+  for (const char c : input) parser.feed(std::string_view(&c, 1));
+  parser.feed("e1\r\n");  // CRLF line ending, to boot
+  const auto records = parser.finish();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_EQ(records[0].n, BigInt(0xbcbf));
+  EXPECT_TRUE(records[1].ok);
+  EXPECT_EQ(records[1].n, BigInt(0xcee1));
+}
+
+// ---- IntakeService ---------------------------------------------------------
+
+IntakeServiceConfig probe_config(bulk::BulkBackend backend,
+                                 std::size_t pool_threads) {
+  IntakeServiceConfig config;
+  config.probe.backend = backend;
+  config.probe.pool_threads = pool_threads;
+  config.probe.group_size = 4;
+  return config;
+}
+
+void expect_hits_equal(const std::vector<bulk::FactorHit>& streamed,
+                       const std::vector<bulk::FactorHit>& oneshot) {
+  ASSERT_EQ(streamed.size(), oneshot.size());
+  for (std::size_t k = 0; k < streamed.size(); ++k) {
+    EXPECT_EQ(streamed[k].i, oneshot[k].i) << "hit " << k;
+    EXPECT_EQ(streamed[k].j, oneshot[k].j) << "hit " << k;
+    EXPECT_EQ(streamed[k].factor, oneshot[k].factor) << "hit " << k;
+    EXPECT_EQ(streamed[k].full_modulus, oneshot[k].full_modulus)
+        << "hit " << k;
+  }
+}
+
+TEST(IntakeServiceTest, StreamedCorpusMatchesOneShotSweepBitForBit) {
+  // The acceptance bar: stream a corpus key by key into an empty service and
+  // the accumulated hit set must be bit-identical to one all_pairs_gcd sweep
+  // over the same corpus — every (i, j) pair is covered exactly once, when
+  // key j arrives. Exercised on every backend and both thread placements.
+  const WeakCorpus corpus = test_corpus(20, 3, 2121);
+  const auto oneshot = bulk::all_pairs_gcd(corpus.moduli).hits;
+  ASSERT_EQ(oneshot.size(), 3u);
+
+  for (const auto backend : {bulk::BulkBackend::kLockstep,
+                             bulk::BulkBackend::kStaged,
+                             bulk::BulkBackend::kVector}) {
+    for (const std::size_t threads : {std::size_t(1), std::size_t(2)}) {
+      IntakeService service({}, probe_config(backend, threads));
+      for (const auto& n : corpus.moduli) {
+        ASSERT_EQ(service.submit(n), Admission::kAdmitted);
+      }
+      service.stop();  // drains the queue through the probe element
+      EXPECT_EQ(service.corpus_size(), corpus.moduli.size());
+      expect_hits_equal(service.hits(), oneshot);
+      const IntakeStats stats = service.stats();
+      EXPECT_EQ(stats.admitted, corpus.moduli.size());
+      EXPECT_EQ(stats.probed, corpus.moduli.size());
+      // Pair count telescopes to the full triangle: Σ_j j = n(n-1)/2.
+      EXPECT_EQ(stats.pairs, 20u * 19u / 2u);
+      EXPECT_EQ(stats.hits, oneshot.size());
+    }
+  }
+}
+
+TEST(IntakeServiceTest, SeedCorpusIsProbedAgainstButNotInternallyRescanned) {
+  // Seed-internal pairs are the prior batch scan's job; arrivals must be
+  // probed against every seed member AND earlier arrivals.
+  Xoshiro256 rng(3131);
+  const BigInt shared = rsa::random_prime(rng, 64);
+  const std::vector<BigInt> seed = {
+      shared * rsa::random_prime(rng, 64),
+      shared * rsa::random_prime(rng, 64),  // seed-internal weak pair
+      rsa::random_prime(rng, 64) * rsa::random_prime(rng, 64),
+  };
+  IntakeService service(seed, probe_config(bulk::BulkBackend::kLockstep, 1));
+  const BigInt arrival = shared * rsa::random_prime(rng, 64);
+  ASSERT_EQ(service.submit(arrival), Admission::kAdmitted);
+  service.stop();
+  const auto hits = service.hits();
+  // The arrival (index 3) hits both weak seed members; the seed-internal
+  // pair (0, 1) is NOT reported.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].i, 0u);
+  EXPECT_EQ(hits[0].j, 3u);
+  EXPECT_EQ(hits[1].i, 1u);
+  EXPECT_EQ(hits[1].j, 3u);
+  EXPECT_EQ(hits[0].factor, shared);
+}
+
+TEST(IntakeServiceTest, DuplicatesAreRejectedAgainstSeedAndArrivals) {
+  const WeakCorpus corpus = test_corpus(6, 0, 4141);
+  std::vector<BigInt> seed(corpus.moduli.begin(), corpus.moduli.begin() + 3);
+  IntakeService service(seed, probe_config(bulk::BulkBackend::kLockstep, 1));
+  EXPECT_EQ(service.submit(seed[1]), Admission::kDuplicate);
+  EXPECT_EQ(service.submit(corpus.moduli[4]), Admission::kAdmitted);
+  EXPECT_EQ(service.submit(corpus.moduli[4]), Admission::kDuplicate);
+  service.stop();
+  const IntakeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(service.corpus_size(), 4u);
+}
+
+TEST(IntakeServiceTest, SubmitAfterStopReturnsClosed) {
+  const WeakCorpus corpus = test_corpus(3, 0, 5151);
+  IntakeService service({}, probe_config(bulk::BulkBackend::kLockstep, 1));
+  service.stop();
+  EXPECT_EQ(service.submit(corpus.moduli[0]), Admission::kClosed);
+  service.stop();  // idempotent
+}
+
+TEST(IntakeServiceTest, OverloadShedsVisiblyAndNeverDeadlocks) {
+  // Deterministic overload: a batch_hook blocks the probe worker while the
+  // test floods the tiny admission queue. The flood must shed — counted,
+  // non-blocking — and every key that WAS admitted must still be probed
+  // after the worker resumes.
+  const WeakCorpus corpus = test_corpus(12, 1, 6161);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> worker_blocked{false};
+
+  IntakeServiceConfig config =
+      probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.queue_capacity = 2;
+  config.batch_max = 1;
+  config.batch_hook = [&](std::size_t) {
+    worker_blocked.store(true);
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  IntakeService service({}, std::move(config));
+
+  // First key wakes the worker, which parks in the hook.
+  ASSERT_EQ(service.submit(corpus.moduli[0]), Admission::kAdmitted);
+  while (!worker_blocked.load()) std::this_thread::yield();
+
+  // Fill the queue behind the parked worker, then overflow it.
+  std::size_t admitted = 1, shed = 0;
+  for (std::size_t k = 1; k < corpus.moduli.size(); ++k) {
+    const Admission a = service.submit(corpus.moduli[k]);
+    ASSERT_NE(a, Admission::kDuplicate);
+    if (a == Admission::kAdmitted) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(a, Admission::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 3u);  // 1 in flight + queue capacity 2
+  EXPECT_EQ(shed, corpus.moduli.size() - 3u);
+  EXPECT_LE(service.queue_depth(), 2u) << "queue must stay bounded";
+
+  // A shed key is NOT poisoned: retry succeeds once capacity frees up.
+  {
+    std::lock_guard lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  service.stop();  // drain + join, must not deadlock
+
+  const IntakeStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, admitted);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.probed, admitted) << "every admitted key was probed";
+  EXPECT_EQ(service.corpus_size(), admitted);
+}
+
+TEST(IntakeServiceTest, ShedKeyCanBeResubmittedSuccessfully) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> worker_blocked{false};
+  IntakeServiceConfig config =
+      probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.queue_capacity = 1;
+  config.batch_max = 1;
+  config.batch_hook = [&](std::size_t) {
+    worker_blocked.store(true);
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  const WeakCorpus corpus = test_corpus(4, 0, 7171);
+  IntakeService service({}, std::move(config));
+  ASSERT_EQ(service.submit(corpus.moduli[0]), Admission::kAdmitted);
+  while (!worker_blocked.load()) std::this_thread::yield();
+  ASSERT_EQ(service.submit(corpus.moduli[1]), Admission::kAdmitted);
+  ASSERT_EQ(service.submit(corpus.moduli[2]), Admission::kShed);
+  {
+    std::lock_guard lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  // Wait until the queue drains, then the shed key must be admittable —
+  // shedding must not have left it registered as "seen".
+  while (service.queue_depth() > 0) std::this_thread::yield();
+  Admission retry = Admission::kShed;
+  for (int attempt = 0; attempt < 1000 && retry == Admission::kShed;
+       ++attempt) {
+    retry = service.submit(corpus.moduli[2]);
+    if (retry == Admission::kShed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(retry, Admission::kAdmitted);
+  service.stop();
+  EXPECT_EQ(service.corpus_size(), 3u);  // moduli[0], [1], and the retried [2]
+}
+
+TEST(IntakeServiceTest, MetricsMirrorStatsAndHitSink) {
+  struct RecordingSink : bulk::ProgressSink {
+    void on_hit(const bulk::FactorHit& hit) override {
+      std::lock_guard lock(mutex);
+      hits.push_back(hit);
+    }
+    std::mutex mutex;
+    std::vector<bulk::FactorHit> hits;
+  };
+  const WeakCorpus corpus = test_corpus(10, 2, 8181);
+  obs::MetricsRegistry registry;
+  RecordingSink sink;
+  IntakeServiceConfig config =
+      probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.probe.metrics = &registry;
+  config.sink = &sink;
+  IntakeService service({}, std::move(config));
+  for (const auto& n : corpus.moduli) service.submit(n);
+  service.stop();
+
+  const IntakeStats stats = service.stats();
+  const auto counter = [&](std::string_view name) {
+    return registry.counter(name)->value();
+  };
+  EXPECT_EQ(counter("intake_submitted_total"), stats.submitted);
+  EXPECT_EQ(counter("intake_admitted_total"), stats.admitted);
+  EXPECT_EQ(counter("intake_probed_total"), stats.probed);
+  EXPECT_EQ(counter("intake_pairs_total"), stats.pairs);
+  EXPECT_EQ(counter("intake_hits_total"), stats.hits);
+  EXPECT_EQ(counter("intake_shed_total"), 0u);
+  EXPECT_EQ(stats.hits, 2u);
+  // The sink saw exactly the hits the service accumulated, as they landed.
+  std::lock_guard lock(sink.mutex);
+  ASSERT_EQ(sink.hits.size(), 2u);
+  // probe_incremental also feeds the engine counters now (the satellite
+  // fix), so streamed work is visible in the same simt_*/gcd_* series the
+  // batch scan uses.
+  EXPECT_GT(counter("gcd_iterations_total"), 0u);
+}
+
+// ---- MetricsHttpServer -----------------------------------------------------
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, std::size_t(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesPrometheusTextHealthzAnd404) {
+  obs::MetricsRegistry registry;
+  registry.counter("svc_test_requests_total")->add(7);
+  obs::MetricsHttpServer server(registry, 0);  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("svc_test_requests_total 7"), std::string::npos)
+      << metrics;
+
+  const std::string healthz = http_get(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  EXPECT_EQ(server.requests(), 3u);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(MetricsHttpServerTest, ScrapeSeesLiveIntakeCounters) {
+  // The integration the daemon relies on: service counters flow through the
+  // shared registry to the scrape endpoint while the service is running.
+  const WeakCorpus corpus = test_corpus(6, 1, 9191);
+  obs::MetricsRegistry registry;
+  IntakeServiceConfig config =
+      probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.probe.metrics = &registry;
+  IntakeService service({}, std::move(config));
+  obs::MetricsHttpServer server(registry, 0);
+  for (const auto& n : corpus.moduli) service.submit(n);
+  service.stop();
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("intake_admitted_total 6"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("intake_hits_total 1"), std::string::npos) << metrics;
+}
+
+}  // namespace
+}  // namespace bulkgcd::svc

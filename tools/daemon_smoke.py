@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the keyintake daemon.
+
+Starts the daemon on ephemeral ports, streams a planted shared-prime key set
+interleaved with garbage records over TCP, and asserts:
+
+  * per-record status lines (admitted / reject / duplicate) come back in order
+  * the planted shared prime is reported as a hit, asynchronously, on the
+    same connection
+  * GET /metrics serves live intake_* counters matching the stream
+  * SIGTERM shuts the daemon down cleanly (exit 0) and the final summary
+    names the hit
+
+Usage: daemon_smoke.py <daemon-binary> [<ndjson-out>]
+
+The NDJSON telemetry file (default intake.ndjson) is left behind for
+tools/validate_metrics.py.
+"""
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+# Planted corpus: 0xbcbf = 211*229 and 0xcee1 = 211*251 share the prime
+# 211 = 0xd3; 0xd987 = 233*239 is a clean bystander.
+RECORDS = [
+    ("bcbf", "admitted"),
+    ("not hex at all", "reject"),
+    ("cee1", "admitted"),          # completes the weak pair -> hit 0 1 d3
+    ("bcbf", "duplicate"),
+    ("0xD987", "admitted"),
+    ("-----BEGIN PUBLIC KEY-----", None),   # truncated PEM: rejected at END
+    ("AAAA", None),
+    ("-----END PUBLIC KEY-----", "reject"),
+]
+EXPECTED_STATUSES = [want for _, want in RECORDS if want is not None]
+EXPECTED_HIT = "hit 0 1 d3"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(__doc__)
+    daemon_bin = sys.argv[1]
+    ndjson = sys.argv[2] if len(sys.argv) > 2 else "intake.ndjson"
+
+    daemon = subprocess.Popen(
+        [daemon_bin, "--port", "0", "--metrics-port", "0",
+         "--metrics-out", ndjson, "--metrics-interval", "0.2",
+         "--threads", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        intake_port = metrics_port = None
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            line = daemon.stdout.readline()
+            if not line:
+                fail("daemon exited before listening")
+            print(f"[daemon] {line}", end="")
+            if m := re.search(r"metrics on 127\.0\.0\.1:(\d+)", line):
+                metrics_port = int(m.group(1))
+            if m := re.search(r"listening on 127\.0\.0\.1:(\d+)", line):
+                intake_port = int(m.group(1))
+                break
+        if intake_port is None or metrics_port is None:
+            fail("did not see both port announcements")
+
+        with socket.create_connection(("127.0.0.1", intake_port)) as sock:
+            for record, _ in RECORDS:
+                sock.sendall(record.encode() + b"\n")
+            # Collect status lines + the async hit line.
+            sock.settimeout(1.0)
+            responses = []
+            deadline = time.time() + 15
+            while time.time() < deadline:
+                statuses = [r for r in responses if not r.startswith("hit ")]
+                hits = [r for r in responses if r.startswith("hit ")]
+                if len(statuses) >= len(EXPECTED_STATUSES) and hits:
+                    break
+                try:
+                    chunk = sock.recv(4096)
+                except socket.timeout:
+                    continue
+                if not chunk:
+                    break
+                responses.extend(chunk.decode().splitlines())
+            print("[client] " + " | ".join(responses))
+            statuses = [r for r in responses if not r.startswith("hit ")]
+            hits = [r for r in responses if r.startswith("hit ")]
+            for k, want in enumerate(EXPECTED_STATUSES):
+                if k >= len(statuses) or not statuses[k].startswith(want):
+                    fail(f"record {k}: wanted '{want}', got "
+                         f"{statuses[k] if k < len(statuses) else '<none>'}")
+            if EXPECTED_HIT not in hits:
+                fail(f"expected '{EXPECTED_HIT}' push, got {hits}")
+
+            scrape = urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics", timeout=5
+            ).read().decode()
+            for needle in ("intake_submitted_total 4",
+                           "intake_admitted_total 3",
+                           "intake_duplicates_total 1",
+                           "intake_hits_total 1",
+                           "intake_shed_total 0"):
+                if needle not in scrape:
+                    fail(f"/metrics missing '{needle}'")
+            health = urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/healthz", timeout=5
+            ).read().decode()
+            if "ok" not in health:
+                fail("/healthz did not answer ok")
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=20)
+        print(out, end="")
+        if daemon.returncode != 0:
+            fail(f"daemon exited {daemon.returncode}, want 0")
+        if "keys 0 and 1 share a 8-bit prime d3" not in out:
+            fail("final summary did not name the planted hit")
+        if "intake summary: 4 submitted, 3 admitted, 1 duplicates" not in out:
+            fail("final summary totals wrong")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    print("daemon smoke OK")
+
+
+if __name__ == "__main__":
+    main()
