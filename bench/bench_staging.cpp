@@ -17,6 +17,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "bulk/allpairs.hpp"
@@ -34,11 +36,13 @@ struct SweepSample {
 
 SweepSample sweep_once(std::span<const bulkgcd::mp::BigInt> moduli,
                        bool staged, bulkgcd::bulk::BulkBackend backend,
-                       bulkgcd::obs::MetricsRegistry* metrics = nullptr) {
+                       bulkgcd::obs::MetricsRegistry* metrics = nullptr,
+                       std::size_t pool_threads = 0) {
   bulkgcd::bulk::AllPairsConfig config;
   config.staged = staged;
   config.backend = backend;
   config.metrics = metrics;
+  config.pool_threads = pool_threads;
   const auto result = bulkgcd::bulk::all_pairs_gcd(moduli, config);
   SweepSample s;
   s.seconds = result.seconds;
@@ -180,6 +184,63 @@ int main() {
     return 1;
   }
 
+  // ---- scaling mode: the sharded tile sweep at 1/2/4/8 workers -----------
+  // Each worker count runs a private pool (pool_threads = N, 1 = inline) on
+  // the vector backend; pairs and hits must be bit-identical at every count
+  // (the scheduler only moves tiles between workers). Skip with
+  // BULKGCD_BENCH_SCALING=0; override the sweep points with
+  // BULKGCD_BENCH_SCALING_WORKERS (comma-separated). pairs/s per worker
+  // count is archived under the "scaling" JSON object together with the
+  // machine's core count — read multi-worker numbers from a 1-core runner
+  // accordingly.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+  bool run_scaling = true;
+  if (const char* env = std::getenv("BULKGCD_BENCH_SCALING")) {
+    run_scaling = std::string(env) != "0";
+  }
+  if (const char* env = std::getenv("BULKGCD_BENCH_SCALING_WORKERS")) {
+    worker_counts.clear();
+    for (const char* p = env; *p != '\0';) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) worker_counts.push_back(std::size_t(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+  }
+  std::vector<SweepSample> scaling(worker_counts.size());
+  if (run_scaling && !worker_counts.empty()) {
+    std::printf("\nscaling (vector backend, private pool per worker count, "
+                "%u hardware core%s):\n", cores, cores == 1 ? "" : "s");
+    bench::Table scale_table({"workers", "pairs", "seconds", "pairs/s",
+                              "speedup vs 1"});
+    for (std::size_t k = 0; k < worker_counts.size(); ++k) {
+      SweepSample best;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        take_best(best, sweep_once(moduli, /*staged=*/true,
+                                   bulk::BulkBackend::kVector, nullptr,
+                                   worker_counts[k]));
+      }
+      scaling[k] = best;
+      const double rel = scaling[0].pairs_per_second > 0
+                             ? best.pairs_per_second /
+                                   scaling[0].pairs_per_second
+                             : 0.0;
+      scale_table.add_row({bench::fmt_u(worker_counts[k]),
+                           bench::fmt_u(best.pairs),
+                           bench::fmt(best.seconds, 3),
+                           bench::fmt(best.pairs_per_second, 0),
+                           bench::fmt(rel, 2) + "x"});
+      if (best.pairs != staged.pairs || best.hits != staged.hits) {
+        std::printf("!! scaling sweep at %zu workers disagrees on "
+                    "pairs/hits\n", worker_counts[k]);
+        return 1;
+      }
+    }
+    scale_table.print();
+  }
+
   std::string json = "{\n";
   {
     char buf[256];
@@ -197,6 +258,20 @@ int main() {
   put_sample(json, "staged_instrumented", instrumented);
   json += ",\n";
   put_sample(json, "vector", vectorized);
+  if (run_scaling && !worker_counts.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\n  \"scaling\": {\n    \"cores\": %u",
+                  cores);
+    json += buf;
+    for (std::size_t k = 0; k < worker_counts.size(); ++k) {
+      std::string row;
+      put_sample(row, (std::string("workers_") +
+                       std::to_string(worker_counts[k])).c_str(),
+                 scaling[k]);
+      json += ",\n  " + row;  // nested rows indent one level deeper
+    }
+    json += "\n  }";
+  }
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),

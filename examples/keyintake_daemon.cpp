@@ -58,6 +58,7 @@
 #include <unistd.h>
 
 #include "bulkgcd.hpp"
+#include "svc/net_util.hpp"
 
 namespace {
 
@@ -77,18 +78,10 @@ int usage(const char* argv0) {
   return 2;
 }
 
-void send_all(int fd, const std::string& bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += std::size_t(n);
-  }
-}
-
 /// Prints hits as they land (probe-worker thread) and mirrors them to the
-/// submitting connection when one is attached.
+/// submitting connection when one is attached. A failed mirror write means
+/// the client vanished mid-batch: the fd is dropped immediately so later
+/// hits from the same batch don't keep writing into a dead socket.
 class HitReporter : public bulkgcd::bulk::ProgressSink {
  public:
   void on_hit(const bulkgcd::bulk::FactorHit& hit) override {
@@ -97,7 +90,9 @@ class HitReporter : public bulkgcd::bulk::ProgressSink {
     std::lock_guard lock(mutex_);
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
-    if (client_fd_ >= 0) send_all(client_fd_, line + "\n");
+    if (client_fd_ >= 0 && !bulkgcd::svc::send_all(client_fd_, line + "\n")) {
+      client_fd_ = -1;
+    }
   }
 
   void attach(int fd) {
@@ -133,6 +128,7 @@ void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
   reporter.attach(fd);
   bulkgcd::svc::IntakeParser parser;
   char buf[4096];
+  bool peer_alive = true;
   auto respond = [&](const std::vector<bulkgcd::svc::IntakeRecord>& records) {
     std::string out;
     for (const auto& rec : records) {
@@ -144,9 +140,9 @@ void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
       out += admission_word(service.submit(rec.n));
       out += '\n';
     }
-    if (!out.empty()) send_all(fd, out);
+    if (!out.empty() && !bulkgcd::svc::send_all(fd, out)) peer_alive = false;
   };
-  for (;;) {
+  while (peer_alive) {
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (g_stop.load()) break;
@@ -157,7 +153,7 @@ void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
     parser.feed(std::string_view(buf, std::size_t(n)));
     respond(parser.drain());
   }
-  respond(parser.finish());
+  if (peer_alive) respond(parser.finish());
   reporter.detach();
 }
 

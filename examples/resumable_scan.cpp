@@ -11,7 +11,10 @@
 //   --chunk-blocks <n>     blocks per durable work unit (default 64)
 //   --group-size <r>       moduli per block group (default 64)
 //   --engine simt|scalar   bulk engine (default simt)
-//   --threads <n>          worker threads (default: hardware)
+//   --threads <n>          worker threads (default: hardware; 1 = inline)
+//   --tile-blocks <n>      blocks per work-stealing scheduler tile
+//                          (default 0 = auto; purely a scheduling knob —
+//                          results are bit-identical for any value)
 //   --stop-after <n>       commit at most n chunks then exit 3 (time-sliced
 //                          mode; rerun to continue)
 //   --discard-checkpoint   start fresh if the checkpoint belongs to a
@@ -39,7 +42,8 @@ int usage(const char* argv0) {
                "usage: %s [<moduli-file>] [--generate <count> <bits> <weak>]\n"
                "          [--checkpoint <path>] [--chunk-blocks <n>]\n"
                "          [--group-size <r>] [--engine simt|scalar]\n"
-               "          [--threads <n>] [--stop-after <n>]\n"
+               "          [--threads <n>] [--tile-blocks <n>]\n"
+               "          [--stop-after <n>]\n"
                "          [--discard-checkpoint]\n"
                "          [--metrics-out <file>] [--metrics-interval <sec>]\n",
                argv0);
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       config.pairs.pool_threads = next_u64("--threads");
+    } else if (arg == "--tile-blocks") {
+      config.pairs.tile_blocks = next_u64("--tile-blocks");
     } else if (arg == "--stop-after") {
       config.stop_after_chunks = next_u64("--stop-after");
     } else if (arg == "--metrics-out") {

@@ -29,18 +29,50 @@ ProductTree build_product_tree(std::span<const mp::BigInt> moduli) {
   return tree;
 }
 
-std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree) {
+ProductTree square_product_tree(const ProductTree& tree) {
+  if (tree.empty()) throw std::invalid_argument("square tree: empty input");
+  // Root level omitted: the descent starts AT the root (root mod root² =
+  // root) and only ever reduces modulo the squares of the levels below it.
+  ProductTree squares(tree.size() - 1);
+  for (std::size_t level = 0; level + 1 < tree.size(); ++level) {
+    const auto& nodes = tree[level];
+    squares[level].resize(nodes.size());
+    global_pool().parallel_for(0, nodes.size(), [&](std::size_t lo,
+                                                    std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (level > 0 && 2 * i + 1 >= tree[level - 1].size()) {
+          // Promoted odd node: same value as its single child, so its
+          // square is a copy of the child's — no repeated full-width
+          // multiplication as the value rides up the tree.
+          squares[level][i] = squares[level - 1][2 * i];
+        } else {
+          squares[level][i] = nodes[i] * nodes[i];
+        }
+      }
+    });
+  }
+  return squares;
+}
+
+std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree,
+                                                   const ProductTree& squares) {
+  if (squares.size() + 1 < tree.size()) {
+    throw std::invalid_argument("remainder tree: squares/tree shape mismatch");
+  }
   // Walk from the root down; at each node reduce the parent's remainder
-  // modulo the node value squared.
+  // modulo the node value squared (precomputed — each distinct node value
+  // was squared exactly once by square_product_tree).
   std::vector<mp::BigInt> current(1, tree.back()[0]);  // root mod root² = root
   for (std::size_t level = tree.size() - 1; level-- > 0;) {
-    const auto& nodes = tree[level];
-    std::vector<mp::BigInt> next(nodes.size());
-    global_pool().parallel_for(0, nodes.size(), [&](std::size_t lo, std::size_t hi) {
+    if (squares[level].size() != tree[level].size()) {
+      throw std::invalid_argument(
+          "remainder tree: squares/tree shape mismatch");
+    }
+    std::vector<mp::BigInt> next(tree[level].size());
+    global_pool().parallel_for(0, next.size(), [&](std::size_t lo,
+                                                   std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
-        const mp::BigInt& parent = current[i / 2];
-        const mp::BigInt square = nodes[i] * nodes[i];
-        next[i] = parent % square;
+        next[i] = current[i / 2] % squares[level][i];
       }
     });
     current = std::move(next);
@@ -48,11 +80,17 @@ std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree) {
   return current;
 }
 
+std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree) {
+  return remainder_tree_mod_squares(tree, square_product_tree(tree));
+}
+
 BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli) {
   BatchGcdResult result;
   Timer timer;
   const ProductTree tree = build_product_tree(moduli);
-  const std::vector<mp::BigInt> residues = remainder_tree_mod_squares(tree);
+  const ProductTree squares = square_product_tree(tree);
+  const std::vector<mp::BigInt> residues =
+      remainder_tree_mod_squares(tree, squares);
 
   result.gcds.resize(moduli.size());
   global_pool().parallel_for(0, moduli.size(), [&](std::size_t lo, std::size_t hi) {

@@ -24,8 +24,22 @@ using ProductTree = std::vector<std::vector<mp::BigInt>>;
 
 ProductTree build_product_tree(std::span<const mp::BigInt> moduli);
 
-/// Descend the tree: value at each leaf i is root mod n_i².
+/// Square every node of `tree` once, level by level, for the remainder
+/// descent. Shape-parallel with `tree` except the root level is omitted
+/// (the descent never reduces modulo the root²). A node promoted unchanged
+/// from an odd-count level reuses its child's square — a copy, not another
+/// full-width multiplication — so each DISTINCT value in the tree is
+/// squared exactly once no matter how many levels it rides through.
+ProductTree square_product_tree(const ProductTree& tree);
+
+/// Descend the tree: value at each leaf i is root mod n_i². The two-argument
+/// form takes the output of square_product_tree (throws
+/// std::invalid_argument on a shape mismatch); the one-argument convenience
+/// builds it internally. Callers descending the same tree more than once
+/// should build the squares once and reuse them.
 std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree);
+std::vector<mp::BigInt> remainder_tree_mod_squares(const ProductTree& tree,
+                                                   const ProductTree& squares);
 
 struct BatchGcdResult {
   /// gcds[i] = gcd(n_i, Π_{k≠i} n_k): 1 when n_i shares no factor, the

@@ -1,15 +1,41 @@
 #include "bulk/allpairs.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <type_traits>
 
 #include "bulk/block_grid.hpp"
+#include "bulk/tile_scheduler.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 
 namespace bulkgcd::bulk {
+
+namespace {
+
+/// Shared thread-placement contract of the sharded sweeps: pool_threads 1 =
+/// inline on the caller (pool stays null, the scheduler runs serial), 0 =
+/// one worker per global-pool thread, N = a private pool of N workers.
+struct SweepExecutor {
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  std::size_t workers = 1;
+
+  explicit SweepExecutor(std::size_t pool_threads) {
+    if (pool_threads == 1) return;
+    if (pool_threads == 0) {
+      pool = &global_pool();
+      workers = pool->size();
+    } else {
+      local_pool.emplace(pool_threads);
+      pool = &*local_pool;
+      workers = pool_threads;
+    }
+  }
+};
+
+}  // namespace
 
 AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
                              const AllPairsConfig& config) {
@@ -38,33 +64,37 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
     panels.emplace(scan, grid.r, cap + kBatchPadLimbs);
   }
 
-  std::mutex merge_mutex;
   Timer timer;
 
-  auto process_chunk = [&](std::size_t lo, std::size_t hi) {
-    BlockSweeper sweeper(scan, grid, cfg, cap, panels ? &*panels : nullptr);
-    sweeper.run_blocks(lo, hi);
-    auto local = sweeper.take();
-    // Engine-statistics counters are fed at the merge points, so their
+  // Sharded sweep: every worker owns a long-lived BlockSweeper (engines,
+  // batch buffers, LocalHistograms) reused across all the tiles it runs —
+  // its own contiguous home run plus whatever it steals. A worker slot is
+  // only ever touched by its worker, so no lock guards the sweepers; the
+  // scheduler joining all workers sequences the merge below after the last
+  // body call.
+  SweepExecutor exec(cfg.pool_threads);
+  const TileScheduler sched(grid.block_count(), cfg.tile_blocks, exec.workers);
+  std::vector<std::unique_ptr<BlockSweeper>> sweepers(sched.worker_count());
+  sched.run(exec.pool, [&](std::size_t w, const TileRange& t) {
+    auto& sweeper = sweepers[w];
+    if (!sweeper) {
+      sweeper = std::make_unique<BlockSweeper>(scan, grid, cfg, cap,
+                                               panels ? &*panels : nullptr);
+    }
+    sweeper->run_blocks(t.lo, t.hi);
+  });
+  for (auto& sweeper : sweepers) {
+    if (!sweeper) continue;
+    auto local = sweeper->take();
+    // Engine-statistics counters are fed once per worker merge, so their
     // totals exactly equal the final AllPairsResult stats.
     fold_engine_stats(cfg.metrics, local.simt, local.scalar);
-
-    std::lock_guard lock(merge_mutex);
     result.pairs_tested += local.pairs;
     result.simt += local.simt;
     result.scalar += local.scalar;
     result.hits.insert(result.hits.end(),
                        std::make_move_iterator(local.hits.begin()),
                        std::make_move_iterator(local.hits.end()));
-  };
-
-  if (cfg.pool_threads == 1) {
-    process_chunk(0, grid.block_count());
-  } else if (cfg.pool_threads == 0) {
-    global_pool().parallel_for(0, grid.block_count(), process_chunk);
-  } else {
-    ThreadPool pool(cfg.pool_threads);
-    pool.parallel_for(0, grid.block_count(), process_chunk);
   }
 
   result.seconds = timer.seconds();
@@ -105,7 +135,6 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   if (cfg.engine == EngineKind::kSimt && cfg.staged) {
     panels.emplace(scan, r, cap + kBatchPadLimbs);
   }
-  std::mutex merge_mutex;
 
   auto push_hit = [&](std::vector<IncrementalHit>& local, std::size_t i,
                       mp::BigIntT<ScanLimb> g) {
@@ -159,60 +188,80 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
     }
   };
 
-  ProbeStats total;
-  auto probe_chunk = [&](std::size_t lo, std::size_t hi) {
-    std::vector<IncrementalHit> local;
+  // Per-worker probe state: one engine of the configured kind plus local
+  // hit/pair accumulators, created lazily on the worker's first tile and
+  // reused across every tile it runs (home run + steals). Worker batches
+  // start with zeroed statistics; after the schedule their accumulated
+  // SimtStats are the worker's exact share of the probe.
+  struct ProbeWorker {
+    std::vector<IncrementalHit> hits;
     ProbeStats work;
-    if (cfg.engine == EngineKind::kSimt) {
-      // Worker batches start with zeroed statistics; after the chunk their
-      // accumulated SimtStats are the worker's exact share of the probe.
-      if (cfg.backend == BulkBackend::kVector) {
-        auto batch =
-            make_vec_batch<ScanLimb>(r, cap, cfg.warp_width, cfg.vec_isa);
-        probe_blocks(*batch, lo, hi, local, work.pairs_tested);
-        work.simt = batch->stats();
-      } else {
-        SimtBatch<ScanLimb, ColumnMatrix> batch(r, cap, cfg.warp_width);
-        probe_blocks(batch, lo, hi, local, work.pairs_tested);
-        work.simt = batch.stats();
-      }
-    } else {
-      gcd::GcdEngine<ScanLimb> engine(cap);
-      for (std::size_t block = lo; block < hi; ++block) {
-        const std::size_t begin = block * r;
-        const std::size_t end = std::min(begin + r, corpus.size());
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto run = engine.run(cfg.variant, scan.limbs(i), cand,
-                                      early(i), &work.scalar);
-          ++work.pairs_tested;
-          if (run.early_coprime) continue;
-          push_hit(local, i, mp::BigIntT<ScanLimb>::from_limbs(run.gcd));
-        }
-      }
-    }
-    // Same contract as all_pairs_gcd: engine counters are fed once per
-    // worker merge, so their totals equal the returned ProbeStats.
-    fold_engine_stats(cfg.metrics, work.simt, work.scalar);
-
-    std::lock_guard lock(merge_mutex);
-    total.pairs_tested += work.pairs_tested;
-    total.simt += work.simt;
-    total.scalar += work.scalar;
-    hits.insert(hits.end(), std::make_move_iterator(local.begin()),
-                std::make_move_iterator(local.end()));
+    std::unique_ptr<VecBatchBase<ScanLimb>> vec;
+    std::unique_ptr<SimtBatch<ScanLimb, ColumnMatrix>> simt;
+    std::unique_ptr<gcd::GcdEngine<ScanLimb>> scalar_engine;
   };
 
   // Same thread-placement contract as all_pairs_gcd: 1 = inline on the
   // caller (no pool hop — the latency-sensitive intake path), 0 = global
-  // pool, N = a private pool of N workers.
+  // pool, N = a private pool of N workers. Probe blocks are sharded over
+  // the workers through the same work-stealing tile scheduler as the full
+  // sweep (tile_blocks probe blocks per tile).
   const std::size_t blocks = (corpus.size() + r - 1) / r;
-  if (cfg.pool_threads == 1) {
-    probe_chunk(0, blocks);
-  } else if (cfg.pool_threads == 0) {
-    global_pool().parallel_for(0, blocks, probe_chunk);
-  } else {
-    ThreadPool pool(cfg.pool_threads);
-    pool.parallel_for(0, blocks, probe_chunk);
+  SweepExecutor exec(cfg.pool_threads);
+  const TileScheduler sched(blocks, cfg.tile_blocks, exec.workers);
+  std::vector<std::unique_ptr<ProbeWorker>> workers(sched.worker_count());
+  sched.run(exec.pool, [&](std::size_t w, const TileRange& t) {
+    auto& worker = workers[w];
+    if (!worker) worker = std::make_unique<ProbeWorker>();
+    if (cfg.engine == EngineKind::kSimt) {
+      if (cfg.backend == BulkBackend::kVector) {
+        if (!worker->vec) {
+          worker->vec =
+              make_vec_batch<ScanLimb>(r, cap, cfg.warp_width, cfg.vec_isa);
+        }
+        probe_blocks(*worker->vec, t.lo, t.hi, worker->hits,
+                     worker->work.pairs_tested);
+      } else {
+        if (!worker->simt) {
+          worker->simt = std::make_unique<SimtBatch<ScanLimb, ColumnMatrix>>(
+              r, cap, cfg.warp_width);
+        }
+        probe_blocks(*worker->simt, t.lo, t.hi, worker->hits,
+                     worker->work.pairs_tested);
+      }
+    } else {
+      if (!worker->scalar_engine) {
+        worker->scalar_engine = std::make_unique<gcd::GcdEngine<ScanLimb>>(cap);
+      }
+      for (std::size_t block = t.lo; block < t.hi; ++block) {
+        const std::size_t begin = block * r;
+        const std::size_t end = std::min(begin + r, corpus.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto run =
+              worker->scalar_engine->run(cfg.variant, scan.limbs(i), cand,
+                                         early(i), &worker->work.scalar);
+          ++worker->work.pairs_tested;
+          if (run.early_coprime) continue;
+          push_hit(worker->hits, i,
+                   mp::BigIntT<ScanLimb>::from_limbs(run.gcd));
+        }
+      }
+    }
+  });
+
+  ProbeStats total;
+  for (auto& worker : workers) {
+    if (!worker) continue;
+    if (worker->vec) worker->work.simt = worker->vec->stats();
+    if (worker->simt) worker->work.simt = worker->simt->stats();
+    // Same contract as all_pairs_gcd: engine counters are fed once per
+    // worker merge, so their totals equal the returned ProbeStats.
+    fold_engine_stats(cfg.metrics, worker->work.simt, worker->work.scalar);
+    total.pairs_tested += worker->work.pairs_tested;
+    total.simt += worker->work.simt;
+    total.scalar += worker->work.scalar;
+    hits.insert(hits.end(), std::make_move_iterator(worker->hits.begin()),
+                std::make_move_iterator(worker->hits.end()));
   }
   if (stats) *stats = std::move(total);
 

@@ -36,7 +36,15 @@ struct AllPairsConfig {
   bool early_terminate = true;  ///< Section V termination for RSA moduli
   std::size_t group_size = 64;  ///< r: moduli per group == lanes per block
   std::size_t warp_width = 32;
-  std::size_t pool_threads = 0;  ///< 0 = global pool
+  /// Worker count for the sharded tile sweep: 0 = one worker per global-pool
+  /// thread, 1 = inline on the caller (no pool hop — the latency-sensitive
+  /// probe path), N = a private pool of N workers.
+  std::size_t pool_threads = 0;
+  /// Blocks per work-stealing scheduler tile (bulk/tile_scheduler.hpp).
+  /// 0 = auto (~4 tiles per worker). Purely a scheduling knob: results are
+  /// bit-identical across tile shapes and worker counts, so neither is part
+  /// of the checkpoint identity.
+  std::size_t tile_blocks = 0;
   /// Stage the corpus once into column-major CorpusPanels and refresh each
   /// SIMT batch by bulk panel copy + lane-serial execution (the CUDA kernel
   /// shape) instead of r per-lane loads + lockstep rounds. Bit-identical

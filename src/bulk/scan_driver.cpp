@@ -9,10 +9,12 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include <unistd.h>  // fsync
 
 #include "bulk/block_grid.hpp"
+#include "bulk/tile_scheduler.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "obs/metrics.hpp"
@@ -716,6 +718,15 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   };
 
   // ---- execution ----------------------------------------------------------
+  // Chunks are sharded over the workers through the same work-stealing tile
+  // scheduler as the raw sweep, one chunk per scheduler tile: each worker
+  // walks its own contiguous run of pending chunks (cache-friendly panel
+  // reuse) and steals from a loaded neighbour when it drains. Tiles
+  // therefore complete OUT OF ORDER; every outcome flows through the
+  // driver-thread commit queue below, so journal records stay whole
+  // per-chunk appends (keyed by chunk_index under the corpus-digest header)
+  // and the torn-tail recovery rule is untouched — parse_journal indexes
+  // records by chunk, never by position.
   if (launch_total > 0) {
     if (config.pairs.pool_threads == 1) {
       for (std::size_t k = 0; k < launch_total; ++k) {
@@ -731,21 +742,27 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
       std::condition_variable cv;
       std::deque<ChunkOutcome> done_queue;
 
-      std::size_t launched = 0;
-      auto launch_next = [&] {
-        const std::size_t chunk = pending[launched++];
-        pool.submit([&, chunk] {
-          ChunkOutcome outcome = process(chunk);
-          {
-            std::lock_guard lock(mu);
-            done_queue.push_back(std::move(outcome));
+      const std::size_t workers =
+          config.pairs.pool_threads > 1 ? config.pairs.pool_threads
+                                        : pool.size();
+      const TileScheduler sched(launch_total, /*tile_items=*/1, workers);
+      // The schedule blocks until every chunk is processed, while commits
+      // must keep flowing on this (the driver) thread — run it on a
+      // sidecar thread and collect outcomes as they land. process() already
+      // converts every failure into a quarantine outcome, so the scheduler
+      // body never throws.
+      std::thread orchestrator([&] {
+        sched.run(&pool, [&](std::size_t, const TileRange& t) {
+          for (std::size_t k = t.lo; k < t.hi; ++k) {
+            ChunkOutcome outcome = process(pending[k]);
+            {
+              std::lock_guard lock(mu);
+              done_queue.push_back(std::move(outcome));
+            }
+            cv.notify_one();
           }
-          cv.notify_one();
         });
-      };
-
-      const std::size_t window = std::min(launch_total, pool.size());
-      while (launched < window) launch_next();
+      });
 
       std::size_t collected = 0;
       while (collected < launch_total) {
@@ -757,9 +774,9 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
           done_queue.pop_front();
         }
         ++collected;
-        if (launched < launch_total) launch_next();
         commit(std::move(outcome));
       }
+      orchestrator.join();
     }
   }
 

@@ -1,0 +1,153 @@
+#include "bulk/tile_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace bulkgcd::bulk {
+
+TileScheduler::TileScheduler(std::size_t total_items, std::size_t tile_items,
+                             std::size_t workers)
+    : total_(total_items), workers_(std::max<std::size_t>(1, workers)) {
+  tile_items_ = tile_items == 0 ? auto_tile_items(total_, workers_)
+                                : std::max<std::size_t>(1, tile_items);
+  tile_items_ = std::min(tile_items_, std::max<std::size_t>(1, total_));
+  tiles_ = total_ == 0 ? 0 : (total_ + tile_items_ - 1) / tile_items_;
+}
+
+std::size_t TileScheduler::auto_tile_items(std::size_t total_items,
+                                           std::size_t workers) noexcept {
+  if (total_items == 0) return 1;
+  const std::size_t target_tiles = std::max<std::size_t>(1, workers) * 4;
+  return std::max<std::size_t>(1, total_items / target_tiles);
+}
+
+TileRange TileScheduler::tile(std::size_t t) const noexcept {
+  const std::size_t lo = t * tile_items_;
+  return {t, lo, std::min(lo + tile_items_, total_)};
+}
+
+std::size_t TileScheduler::home_worker(std::size_t t) const noexcept {
+  // Balanced contiguous runs: the first `rem` workers own one extra tile.
+  const std::size_t q = tiles_ / workers_;
+  const std::size_t rem = tiles_ % workers_;
+  const std::size_t fat_span = (q + 1) * rem;  // tiles owned by fat workers
+  if (t < fat_span) return t / (q + 1);
+  if (q == 0) return workers_ - 1;  // more workers than tiles
+  return rem + (t - fat_span) / q;
+}
+
+TileSchedulerStats TileScheduler::run(ThreadPool* pool,
+                                      const Body& body) const {
+  TileSchedulerStats stats;
+  if (tiles_ == 0) return stats;
+
+  // Degraded/serial path: one worker, no pool, or a nested call from inside
+  // the pool itself (enqueued worker loops could never be picked up once
+  // the outer level saturates the pool — same rule as parallel_for).
+  if (workers_ == 1 || pool == nullptr || pool->inside_pool()) {
+    for (std::size_t t = 0; t < tiles_; ++t) body(0, tile(t));
+    stats.tiles_executed = tiles_;
+    return stats;
+  }
+
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<std::size_t> q;  // tile ordinals, front = next in home order
+  };
+  std::vector<WorkerDeque> deques(workers_);
+  for (std::size_t t = 0; t < tiles_; ++t) {
+    deques[home_worker(t)].q.push_back(t);
+  }
+
+  // Tiles not yet popped for execution. Stolen tiles land back in the
+  // thief's deque (still unclaimed, re-stealable); the transient window
+  // where a steal holds tiles in a local buffer is why idle workers spin
+  // on unclaimed > 0 instead of exiting on an all-empty scan.
+  std::atomic<std::size_t> unclaimed{tiles_};
+  std::atomic<bool> abort{false};
+  std::mutex merge_mu;
+  std::exception_ptr first_error;
+
+  auto worker_loop = [&](std::size_t me) {
+    TileSchedulerStats local;
+    std::vector<std::size_t> loot;
+    while (!abort.load(std::memory_order_relaxed)) {
+      std::size_t t = 0;
+      bool got = false;
+      {
+        std::lock_guard lock(deques[me].mu);
+        if (!deques[me].q.empty()) {
+          t = deques[me].q.front();
+          deques[me].q.pop_front();
+          got = true;
+        }
+      }
+      if (got) {
+        unclaimed.fetch_sub(1, std::memory_order_relaxed);
+        try {
+          body(me, tile(t));
+        } catch (...) {
+          {
+            std::lock_guard lock(merge_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          break;
+        }
+        ++local.tiles_executed;
+        continue;
+      }
+      // Own deque empty: steal half of some victim's remaining tiles from
+      // the back (the blocks furthest from the victim's working position).
+      loot.clear();
+      for (std::size_t off = 1; off < workers_ && loot.empty(); ++off) {
+        WorkerDeque& victim = deques[(me + off) % workers_];
+        std::lock_guard lock(victim.mu);
+        const std::size_t take = (victim.q.size() + 1) / 2;
+        for (std::size_t k = 0; k < take; ++k) {
+          loot.push_back(victim.q.back());
+          victim.q.pop_back();
+        }
+      }
+      if (!loot.empty()) {
+        ++local.steals;
+        local.tiles_stolen += loot.size();
+        std::lock_guard lock(deques[me].mu);
+        // Back-of-victim order reversed so the lowest tile ordinal is at
+        // the front — the thief walks its loot in home order too.
+        for (auto it = loot.rbegin(); it != loot.rend(); ++it) {
+          deques[me].q.push_back(*it);
+        }
+        continue;
+      }
+      // Nothing anywhere. If every tile has been claimed, the in-flight
+      // ones are being executed by their claimants — done here. Otherwise a
+      // steal is mid-transfer; yield and rescan.
+      if (unclaimed.load(std::memory_order_acquire) == 0) break;
+      std::this_thread::yield();
+    }
+    std::lock_guard lock(merge_mu);
+    stats.tiles_executed += local.tiles_executed;
+    stats.steals += local.steals;
+    stats.tiles_stolen += local.tiles_stolen;
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    futures.push_back(pool->submit([&, w] { worker_loop(w); }));
+  }
+  for (auto& f : futures) f.get();  // worker loops themselves don't throw
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+}  // namespace bulkgcd::bulk

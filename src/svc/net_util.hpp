@@ -1,0 +1,57 @@
+// Small socket helpers shared by the intake daemon and the service tests.
+//
+// The one subtlety worth a shared, tested implementation is send_all():
+// a blocking send() can legitimately return early without the peer being
+// gone — EINTR when a signal lands mid-call, EAGAIN/EWOULDBLOCK when the
+// descriptor carries O_NONBLOCK or a send timeout — and a short write is
+// normal whenever the payload outsizes the socket buffer. None of those
+// mean "stop"; only a hard error (EPIPE/ECONNRESET/...) does, and THAT one
+// must be reported so the caller stops mirroring output to a dead peer.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <string_view>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace bulkgcd::svc {
+
+/// Write every byte of `bytes` to the (stream) socket `fd`.
+///
+/// Retries EINTR, waits for writability on EAGAIN/EWOULDBLOCK, and resumes
+/// after short writes. Sends with MSG_NOSIGNAL so a vanished peer surfaces
+/// as EPIPE instead of killing the process. Returns true when the full
+/// payload was handed to the kernel; false on any hard error — the peer is
+/// gone (or the descriptor is broken) and the caller should stop writing
+/// to it.
+inline bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += std::size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;  // signal mid-send: just retry
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking descriptor (or SO_SNDTIMO expiry) with a full socket
+      // buffer: wait until the peer drains some of it, then resume. poll()
+      // also returns on POLLERR/POLLHUP, in which case the next send()
+      // reports the hard error and we bail below.
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/-1) < 0 && errno != EINTR) {
+        return false;
+      }
+      continue;
+    }
+    // n == 0 cannot happen for a non-empty send on a stream socket; treat
+    // it like a hard error alongside EPIPE/ECONNRESET/EBADF/....
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bulkgcd::svc

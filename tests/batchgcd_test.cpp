@@ -75,6 +75,63 @@ TEST(RemainderTreeTest, LeavesAreRootModSquares) {
   }
 }
 
+TEST(SquareTreeTest, EveryNodeIsTheSquareOfItsTreeNode) {
+  Xoshiro256 rng(125);
+  std::vector<BigInt> values;
+  for (int i = 0; i < 13; ++i) {  // odd count: promoted nodes at two levels
+    values.push_back(random_odd<std::uint32_t>(rng, 96));
+  }
+  const ProductTree tree = build_product_tree(values);
+  const ProductTree squares = square_product_tree(tree);
+  // Root level omitted — the descent never reduces modulo root².
+  ASSERT_EQ(squares.size(), tree.size() - 1);
+  for (std::size_t level = 0; level + 1 < tree.size(); ++level) {
+    ASSERT_EQ(squares[level].size(), tree[level].size()) << "level " << level;
+    for (std::size_t i = 0; i < tree[level].size(); ++i) {
+      EXPECT_EQ(squares[level][i], tree[level][i] * tree[level][i])
+          << "level " << level << " node " << i;
+    }
+  }
+}
+
+TEST(SquareTreeTest, PromotedChainReusesTheLeafSquare) {
+  // 5 leaves: leaf 4 is promoted unchanged through level 1 (5 → 3 nodes) and
+  // its level-1 copy pairs at level 2. The promoted node's square must equal
+  // the leaf's square — the reuse path, not a recomputation.
+  std::vector<BigInt> values;
+  for (int v : {3, 5, 7, 11, 13}) values.push_back(BigInt(unsigned(v)));
+  const ProductTree tree = build_product_tree(values);
+  ASSERT_EQ(tree[1].size(), 3u);
+  ASSERT_EQ(tree[1][2], values[4]);  // promoted unchanged
+  const ProductTree squares = square_product_tree(tree);
+  EXPECT_EQ(squares[1][2], squares[0][4]);
+  EXPECT_EQ(squares[1][2], BigInt(169u));
+}
+
+TEST(SquareTreeTest, PrecomputedDescentMatchesConvenienceOverload) {
+  Xoshiro256 rng(126);
+  std::vector<BigInt> values;
+  for (int i = 0; i < 11; ++i) {
+    values.push_back(random_odd<std::uint32_t>(rng, 110));
+  }
+  const ProductTree tree = build_product_tree(values);
+  const ProductTree squares = square_product_tree(tree);
+  EXPECT_EQ(remainder_tree_mod_squares(tree, squares),
+            remainder_tree_mod_squares(tree));
+}
+
+TEST(SquareTreeTest, ShapeMismatchThrows) {
+  std::vector<BigInt> values = {BigInt(3), BigInt(5), BigInt(7), BigInt(11)};
+  const ProductTree tree = build_product_tree(values);
+  ProductTree squares = square_product_tree(tree);
+  squares[0].pop_back();
+  EXPECT_THROW(remainder_tree_mod_squares(tree, squares),
+               std::invalid_argument);
+  EXPECT_THROW(remainder_tree_mod_squares(tree, ProductTree{}),
+               std::invalid_argument);
+  EXPECT_THROW(square_product_tree(ProductTree{}), std::invalid_argument);
+}
+
 TEST(BatchGcdTest, FindsExactlyThePlantedWeakModuli) {
   rsa::CorpusSpec spec;
   spec.count = 20;

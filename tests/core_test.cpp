@@ -78,6 +78,41 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunkBoundariesPartitionAnyRange) {
+  // Property sweep over awkward (begin, count, threads) combinations —
+  // ranges smaller than the pool, prime-sized, and ones that do not divide
+  // evenly. Chunks must tile [begin, end) with no gap, overlap, or
+  // out-of-range index, whatever the boundary arithmetic rounds to.
+  for (const std::size_t threads : {1u, 2u, 3u, 5u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t begin : {0u, 1u, 17u}) {
+      for (const std::size_t count : {0u, 1u, 2u, 7u, 64u, 101u}) {
+        std::vector<std::atomic<int>> touched(count);
+        for (auto& t : touched) t.store(0);
+        std::atomic<bool> out_of_range{false};
+        pool.parallel_for(begin, begin + count,
+                          [&](std::size_t lo, std::size_t hi) {
+                            if (lo < begin || hi > begin + count || lo > hi) {
+                              out_of_range.store(true);
+                              return;
+                            }
+                            for (std::size_t i = lo; i < hi; ++i) {
+                              ++touched[i - begin];
+                            }
+                          });
+        EXPECT_FALSE(out_of_range.load())
+            << "threads=" << threads << " begin=" << begin
+            << " count=" << count;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(touched[i].load(), 1)
+              << "threads=" << threads << " begin=" << begin
+              << " count=" << count << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool called = false;

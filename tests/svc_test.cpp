@@ -15,7 +15,9 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,6 +30,7 @@
 #include "rsa/prime.hpp"
 #include "svc/bounded_queue.hpp"
 #include "svc/intake_parser.hpp"
+#include "svc/net_util.hpp"
 
 namespace bulkgcd::svc {
 namespace {
@@ -535,6 +538,90 @@ TEST(MetricsHttpServerTest, ScrapeSeesLiveIntakeCounters) {
   EXPECT_NE(metrics.find("intake_admitted_total 6"), std::string::npos)
       << metrics;
   EXPECT_NE(metrics.find("intake_hits_total 1"), std::string::npos) << metrics;
+}
+
+// ---- svc::send_all (net_util.hpp) -----------------------------------------
+// The daemon mirrors hit lines and per-record statuses through send_all; the
+// regression of record is a client that disconnects mid-batch (send_all must
+// report failure so the daemon stops writing to the dead fd) and spurious
+// short/interrupted writes being treated as fatal.
+
+TEST(SendAllTest, DeliversPayloadsLargerThanTheSocketBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the send buffer so the payload needs many short writes.
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  std::string payload;
+  for (int i = 0; payload.size() < 1 << 20; ++i) {
+    payload += "hit " + std::to_string(i) + " deadbeef\n";
+  }
+  bool sent = false;
+  std::thread writer([&] { sent = send_all(fds[0], payload); });
+  std::string received;
+  char buf[8192];
+  while (received.size() < payload.size()) {
+    const ssize_t n = ::read(fds[1], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received.append(buf, std::size_t(n));
+  }
+  writer.join();
+  EXPECT_TRUE(sent);
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SendAllTest, ReportsAClientThatDisconnectedMidBatch) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  EXPECT_TRUE(send_all(fds[0], "hit 0 1 cafe\n"));  // client still there
+  ::close(fds[1]);                                  // client vanishes
+  // A payload larger than the buffers cannot be absorbed by the kernel, so
+  // the dead peer MUST surface as failure (EPIPE via MSG_NOSIGNAL — the
+  // process must not die on SIGPIPE either) rather than a silent no-op.
+  const std::string big(1 << 20, 'x');
+  EXPECT_FALSE(send_all(fds[0], big));
+  ::close(fds[0]);
+}
+
+TEST(SendAllTest, SurvivesSignalInterruptionsMidTransfer) {
+  // A non-SA_RESTART handler makes a blocked send() fail with EINTR; the
+  // old daemon helper treated that as a dead peer and dropped the rest of
+  // the payload. Pepper the writer with signals while it pushes a payload
+  // much larger than the socket buffer and assert nothing is lost.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  const std::string payload(1 << 20, 'y');
+  bool sent = false;
+  std::thread writer([&] { sent = send_all(fds[0], payload); });
+  const pthread_t writer_handle = writer.native_handle();
+  // Let the writer fill the socket buffer and block, then interrupt it
+  // repeatedly while slowly draining from the other end.
+  std::string received;
+  char buf[8192];
+  while (received.size() < payload.size()) {
+    ::pthread_kill(writer_handle, SIGUSR1);
+    const ssize_t n = ::read(fds[1], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received.append(buf, std::size_t(n));
+  }
+  writer.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  EXPECT_TRUE(sent);
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

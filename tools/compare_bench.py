@@ -5,11 +5,15 @@ Usage:
     tools/compare_bench.py BASELINE.json FRESH.json [--threshold PCT]
 
 For every sample row present in both files (an object carrying a
-"pairs_per_second" field — unstaged / staged / staged_instrumented / vector),
-prints a GitHub Actions `::warning` annotation when the fresh throughput is
-more than --threshold percent (default 10) below the baseline. Shared CI
-runners are far too noisy for a hard perf gate, so this is advisory only:
-the script always exits 0. Stdlib only — no third-party imports.
+"pairs_per_second" field — unstaged / staged / staged_instrumented / vector,
+plus nested rows such as scaling.workers_4), prints a GitHub Actions
+`::warning` annotation when the fresh throughput is more than --threshold
+percent (default 10) below the baseline. Rows present in only one file
+(added or removed across the change, e.g. a new scaling sweep point) get a
+`::notice` and are skipped — an asymmetric row set is expected churn, not
+an error. Shared CI runners are far too noisy for a hard perf gate, so
+this is advisory only: the script always exits 0. Stdlib only — no
+third-party imports.
 """
 
 import argparse
@@ -17,11 +21,20 @@ import json
 import sys
 
 
-def sample_rows(doc):
-    """Yield (name, row) for every throughput sample in a bench document."""
+def sample_rows(doc, prefix=""):
+    """Yield (name, row) for every throughput sample in a bench document.
+
+    Recurses into nested objects (the "scaling" block) with dotted names:
+    scaling.workers_4, scaling.workers_8, ...
+    """
     for key, value in doc.items():
-        if isinstance(value, dict) and "pairs_per_second" in value:
-            yield key, value
+        if not isinstance(value, dict):
+            continue
+        name = f"{prefix}{key}"
+        if "pairs_per_second" in value:
+            yield name, value
+        else:
+            yield from sample_rows(value, prefix=f"{name}.")
 
 
 def load(path):
@@ -46,12 +59,21 @@ def main(argv):
     if base is None or fresh is None:
         return 0  # missing/garbled input is not a CI failure
 
+    base_rows = dict(sample_rows(base))
     fresh_rows = dict(sample_rows(fresh))
+    # Asymmetric row sets are ordinary churn (a sweep point added here, an
+    # old row retired there) — announce them instead of trending or crashing.
+    for name in sorted(base_rows.keys() - fresh_rows.keys()):
+        print(f"::notice ::compare_bench: baseline row '{name}' missing from "
+              f"the fresh run — skipped")
+    for name in sorted(fresh_rows.keys() - base_rows.keys()):
+        print(f"::notice ::compare_bench: fresh row '{name}' has no baseline "
+              f"yet — skipped")
     regressions = 0
-    for name, brow in sample_rows(base):
+    for name, brow in base_rows.items():
         frow = fresh_rows.get(name)
         if frow is None:
-            continue  # row added/removed across the change — nothing to trend
+            continue  # announced above — nothing to trend
         bpps = brow.get("pairs_per_second") or 0.0
         fpps = frow.get("pairs_per_second") or 0.0
         if bpps <= 0.0:
