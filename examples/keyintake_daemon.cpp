@@ -3,21 +3,29 @@
 // records (PEM public keys, keystore `modulus`/`keypair` lines, or raw hex
 // moduli); every parsed modulus flows through the svc::IntakeService pipeline:
 //
-//   parse → dedup → bounded admission queue → batch → probe → corpus fold
+//   parse → dedup → arrival journal → bounded admission queue → batch →
+//   probe → corpus fold
 //
-// The daemon answers one status line per record so a submitting client sees
-// exactly what happened to each key:
+// Connections are served concurrently by a bounded worker pool: up to
+// --max-conns clients stream at once with no head-of-line blocking, and a
+// saturated pool sheds the connection with a `busy` line instead of queueing
+// it unboundedly — the same shed-don't-block discipline the admission queue
+// applies to keys. The daemon answers one status line per record so a
+// submitting client sees exactly what happened to each key:
 //
 //   admitted          queued for probing against the accumulated corpus
 //   duplicate         exact modulus already known
 //   shed              admission queue full (overload backpressure; retry)
 //   closed            daemon is shutting down
 //   reject <reason>   parse/validation failure (bad PEM, even modulus, ...)
-//   hit <i> <j> <p>   factor found (pushed asynchronously as probes land)
+//   hit <i> <j> <p>   factor found (pushed asynchronously as probes land,
+//                     mirrored to every connected client)
+//   busy              connection pool saturated (sent once, then closed)
 //
 // Usage:
 //   $ ./keyintake_daemon --port 7411 --metrics-port 9100 \
-//         --seed corpus.keys --metrics-out intake.ndjson
+//         --seed corpus.keys --journal intake.journal \
+//         --metrics-out intake.ndjson
 //
 // Options:
 //   --port <n>             intake listener port on 127.0.0.1 (0 = ephemeral;
@@ -25,6 +33,15 @@
 //   --metrics-port <n>     serve GET /metrics (Prometheus) + /healthz on
 //                          127.0.0.1:<n> (0 = ephemeral; off when omitted)
 //   --seed <file>          keystore file preloaded as the base corpus
+//   --journal <file>       durable arrival journal: every admitted key is
+//                          fsynced before it is acknowledged, and a restart
+//                          replays the file (probed keys re-fold, the
+//                          unprobed tail is re-probed) — a SIGKILL loses no
+//                          admitted key
+//   --journal-fsync-every <n>  fsync cadence in records (default 1)
+//   --max-conns <n>        connection worker pool size (default 8); up to
+//                          2n connections in flight (n served + n queued),
+//                          beyond that new connections get `busy`
 //   --queue-capacity <n>   admission queue bound (default 1024; full = shed)
 //   --batch-max <n>        max keys per probe-element wakeup (default 64)
 //   --engine simt|scalar   probe engine (default simt)
@@ -48,7 +65,9 @@
 #include <cstring>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -69,8 +88,9 @@ void handle_signal(int) { g_stop.store(true); }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port <n>] [--metrics-port <n>] [--seed <file>]\n"
-               "          [--queue-capacity <n>] [--batch-max <n>]\n"
-               "          [--engine simt|scalar]\n"
+               "          [--journal <file>] [--journal-fsync-every <n>]\n"
+               "          [--max-conns <n>] [--queue-capacity <n>]\n"
+               "          [--batch-max <n>] [--engine simt|scalar]\n"
                "          [--backend auto|lockstep|staged|vector]\n"
                "          [--threads <n>] [--metrics-out <file>]\n"
                "          [--metrics-interval <sec>] [--exit-after-idle <sec>]\n",
@@ -78,10 +98,11 @@ int usage(const char* argv0) {
   return 2;
 }
 
-/// Prints hits as they land (probe-worker thread) and mirrors them to the
-/// submitting connection when one is attached. A failed mirror write means
-/// the client vanished mid-batch: the fd is dropped immediately so later
-/// hits from the same batch don't keep writing into a dead socket.
+/// Prints hits as they land (probe-worker thread) and mirrors them to every
+/// connected client. A failed mirror write means that client vanished
+/// mid-batch: its fd is dropped immediately so later hits from the same
+/// batch don't keep writing into a dead socket (the connection worker still
+/// owns and closes the fd).
 class HitReporter : public bulkgcd::bulk::ProgressSink {
  public:
   void on_hit(const bulkgcd::bulk::FactorHit& hit) override {
@@ -90,23 +111,27 @@ class HitReporter : public bulkgcd::bulk::ProgressSink {
     std::lock_guard lock(mutex_);
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
-    if (client_fd_ >= 0 && !bulkgcd::svc::send_all(client_fd_, line + "\n")) {
-      client_fd_ = -1;
+    for (auto it = fds_.begin(); it != fds_.end();) {
+      if (!bulkgcd::svc::send_all(*it, line + "\n")) {
+        it = fds_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
   void attach(int fd) {
     std::lock_guard lock(mutex_);
-    client_fd_ = fd;
+    fds_.insert(fd);
   }
-  void detach() {
+  void detach(int fd) {
     std::lock_guard lock(mutex_);
-    client_fd_ = -1;
+    fds_.erase(fd);
   }
 
  private:
   std::mutex mutex_;
-  int client_fd_ = -1;
+  std::set<int> fds_;
 };
 
 const char* admission_word(bulkgcd::svc::Admission a) {
@@ -154,7 +179,7 @@ void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
     respond(parser.drain());
   }
   if (peer_alive) respond(parser.finish());
-  reporter.detach();
+  reporter.detach(fd);
 }
 
 }  // namespace
@@ -168,6 +193,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   double metrics_interval = 5.0;
   double exit_after_idle = 0.0;
+  std::size_t max_conns = 8;
   svc::IntakeServiceConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -201,6 +227,12 @@ int main(int argc, char** argv) {
       metrics_port = int(next_u64("--metrics-port"));
     } else if (arg == "--seed") {
       seed_path = next("--seed");
+    } else if (arg == "--journal") {
+      config.journal_path = next("--journal");
+    } else if (arg == "--journal-fsync-every") {
+      config.journal_fsync_every = next_u64("--journal-fsync-every");
+    } else if (arg == "--max-conns") {
+      max_conns = std::max<std::size_t>(1, next_u64("--max-conns"));
     } else if (arg == "--queue-capacity") {
       config.queue_capacity = next_u64("--queue-capacity");
     } else if (arg == "--batch-max") {
@@ -265,7 +297,23 @@ int main(int argc, char** argv) {
 
   HitReporter reporter;
   config.sink = &reporter;
-  svc::IntakeService service(std::move(seed), std::move(config));
+  std::optional<svc::IntakeService> service;
+  try {
+    service.emplace(std::move(seed), std::move(config));
+  } catch (const std::exception& e) {
+    // Typically: the journal belongs to a different seed corpus.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  {
+    const svc::IntakeStats boot = service->stats();
+    if (boot.restored || boot.resumed) {
+      std::printf("journal replay: %llu probed keys restored, "
+                  "%llu unprobed keys resumed\n",
+                  (unsigned long long)boot.restored,
+                  (unsigned long long)boot.resumed);
+    }
+  }
 
   std::optional<obs::MetricsHttpServer> metrics_server;
   if (metrics_port >= 0) {
@@ -291,10 +339,33 @@ int main(int argc, char** argv) {
                 metrics_interval);
   }
 
-  // Intake listener. Connections are served one at a time — admission is a
-  // hash lookup plus a bounded push, so the service keeps up with a serial
-  // accept loop, and overload lands on the queue (shed) where it is counted,
-  // not on a thread explosion.
+  // Connection worker pool: the accept loop hands each new fd to a bounded
+  // queue drained by max_conns workers, so clients stream concurrently and a
+  // slow client never head-of-line-blocks the others. The queue mirrors the
+  // admission queue's semantics — try_push, shed on saturation (the client
+  // gets one `busy` line), never an unbounded backlog or thread explosion.
+  obs::Counter* conn_accepted = registry.counter("intake_conn_accepted_total");
+  obs::Counter* conn_shed = registry.counter("intake_conn_shed_total");
+  obs::Counter* conn_closed = registry.counter("intake_conn_closed_total");
+  obs::Gauge* conn_active = registry.gauge("intake_conn_active");
+
+  svc::BoundedQueue<int> conn_queue(max_conns);
+  std::atomic<long> active_conns{0};
+  std::vector<std::thread> conn_workers;
+  conn_workers.reserve(max_conns);
+  for (std::size_t w = 0; w < max_conns; ++w) {
+    conn_workers.emplace_back([&] {
+      int fd = -1;
+      while (conn_queue.pop(fd)) {
+        conn_active->set(double(active_conns.fetch_add(1) + 1));
+        serve_connection(fd, *service, reporter);
+        ::close(fd);
+        conn_active->set(double(active_conns.fetch_sub(1) - 1));
+        conn_closed->inc();
+      }
+    });
+  }
+
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -311,6 +382,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%u: %s\n",
                  unsigned(port), std::strerror(errno));
     ::close(listen_fd);
+    g_stop.store(true);
+    conn_queue.close();
+    for (auto& worker : conn_workers) worker.join();
     return 2;
   }
   socklen_t addr_len = sizeof(addr);
@@ -324,37 +398,55 @@ int main(int argc, char** argv) {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
     if (g_stop.load()) break;
     if (ready <= 0) {
-      idle_ms += 200.0;
-      if (exit_after_idle > 0.0 && idle_ms >= exit_after_idle * 1000.0) {
-        std::printf("idle for %.1fs, shutting down\n", idle_ms / 1000.0);
-        break;
+      // Idle means nothing accepted AND nothing being served: a long-lived
+      // quiet connection keeps the daemon alive.
+      if (active_conns.load() == 0 && conn_queue.size() == 0) {
+        idle_ms += 200.0;
+        if (exit_after_idle > 0.0 && idle_ms >= exit_after_idle * 1000.0) {
+          std::printf("idle for %.1fs, shutting down\n", idle_ms / 1000.0);
+          break;
+        }
       }
       continue;
     }
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
     idle_ms = 0.0;
-    serve_connection(fd, service, reporter);
-    ::close(fd);
+    conn_accepted->inc();
+    if (!conn_queue.try_push(int(fd))) {
+      // Pool saturated: shed the connection, don't backlog it. One status
+      // line so the client can tell "busy" from a refused/reset socket.
+      svc::send_all(fd, "busy\n");
+      ::close(fd);
+      conn_shed->inc();
+    }
   }
+  // Stop the connection workers before draining the service: g_stop makes
+  // in-flight serve_connection loops finish their current buffer and exit.
+  g_stop.store(true);
   ::close(listen_fd);
+  conn_queue.close();
+  for (auto& worker : conn_workers) worker.join();
 
   // Graceful shutdown: drain every admitted key through the probe element,
   // then flush the final telemetry snapshot before the summary prints.
-  std::printf("draining %zu queued keys...\n", service.queue_depth());
-  service.stop();
+  std::printf("draining %zu queued keys...\n", service->queue_depth());
+  service->stop();
   if (emitter) emitter->stop();
   if (metrics_server) metrics_server->stop();
 
-  const svc::IntakeStats stats = service.stats();
+  const svc::IntakeStats stats = service->stats();
   std::printf(
       "intake summary: %llu submitted, %llu admitted, %llu duplicates, "
-      "%llu shed, %llu probed (%llu pairs in %llu batches), %llu hits\n",
+      "%llu shed, %llu closed, %llu probed (%llu pairs in %llu batches), "
+      "%llu hits, %llu restored, %llu resumed\n",
       (unsigned long long)stats.submitted, (unsigned long long)stats.admitted,
       (unsigned long long)stats.duplicates, (unsigned long long)stats.shed,
-      (unsigned long long)stats.probed, (unsigned long long)stats.pairs,
-      (unsigned long long)stats.batches, (unsigned long long)stats.hits);
-  for (const auto& hit : service.hits()) {
+      (unsigned long long)stats.closed, (unsigned long long)stats.probed,
+      (unsigned long long)stats.pairs, (unsigned long long)stats.batches,
+      (unsigned long long)stats.hits, (unsigned long long)stats.restored,
+      (unsigned long long)stats.resumed);
+  for (const auto& hit : service->hits()) {
     std::printf("  keys %zu and %zu share a %zu-bit prime %s\n", hit.i, hit.j,
                 hit.factor.bit_length(), hit.factor.to_hex().c_str());
   }

@@ -105,18 +105,22 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   return result;
 }
 
-std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
-                                              std::span<const mp::BigInt> corpus,
-                                              const AllPairsConfig& config,
-                                              ProbeStats* stats) {
+namespace {
+
+/// Shared probe core: candidate × every corpus member, sharded over the tile
+/// scheduler. Generic over the corpus view — ScanCorpus (repacked per call by
+/// the span overload) or StagedCorpusT (kept live across arrivals by the
+/// streaming fold) — both exposing size()/limbs(i)/bits(i)/max_limbs().
+/// `panels` (optional) must stage exactly the view's moduli with lane count
+/// `r`. cfg must already be backend-resolved.
+template <class CorpusView>
+std::vector<IncrementalHit> probe_corpus(const mp::BigInt& candidate,
+                                         const CorpusView& scan, std::size_t r,
+                                         const CorpusPanels<ScanLimb>* panels,
+                                         const AllPairsConfig& cfg,
+                                         ProbeStats* stats) {
   std::vector<IncrementalHit> hits;
-  if (stats) *stats = ProbeStats{};
-  if (corpus.empty() || candidate.is_zero()) return hits;
-
-  AllPairsConfig cfg = config;
-  resolve_backend(cfg);
-
-  const ScanCorpus scan(corpus);
+  const std::size_t m = scan.size();
   const ScanCorpus cand_scan(std::span(&candidate, 1));
   const auto cand = cand_scan.limbs(0);
   const std::size_t cand_bits = candidate.bit_length();
@@ -127,14 +131,6 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   auto early = [&](std::size_t i) {
     return cfg.early_terminate ? std::min(cand_bits, scan.bits(i)) / 2 : 0;
   };
-  const std::size_t r = std::max<std::size_t>(1, std::min(cfg.group_size,
-                                                          corpus.size()));
-  // Stage the corpus once; each probe block then refreshes its batch with a
-  // bulk panel copy + candidate broadcast (group g == probe block g).
-  std::optional<CorpusPanels<ScanLimb>> panels;
-  if (cfg.engine == EngineKind::kSimt && cfg.staged) {
-    panels.emplace(scan, r, cap + kBatchPadLimbs);
-  }
 
   auto push_hit = [&](std::vector<IncrementalHit>& local, std::size_t i,
                       mp::BigIntT<ScanLimb> g) {
@@ -155,7 +151,7 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
     using Batch = std::decay_t<decltype(batch)>;
     for (std::size_t block = lo; block < hi; ++block) {
       const std::size_t begin = block * r;
-      const std::size_t end = std::min(begin + r, corpus.size());
+      const std::size_t end = std::min(begin + r, m);
       if (panels) {
         batch.load_panel(panels->panel(block), panels->sizes(block),
                          panels->rows(block));
@@ -206,7 +202,7 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
   // pool, N = a private pool of N workers. Probe blocks are sharded over
   // the workers through the same work-stealing tile scheduler as the full
   // sweep (tile_blocks probe blocks per tile).
-  const std::size_t blocks = (corpus.size() + r - 1) / r;
+  const std::size_t blocks = (m + r - 1) / r;
   SweepExecutor exec(cfg.pool_threads);
   const TileScheduler sched(blocks, cfg.tile_blocks, exec.workers);
   std::vector<std::unique_ptr<ProbeWorker>> workers(sched.worker_count());
@@ -235,7 +231,7 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
       }
       for (std::size_t block = t.lo; block < t.hi; ++block) {
         const std::size_t begin = block * r;
-        const std::size_t end = std::min(begin + r, corpus.size());
+        const std::size_t end = std::min(begin + r, m);
         for (std::size_t i = begin; i < end; ++i) {
           const auto run =
               worker->scalar_engine->run(cfg.variant, scan.limbs(i), cand,
@@ -270,6 +266,52 @@ std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
               return a.corpus_index < b.corpus_index;
             });
   return hits;
+}
+
+}  // namespace
+
+std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
+                                              std::span<const mp::BigInt> corpus,
+                                              const AllPairsConfig& config,
+                                              ProbeStats* stats) {
+  if (stats) *stats = ProbeStats{};
+  if (corpus.empty() || candidate.is_zero()) return {};
+
+  AllPairsConfig cfg = config;
+  resolve_backend(cfg);
+
+  const ScanCorpus scan(corpus);
+  const std::size_t r = std::max<std::size_t>(1, std::min(cfg.group_size,
+                                                          corpus.size()));
+  // Stage the corpus once; each probe block then refreshes its batch with a
+  // bulk panel copy + candidate broadcast (group g == probe block g).
+  std::optional<CorpusPanels<ScanLimb>> panels;
+  if (cfg.engine == EngineKind::kSimt && cfg.staged) {
+    panels.emplace(scan, r, scan.max_limbs() + kBatchPadLimbs);
+  }
+  return probe_corpus(candidate, scan, r, panels ? &*panels : nullptr, cfg,
+                      stats);
+}
+
+std::vector<IncrementalHit> probe_incremental(const mp::BigInt& candidate,
+                                              const StagedCorpus& corpus,
+                                              const AllPairsConfig& config,
+                                              ProbeStats* stats) {
+  if (stats) *stats = ProbeStats{};
+  if (corpus.size() == 0 || candidate.is_zero()) return {};
+
+  AllPairsConfig cfg = config;
+  resolve_backend(cfg);
+
+  // The staged corpus already carries live panels with its own lane count;
+  // the probe rides them directly — no repack, no panel rebuild. Lane count
+  // is NOT clamped to the corpus size (tail lanes run disabled), which is
+  // value-identical: r only shapes batching, never which pairs run.
+  const CorpusPanels<ScanLimb>* panels =
+      (cfg.engine == EngineKind::kSimt && cfg.staged) ? &corpus.panels()
+                                                      : nullptr;
+  return probe_corpus(candidate, corpus, corpus.group_size(), panels, cfg,
+                      stats);
 }
 
 }  // namespace bulkgcd::bulk

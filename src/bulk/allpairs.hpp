@@ -16,6 +16,7 @@
 
 #include "bulk/backend.hpp"
 #include "bulk/simt.hpp"
+#include "bulk/staged_corpus.hpp"
 #include "gcd/algorithms.hpp"
 #include "mp/bigint.hpp"
 
@@ -131,6 +132,17 @@ struct ProbeStats {
 
 std::vector<IncrementalHit> probe_incremental(
     const mp::BigInt& candidate, std::span<const mp::BigInt> corpus,
+    const AllPairsConfig& config = {}, ProbeStats* stats = nullptr);
+
+/// Amortized-staging variant for streaming callers: the corpus is already
+/// repacked and panel-staged (bulk/staged_corpus.hpp, grown append-by-append
+/// as keys fold in), so the probe skips the per-call ScanCorpus repack and
+/// CorpusPanels rebuild entirely and rides the live panels' contiguous
+/// loads. Hits and pair counts are bit-identical to the span overload over
+/// the same moduli (asserted in tests/allpairs_test.cpp) — the two differ
+/// only in who pays the staging cost and when.
+std::vector<IncrementalHit> probe_incremental(
+    const mp::BigInt& candidate, const StagedCorpus& corpus,
     const AllPairsConfig& config = {}, ProbeStats* stats = nullptr);
 
 }  // namespace bulkgcd::bulk

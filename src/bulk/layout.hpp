@@ -162,6 +162,28 @@ class CorpusPanels {
     }
   }
 
+  /// Empty panel set ready for incremental append() — the streaming-intake
+  /// fold stages arrivals one by one instead of re-staging the whole corpus
+  /// per probe (bulk/staged_corpus.hpp owns the growth policy).
+  CorpusPanels(std::size_t group_size, std::size_t padded_limbs)
+      : CorpusPanels(0, group_size, padded_limbs) {}
+
+  /// Stage one more modulus at index corpus_size(), growing a fresh group
+  /// panel when the current one is full. Appending may reallocate the panel
+  /// storage: spans returned by panel()/sizes() before the call are invalid
+  /// afterwards (re-fetch per block, as the sweepers already do).
+  void append(std::span<const Limb> limbs, std::size_t bits) {
+    if (m_ == groups_ * r_) {
+      data_.resize(data_.size() + r_ * pad_, Limb{0});
+      sizes_.resize(sizes_.size() + r_, 0);
+      rows_.push_back(1);
+      ++groups_;
+    }
+    bits_.push_back(0);
+    ++m_;
+    stage(m_ - 1, limbs, bits);
+  }
+
   std::size_t corpus_size() const noexcept { return m_; }
   std::size_t group_count() const noexcept { return groups_; }
   std::size_t lanes() const noexcept { return r_; }

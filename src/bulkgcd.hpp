@@ -18,6 +18,8 @@
 //   obs::MetricsHttpServer              /metrics Prometheus scrape endpoint
 //   svc::IntakeService                  streaming key-intake pipeline
 //   svc::IntakeParser                   PEM/keystore/raw-hex stream parser
+//   svc::ArrivalJournal                 durable intake arrival journal
+//   bulk::StagedCorpus                  incrementally staged probe corpus
 //   batchgcd::batch_gcd                 Bernstein product/remainder tree
 //   gcd::gcd_lehmer                     Lehmer's GCD (extension baseline)
 //   umm::UmmSimulator                   the paper's GPU cost model
@@ -30,6 +32,7 @@
 #include "bulk/block_grid.hpp"
 #include "bulk/scan_driver.hpp"
 #include "bulk/simt.hpp"
+#include "bulk/staged_corpus.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "core/stats.hpp"
@@ -51,6 +54,7 @@
 #include "rsa/montgomery.hpp"
 #include "rsa/prime.hpp"
 #include "rsa/rsa.hpp"
+#include "svc/arrival_journal.hpp"
 #include "svc/bounded_queue.hpp"
 #include "svc/intake_parser.hpp"
 #include "svc/intake_service.hpp"

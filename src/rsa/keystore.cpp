@@ -12,9 +12,10 @@ namespace bulkgcd::rsa {
 namespace {
 
 /// Loader-side counter handles, all null on the null-registry path.
-/// Duplicate detection hashes each modulus (same FNV-1a mix as
-/// corpus_digest) into a set — the set is only built when a registry is
-/// supplied, so un-instrumented loads stay allocation-free.
+/// Duplicate detection fingerprints each modulus (rsa::modulus_fingerprint,
+/// the canonical-byte FNV-1a shared with the intake dedup element) into a
+/// set — the set is only built when a registry is supplied, so
+/// un-instrumented loads stay allocation-free.
 struct LoaderTelemetry {
   obs::Counter* records = nullptr;
   obs::Counter* comment_lines = nullptr;
@@ -36,15 +37,11 @@ struct LoaderTelemetry {
   void note_modulus(const mp::BigInt& n) {
     if (records) records->inc();
     if (duplicate_moduli) {
-      constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
-      constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-      std::uint64_t h = kOffset;
-      for (const auto limb : n.limbs()) {
-        for (int byte = 0; byte < 8; ++byte) {
-          h = (h ^ ((std::uint64_t(limb) >> (8 * byte)) & 0xff)) * kPrime;
-        }
-      }
-      if (!seen.insert(h).second) duplicate_moduli->inc();
+      // The shared canonical-byte fingerprint (keystore.hpp) — the old
+      // open-coded mix hardcoded 8 bytes per limb, so the same modulus
+      // fingerprinted differently across limb widths and hashed phantom
+      // zero bytes on u32 builds.
+      if (!seen.insert(modulus_fingerprint(n)).second) duplicate_moduli->inc();
     }
   }
 };

@@ -30,6 +30,31 @@ namespace bulkgcd::rsa {
 /// silently mislabel hit indices otherwise.
 std::uint64_t corpus_digest(std::span<const mp::BigInt> moduli) noexcept;
 
+/// 64-bit FNV-1a fingerprint of ONE modulus, hashed over the canonical
+/// little-endian byte encoding of the value — exactly ⌈bit_length/8⌉ bytes,
+/// no per-limb zero padding — so the same value fingerprints identically
+/// whether the BigInt carries u16, u32, or u64 limbs (BULKGCD_LIMB32 builds
+/// agree). This is the shared dedup fingerprint: the keystore loader's
+/// duplicate detection, the intake service's dedup element, and the arrival
+/// journal's replayed dedup set all use it, so "duplicate" means the same
+/// thing in every layer. Not a cryptographic hash — callers that must never
+/// drop a key on a collision resolve it with an exact value compare
+/// (svc::IntakeService does).
+template <mp::LimbType Limb>
+std::uint64_t modulus_fingerprint(const mp::BigIntT<Limb>& n) noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  constexpr std::size_t kLimbBytes = std::size_t(mp::limb_bits<Limb>) / 8;
+  const auto limbs = n.limbs();
+  const std::size_t bytes = (n.bit_length() + 7) / 8;
+  std::uint64_t h = kOffset;
+  for (std::size_t b = 0; b < bytes; ++b) {
+    const std::uint64_t limb = std::uint64_t(limbs[b / kLimbBytes]);
+    h = (h ^ ((limb >> (8 * (b % kLimbBytes))) & 0xff)) * kPrime;
+  }
+  return h;
+}
+
 /// Write moduli as `modulus <hex>` lines. Throws std::runtime_error on I/O
 /// failure.
 void save_moduli(const std::filesystem::path& path,

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "rsa/keystore.hpp"
 
 namespace bulkgcd::svc {
 
@@ -15,10 +16,13 @@ struct IntakeService::Telemetry {
   obs::Counter* admitted = nullptr;
   obs::Counter* duplicates = nullptr;
   obs::Counter* shed = nullptr;
+  obs::Counter* closed = nullptr;
   obs::Counter* probed = nullptr;
   obs::Counter* pairs = nullptr;
   obs::Counter* batches = nullptr;
   obs::Counter* hits = nullptr;
+  obs::Counter* restored = nullptr;
+  obs::Counter* resumed = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* batch_fill = nullptr;
   obs::Gauge* corpus_size = nullptr;
@@ -31,10 +35,13 @@ struct IntakeService::Telemetry {
     t->admitted = m->counter("intake_admitted_total");
     t->duplicates = m->counter("intake_duplicates_total");
     t->shed = m->counter("intake_shed_total");
+    t->closed = m->counter("intake_closed_total");
     t->probed = m->counter("intake_probed_total");
     t->pairs = m->counter("intake_pairs_total");
     t->batches = m->counter("intake_batches_total");
     t->hits = m->counter("intake_hits_total");
+    t->restored = m->counter("intake_restored_total");
+    t->resumed = m->counter("intake_resumed_total");
     t->queue_depth = m->gauge("intake_queue_depth");
     t->batch_fill = m->gauge("intake_batch_fill");
     t->corpus_size = m->gauge("intake_corpus_size");
@@ -51,26 +58,67 @@ IntakeService::IntakeService(std::vector<mp::BigInt> seed_corpus,
       tele_(Telemetry::resolve(config_.probe.metrics)) {
   if (config_.batch_max == 0) config_.batch_max = 1;
   resolve_backend(config_.probe);
+  seed_count_ = corpus_.size();
   // Seed the dedup element so a re-submitted seed key is recognized.
   for (const auto& n : corpus_) seen_[fingerprint(n)].push_back(n);
-  if (tele_) tele_->corpus_size->set(double(corpus_.size()));
+  // The live staged form of the corpus the probe rides: seed now, every
+  // fold appended in place (bulk/staged_corpus.hpp).
+  staged_.emplace(std::span<const mp::BigInt>(corpus_),
+                  std::max<std::size_t>(1, config_.probe.group_size));
+  if (!config_.journal_path.empty()) replay_journal();
+  if (tele_) {
+    tele_->corpus_size->set(double(corpus_.size()));
+    if (stats_.restored) tele_->restored->add(stats_.restored);
+    if (stats_.resumed) tele_->resumed->add(stats_.resumed);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
 IntakeService::~IntakeService() { stop(); }
 
 std::uint64_t IntakeService::fingerprint(const mp::BigInt& n) const noexcept {
-  // The keystore loader's FNV-1a limb mix (rsa/keystore.cpp) — same weak-key
-  // fingerprint, so the two dedup layers agree on what "duplicate" means.
-  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
-  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-  std::uint64_t h = kOffset;
-  for (const auto limb : n.limbs()) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h = (h ^ ((std::uint64_t(limb) >> (8 * byte)) & 0xff)) * kPrime;
+  // The canonical-byte FNV-1a shared with the keystore loader and the
+  // journal encoding (rsa/keystore.hpp) — one definition of "same modulus"
+  // across every dedup layer, identical on every limb-width build.
+  return rsa::modulus_fingerprint(n);
+}
+
+/// Rebuild streamed state from the arrival journal: probed arrivals re-fold
+/// exactly as the previous process folded them (their journaled hits are
+/// authoritative — no GCDs re-run), unprobed-tail arrivals go to
+/// replay_tail_ for the worker to probe first. Runs before the worker
+/// starts, so no locks are needed.
+void IntakeService::replay_journal() {
+  journal_ = std::make_unique<ArrivalJournal>(
+      config_.journal_path,
+      rsa::corpus_digest(std::span<const mp::BigInt>(corpus_)), seed_count_,
+      config_.journal_fsync_every);
+  ArrivalReplay replay = journal_->take_replay();
+  for (std::size_t seq = 0; seq < replay.arrivals.size(); ++seq) {
+    auto& arrival = replay.arrivals[seq];
+    seen_[fingerprint(arrival.value)].push_back(arrival.value);
+    if (!arrival.probed) {
+      replay_tail_.push_back({seq, std::move(arrival.value)});
+      ++stats_.resumed;
+      continue;
     }
+    const std::size_t j = corpus_.size();  // fold index == seed_count_ + seq
+    for (auto& [i, factor] : arrival.hits) {
+      bulk::FactorHit fh;
+      fh.i = std::size_t(i);
+      fh.j = j;
+      // full_modulus is not journaled — it is a property of the values,
+      // recomputed here exactly as the probe computed it.
+      fh.full_modulus = (fh.i < corpus_.size() && factor == corpus_[fh.i]) ||
+                        factor == arrival.value;
+      fh.factor = std::move(factor);
+      hits_.push_back(std::move(fh));
+    }
+    staged_->append(arrival.value);
+    corpus_.push_back(std::move(arrival.value));
+    ++stats_.restored;
   }
-  return h;
+  next_seq_ = replay.arrivals.size();
 }
 
 Admission IntakeService::submit(const mp::BigInt& n) {
@@ -80,7 +128,12 @@ Admission IntakeService::submit(const mp::BigInt& n) {
     ++stats_.submitted;
   }
   std::lock_guard lock(dedup_mutex_);
-  if (closed_) return Admission::kClosed;
+  if (closed_) {
+    if (tele_) tele_->closed->inc();
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.closed;
+    return Admission::kClosed;
+  }
   auto& bucket = seen_[fingerprint(n)];
   if (std::find(bucket.begin(), bucket.end(), n) != bucket.end()) {
     if (tele_) tele_->duplicates->inc();
@@ -88,10 +141,15 @@ Admission IntakeService::submit(const mp::BigInt& n) {
     ++stats_.duplicates;
     return Admission::kDuplicate;
   }
-  // Shed BEFORE registering in the dedup set: a shed key was never admitted,
-  // so a later retry must be able to succeed.
-  mp::BigInt copy = n;
-  if (!queue_.try_push(std::move(copy))) {
+  // Durability before admission: the arrival is journaled, THEN offered to
+  // the queue — a key the worker can see is always on disk first, so a
+  // probed record can never orphan its arrival. A shed key is retracted in
+  // the same critical section (arrival + retract cancel on replay) and its
+  // seq reused: shed means "never admitted", on disk as in memory.
+  const std::uint64_t seq = next_seq_;
+  if (journal_) journal_->append_arrival(seq, n);
+  if (!queue_.try_push(PendingKey{seq, n})) {
+    if (journal_) journal_->append_retract(seq);
     if (bucket.empty()) seen_.erase(fingerprint(n));
     if (tele_) {
       tele_->shed->inc();
@@ -101,6 +159,7 @@ Admission IntakeService::submit(const mp::BigInt& n) {
     ++stats_.shed;
     return Admission::kShed;
   }
+  ++next_seq_;
   bucket.push_back(n);
   if (tele_) {
     tele_->admitted->inc();
@@ -112,8 +171,22 @@ Admission IntakeService::submit(const mp::BigInt& n) {
 }
 
 void IntakeService::worker_loop() {
-  std::vector<mp::BigInt> batch;
-  mp::BigInt key;
+  std::vector<PendingKey> batch;
+  // Resumed tail first: journaled arrivals the previous process admitted
+  // but never probed. They already passed admission once, so they bypass
+  // the bounded queue (a long tail must not be shed by it) and keep their
+  // original seqs — the re-probe journals fresh probed records under them.
+  while (!replay_tail_.empty()) {
+    batch.clear();
+    while (batch.size() < config_.batch_max && !replay_tail_.empty()) {
+      batch.push_back(std::move(replay_tail_.front()));
+      replay_tail_.pop_front();
+    }
+    if (tele_) tele_->batch_fill->set(double(batch.size()));
+    if (config_.batch_hook) config_.batch_hook(batch.size());
+    probe_batch(batch);
+  }
+  PendingKey key;
   // Blocking first pop per batch; then the accumulator greedily tops up to
   // batch_max so a burst is probed in one wakeup. pop() returning false
   // means closed AND drained — the graceful-shutdown exit.
@@ -130,19 +203,25 @@ void IntakeService::worker_loop() {
     if (config_.batch_hook) config_.batch_hook(batch.size());
     probe_batch(batch);
   }
+  // Drained for good: both backlog gauges read zero after shutdown, so a
+  // final scrape never shows a phantom in-flight batch.
+  if (tele_) {
+    tele_->queue_depth->set(0.0);
+    tele_->batch_fill->set(0.0);
+  }
 }
 
-void IntakeService::probe_batch(std::vector<mp::BigInt>& batch) {
+void IntakeService::probe_batch(std::vector<PendingKey>& batch) {
   obs::ScopedSpan span(tele_ ? tele_->probe_seconds : nullptr);
   std::uint64_t batch_pairs = 0;
   std::uint64_t batch_hits = 0;
-  for (auto& n : batch) {
-    // The stable prefix: only this thread appends to corpus_, so the span
-    // stays valid across the probe without holding state_mutex_.
-    const std::span<const mp::BigInt> prior(corpus_.data(), corpus_.size());
+  for (auto& pending : batch) {
+    mp::BigInt& n = pending.value;
+    // The staged corpus is only ever grown by this thread, so the probe
+    // rides it without holding state_mutex_.
     bulk::ProbeStats probe_stats;
     const auto incremental =
-        bulk::probe_incremental(n, prior, config_.probe, &probe_stats);
+        bulk::probe_incremental(n, *staged_, config_.probe, &probe_stats);
     batch_pairs += probe_stats.pairs_tested;
 
     const std::size_t j = corpus_.size();  // fold index of this arrival
@@ -157,9 +236,14 @@ void IntakeService::probe_batch(std::vector<mp::BigInt>& batch) {
       found.push_back(std::move(fh));
     }
     batch_hits += found.size();
+    // Settle the probe on disk before reporting or folding: after this
+    // append a restart re-folds the key from the journal instead of
+    // re-probing it.
+    if (journal_) journal_->append_probed(pending.seq, found);
     if (config_.sink) {
       for (const auto& fh : found) config_.sink->on_hit(fh);
     }
+    staged_->append(n);
     {
       // Corpus fold + hit record are one atomic step for snapshot readers.
       std::lock_guard lock(state_mutex_);
@@ -190,7 +274,6 @@ void IntakeService::stop() {
   }
   queue_.close();
   if (worker_.joinable()) worker_.join();
-  if (tele_) tele_->queue_depth->set(0.0);
 }
 
 IntakeStats IntakeService::stats() const {

@@ -334,6 +334,59 @@ TEST(IncrementalProbeTest, DifferentialAcrossBackendsAndThreadCounts) {
   }
 }
 
+TEST(IncrementalProbeTest, StagedCorpusOverloadMatchesSpanOverload) {
+  // The StagedCorpus overload is the intake service's fast path: the corpus
+  // is staged once and grown in place instead of being re-staged per probe.
+  // Its hits and probe statistics must be bit-identical to the span overload
+  // over the same moduli, on every backend, including after a mid-stream
+  // capacity re-stage (the 384-bit append below outsizes the seed panels).
+  Xoshiro256 rng(7272);
+  const BigInt shared = rsa::random_prime(rng, 64);
+  std::vector<BigInt> corpus;
+  corpus.push_back(shared * rsa::random_prime(rng, 64));
+  for (int k = 0; k < 3; ++k) {
+    corpus.push_back(rsa::random_prime(rng, 64) * rsa::random_prime(rng, 64));
+  }
+  StagedCorpus staged(corpus, 3);
+  // Grow past the seed: a jumbo key (forces panel re-staging) and a second
+  // planted collision, appended exactly as the worker folds arrivals.
+  corpus.push_back(rsa::random_prime(rng, 192) * rsa::random_prime(rng, 192));
+  corpus.push_back(shared * rsa::random_prime(rng, 96));
+  staged.append(corpus[4]);
+  staged.append(corpus[5]);
+  const BigInt candidate = shared * rsa::random_prime(rng, 64);
+
+  for (const auto backend :
+       {BulkBackend::kLockstep, BulkBackend::kStaged, BulkBackend::kVector}) {
+    AllPairsConfig config;
+    config.engine = EngineKind::kSimt;
+    config.backend = backend;
+    config.group_size = 3;
+    config.warp_width = 4;
+    ProbeStats span_stats;
+    const auto span_hits =
+        probe_incremental(candidate, corpus, config, &span_stats);
+    ProbeStats staged_stats;
+    const auto staged_hits =
+        probe_incremental(candidate, staged, config, &staged_stats);
+    const std::string label = "backend " + std::to_string(int(backend));
+    ASSERT_EQ(staged_hits.size(), span_hits.size()) << label;
+    for (std::size_t k = 0; k < span_hits.size(); ++k) {
+      EXPECT_EQ(staged_hits[k].corpus_index, span_hits[k].corpus_index)
+          << label;
+      EXPECT_EQ(staged_hits[k].factor, span_hits[k].factor) << label;
+      EXPECT_EQ(staged_hits[k].full_modulus, span_hits[k].full_modulus)
+          << label;
+    }
+    EXPECT_EQ(staged_stats.pairs_tested, span_stats.pairs_tested) << label;
+    EXPECT_EQ(staged_stats.simt, span_stats.simt) << label;
+    ASSERT_EQ(span_hits.size(), 2u) << label;
+    EXPECT_EQ(span_hits[0].corpus_index, 0u) << label;
+    EXPECT_EQ(span_hits[1].corpus_index, 5u) << label;
+    EXPECT_EQ(span_hits[0].factor, shared) << label;
+  }
+}
+
 TEST(IncrementalProbeTest, ScalarDifferentialAcrossThreadCounts) {
   const WeakCorpus corpus = test_corpus(17, 2, 16);  // not a block multiple
   const auto& weak = corpus.weak[0];

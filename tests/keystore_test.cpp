@@ -30,6 +30,42 @@ class KeystoreTest : public ::testing::Test {
   std::filesystem::path path_;
 };
 
+TEST(ModulusFingerprintTest, IdenticalAcrossLimbWidths) {
+  // The dedup fingerprint hashes canonical little-endian bytes, so the same
+  // value must fingerprint identically on u16/u32/u64 limb builds
+  // (regression: it used to hash raw limb words, so a BULKGCD_LIMB32 build
+  // and a default build disagreed on what counted as a duplicate). Odd byte
+  // counts matter: 0x1_00000000_00000001 is 9 bytes, which exercises the
+  // partial top limb at every width.
+  const char* const values[] = {
+      "1",
+      "ff",
+      "100",
+      "ffff",
+      "10001",
+      "fedcba9876543210",
+      "10000000000000001",
+      "c2a7d3f19b8e65041f2e3d4c5b6a7988aabbccddeeff0123",
+  };
+  for (const char* hex : values) {
+    const auto n16 = mp::BigIntT<std::uint16_t>::from_hex(hex);
+    const auto n32 = mp::BigIntT<std::uint32_t>::from_hex(hex);
+    const auto n64 = mp::BigIntT<std::uint64_t>::from_hex(hex);
+    const std::uint64_t f16 = modulus_fingerprint(n16);
+    const std::uint64_t f32 = modulus_fingerprint(n32);
+    const std::uint64_t f64 = modulus_fingerprint(n64);
+    EXPECT_EQ(f16, f32) << "value " << hex;
+    EXPECT_EQ(f32, f64) << "value " << hex;
+  }
+  // Distinct values must (for these inputs) fingerprint differently — the
+  // hash is not degenerate.
+  EXPECT_NE(modulus_fingerprint(mp::BigInt::from_hex("ff")),
+            modulus_fingerprint(mp::BigInt::from_hex("100")));
+  // Zero hashes the empty byte string; still stable across widths.
+  EXPECT_EQ(modulus_fingerprint(mp::BigIntT<std::uint16_t>()),
+            modulus_fingerprint(mp::BigIntT<std::uint64_t>()));
+}
+
 TEST_F(KeystoreTest, ModuliRoundTrip) {
   CorpusSpec spec;
   spec.count = 8;

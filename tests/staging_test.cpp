@@ -80,6 +80,106 @@ TEST(CorpusPanelsTest, LayoutMatchesColumnMajorGeometry) {
   }
 }
 
+TEST(CorpusPanelsTest, IncrementalAppendMatchesOneShotConstruction) {
+  Xoshiro256 rng(94);
+  // Same mixed-size shape as the layout test: ragged tail group, varied
+  // widths. Growing panels one append() at a time must land on the exact
+  // bytes the one-shot constructor produces.
+  std::vector<BigInt> moduli;
+  for (std::size_t i = 0; i < 7; ++i) {
+    moduli.push_back(random_odd<std::uint32_t>(rng, 96 + 32 * (i % 4)));
+  }
+  const std::size_t r = 3;
+  std::size_t max_limbs = 0;
+  for (const auto& n : moduli) max_limbs = std::max(max_limbs, n.limbs().size());
+  const std::size_t pad = max_limbs + kBatchPadLimbs;
+
+  const CorpusPanels<std::uint32_t> oneshot(moduli, r, pad);
+  CorpusPanels<std::uint32_t> grown(r, pad);
+  EXPECT_EQ(grown.corpus_size(), 0u);
+  EXPECT_EQ(grown.group_count(), 0u);
+  for (const auto& n : moduli) {
+    grown.append(n.limbs(), n.bit_length());
+    // Every intermediate state is a valid prefix staging: the newest group's
+    // rows only ever grow, earlier groups are untouched.
+    ASSERT_EQ(grown.corpus_size() % r == 0
+                  ? grown.corpus_size() / r
+                  : grown.corpus_size() / r + 1,
+              grown.group_count());
+  }
+
+  ASSERT_EQ(grown.corpus_size(), oneshot.corpus_size());
+  ASSERT_EQ(grown.group_count(), oneshot.group_count());
+  EXPECT_EQ(grown.lanes(), oneshot.lanes());
+  EXPECT_EQ(grown.padded_limbs(), oneshot.padded_limbs());
+  for (std::size_t idx = 0; idx < moduli.size(); ++idx) {
+    EXPECT_EQ(grown.bits(idx), oneshot.bits(idx)) << "modulus " << idx;
+  }
+  for (std::size_t g = 0; g < oneshot.group_count(); ++g) {
+    EXPECT_EQ(grown.rows(g), oneshot.rows(g)) << "group " << g;
+    const auto grown_sizes = grown.sizes(g);
+    const auto oneshot_sizes = oneshot.sizes(g);
+    ASSERT_EQ(grown_sizes.size(), oneshot_sizes.size());
+    const auto grown_panel = grown.panel(g);
+    const auto oneshot_panel = oneshot.panel(g);
+    ASSERT_EQ(grown_panel.size(), oneshot_panel.size());
+    for (std::size_t lane = 0; lane < r; ++lane) {
+      EXPECT_EQ(grown_sizes[lane], oneshot_sizes[lane])
+          << "group " << g << " lane " << lane;
+    }
+    for (std::size_t k = 0; k < oneshot_panel.size(); ++k) {
+      ASSERT_EQ(grown_panel[k], oneshot_panel[k])
+          << "group " << g << " element " << k;
+    }
+  }
+}
+
+TEST(StagedCorpusTest, GrowthRestagesAndMatchesScanCorpusView) {
+  Xoshiro256 rng(95);
+  // Seed with small values, then append a much larger one: the capacity
+  // doubling must re-stage without perturbing any already-staged member,
+  // and the flat view must stay byte-identical to a fresh ScanCorpus.
+  std::vector<BigInt> moduli;
+  for (std::size_t i = 0; i < 4; ++i) {
+    moduli.push_back(random_odd<std::uint32_t>(rng, 96));
+  }
+  StagedCorpus staged(moduli, 3);
+  const std::size_t pad_before = staged.panels().padded_limbs();
+  moduli.push_back(random_odd<std::uint32_t>(rng, 384));  // forces restage
+  moduli.push_back(random_odd<std::uint32_t>(rng, 128));
+  for (std::size_t i = 4; i < moduli.size(); ++i) staged.append(moduli[i]);
+  EXPECT_GT(staged.panels().padded_limbs(), pad_before);
+
+  const ScanCorpus scan{std::span<const BigInt>(moduli)};
+  ASSERT_EQ(staged.size(), scan.size());
+  EXPECT_EQ(staged.max_limbs(), scan.max_limbs());
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    const auto got = staged.limbs(i);
+    const auto want = scan.limbs(i);
+    ASSERT_EQ(got.size(), want.size()) << "modulus " << i;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      ASSERT_EQ(got[k], want[k]) << "modulus " << i << " limb " << k;
+    }
+    EXPECT_EQ(staged.bits(i), scan.bits(i)) << "modulus " << i;
+  }
+
+  // The rebuilt panels are the one-shot panels at the grown padding.
+  const CorpusPanels<ScanLimb> oneshot(moduli, staged.group_size(),
+                                       staged.panels().padded_limbs());
+  const auto& live = staged.panels();
+  ASSERT_EQ(live.corpus_size(), oneshot.corpus_size());
+  ASSERT_EQ(live.group_count(), oneshot.group_count());
+  for (std::size_t g = 0; g < oneshot.group_count(); ++g) {
+    EXPECT_EQ(live.rows(g), oneshot.rows(g)) << "group " << g;
+    const auto got = live.panel(g);
+    const auto want = oneshot.panel(g);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      ASSERT_EQ(got[k], want[k]) << "group " << g << " element " << k;
+    }
+  }
+}
+
 TEST(CorpusPanelsTest, RejectsUndersizedPadding) {
   Xoshiro256 rng(92);
   std::vector<BigInt> moduli = {random_odd<std::uint32_t>(rng, 128)};

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -470,6 +473,353 @@ TEST(IntakeServiceTest, MetricsMirrorStatsAndHitSink) {
   // fix), so streamed work is visible in the same simt_*/gcd_* series the
   // batch scan uses.
   EXPECT_GT(counter("gcd_iterations_total"), 0u);
+}
+
+// ---- Intake accounting + concurrency ---------------------------------------
+
+TEST(IntakeServiceTest, GateOutcomesPartitionSubmissionsUnderStop) {
+  // The satellite accounting fix: every submit() lands in exactly one outcome
+  // counter, INCLUDING kClosed — so the four outcomes partition submissions
+  // even when stop() races live submitters.
+  const WeakCorpus corpus = test_corpus(24, 2, 1414);
+  obs::MetricsRegistry registry;
+  IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.probe.metrics = &registry;
+  config.queue_capacity = 2;  // small enough that shed can happen too
+  IntakeService service({}, std::move(config));
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= corpus.moduli.size()) return;
+        service.submit(corpus.moduli[k]);
+      }
+    });
+  }
+  service.stop();  // races the submitters: some land before the gate closes
+  for (auto& thread : submitters) thread.join();
+  // Deterministic closed outcome on top of whatever the race produced (the
+  // gate checks closed_ before dedup, so a known key still reports kClosed).
+  EXPECT_EQ(service.submit(corpus.moduli[0]), Admission::kClosed);
+
+  const IntakeStats stats = service.stats();
+  EXPECT_GE(stats.closed, 1u);
+  EXPECT_EQ(stats.submitted,
+            stats.admitted + stats.duplicates + stats.shed + stats.closed)
+      << "gate outcomes must partition submissions exactly";
+  EXPECT_EQ(registry.counter("intake_closed_total")->value(), stats.closed);
+  EXPECT_EQ(stats.probed, stats.admitted) << "stop() drains every admission";
+}
+
+TEST(IntakeServiceTest, BacklogGaugesReadZeroAfterDrain) {
+  // The stale-gauge fix: after stop() drains the pipeline, BOTH backlog
+  // gauges must read zero — the old worker left intake_batch_fill frozen at
+  // the last batch's size, a phantom in-flight batch on the final scrape.
+  const WeakCorpus corpus = test_corpus(9, 1, 2323);
+  obs::MetricsRegistry registry;
+  IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.probe.metrics = &registry;
+  IntakeService service({}, std::move(config));
+  for (const auto& n : corpus.moduli) {
+    ASSERT_EQ(service.submit(n), Admission::kAdmitted);
+  }
+  service.stop();
+  EXPECT_EQ(registry.gauge("intake_queue_depth")->value(), 0.0);
+  EXPECT_EQ(registry.gauge("intake_batch_fill")->value(), 0.0);
+  EXPECT_EQ(service.stats().probed, corpus.moduli.size());
+}
+
+/// Hits keyed by modulus VALUES instead of fold indices: concurrent
+/// submitters make the fold order nondeterministic, so two runs agree on
+/// which unordered key pairs share which factor, not on (i, j).
+std::vector<std::string> value_hits(const std::vector<bulk::FactorHit>& hits,
+                                    const std::vector<BigInt>& corpus) {
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (const auto& hit : hits) {
+    std::string a = corpus[hit.i].to_hex();
+    std::string b = corpus[hit.j].to_hex();
+    if (b < a) std::swap(a, b);
+    out.push_back(a + "|" + b + "|" + hit.factor.to_hex() +
+                  (hit.full_modulus ? "|full" : ""));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IntakeServiceTest, ConcurrentSubmittersCoverEveryPairExactlyOnce) {
+  // ≥4 clients hammering submit() concurrently: the dedup/journal/queue gate
+  // is the single synchronization point, so whatever interleaving happens,
+  // the folded corpus is a permutation of the stream and the hit set equals
+  // one all_pairs_gcd sweep at the value level. Every backend.
+  const WeakCorpus corpus = test_corpus(24, 4, 2424);
+  const auto oneshot = bulk::all_pairs_gcd(corpus.moduli).hits;
+  ASSERT_EQ(oneshot.size(), 4u);
+  const auto expected = value_hits(oneshot, corpus.moduli);
+
+  for (const auto backend : {bulk::BulkBackend::kLockstep,
+                             bulk::BulkBackend::kStaged,
+                             bulk::BulkBackend::kVector}) {
+    IntakeService service({}, probe_config(backend, 1));
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (std::size_t k = t; k < corpus.moduli.size(); k += 4) {
+          Admission a = Admission::kShed;
+          while (a == Admission::kShed) a = service.submit(corpus.moduli[k]);
+          EXPECT_EQ(a, Admission::kAdmitted);
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+    service.stop();
+
+    std::vector<BigInt> folded = service.corpus();
+    EXPECT_EQ(value_hits(service.hits(), folded), expected);
+    std::vector<BigInt> sorted_stream = corpus.moduli;
+    auto by_hex = [](const BigInt& a, const BigInt& b) {
+      return a.to_hex() < b.to_hex();
+    };
+    std::sort(folded.begin(), folded.end(), by_hex);
+    std::sort(sorted_stream.begin(), sorted_stream.end(), by_hex);
+    EXPECT_EQ(folded, sorted_stream) << "corpus must be a permutation";
+  }
+}
+
+// ---- Arrival journal -------------------------------------------------------
+
+/// Unique temp path per test + tag, removed on scope exit.
+struct TempJournal {
+  explicit TempJournal(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           (std::string("bulkgcd_svc_journal_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            "_" + tag);
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+  }
+  ~TempJournal() {
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+  }
+  std::filesystem::path path;
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+TEST(ArrivalJournalTest, RestartReplaysCorpusAndHitsBitForBit) {
+  // Stream half the corpus, stop, restart against the same journal: the new
+  // service must wake up with the identical corpus and hit list (restored
+  // from journaled probe records — no GCDs re-run), then streaming the rest
+  // must land exactly where an uninterrupted stream would. Every backend.
+  const WeakCorpus corpus = test_corpus(18, 3, 3434);
+  const auto oneshot = bulk::all_pairs_gcd(corpus.moduli).hits;
+  ASSERT_EQ(oneshot.size(), 3u);
+  const std::size_t half = corpus.moduli.size() / 2;
+
+  for (const auto backend : {bulk::BulkBackend::kLockstep,
+                             bulk::BulkBackend::kStaged,
+                             bulk::BulkBackend::kVector}) {
+    TempJournal journal(backend == bulk::BulkBackend::kLockstep ? "l"
+                        : backend == bulk::BulkBackend::kStaged ? "s"
+                                                                : "v");
+    std::vector<BigInt> corpus_before;
+    std::vector<bulk::FactorHit> hits_before;
+    {
+      IntakeServiceConfig config = probe_config(backend, 1);
+      config.journal_path = journal.path;
+      IntakeService service({}, std::move(config));
+      for (std::size_t k = 0; k < half; ++k) {
+        ASSERT_EQ(service.submit(corpus.moduli[k]), Admission::kAdmitted);
+      }
+      service.stop();
+      corpus_before = service.corpus();
+      hits_before = service.hits();
+    }
+    {
+      IntakeServiceConfig config = probe_config(backend, 1);
+      config.journal_path = journal.path;
+      IntakeService service({}, std::move(config));
+      EXPECT_EQ(service.corpus(), corpus_before)
+          << "replay must rebuild the folded corpus bit-for-bit";
+      expect_hits_equal(service.hits(), hits_before);
+      const IntakeStats boot = service.stats();
+      EXPECT_EQ(boot.restored, half);
+      EXPECT_EQ(boot.resumed, 0u);
+      EXPECT_EQ(boot.probed, 0u) << "restored keys re-fold without re-probing";
+      // A replayed key is still a known duplicate.
+      EXPECT_EQ(service.submit(corpus.moduli[0]), Admission::kDuplicate);
+      for (std::size_t k = half; k < corpus.moduli.size(); ++k) {
+        ASSERT_EQ(service.submit(corpus.moduli[k]), Admission::kAdmitted);
+      }
+      service.stop();
+      EXPECT_EQ(service.corpus(), corpus.moduli);
+      expect_hits_equal(service.hits(), oneshot);
+    }
+  }
+}
+
+TEST(ArrivalJournalTest, UnprobedTailIsResumedAndReprobed) {
+  // Crash window: keys admitted (arrival records on disk) but not yet
+  // probed. Simulated by snapshotting the journal file while the probe
+  // worker is parked in the batch hook — the snapshot holds 6 arrivals and
+  // zero probed records, exactly what a SIGKILL at that moment leaves.
+  const WeakCorpus corpus = test_corpus(6, 1, 4545);
+  const auto oneshot = bulk::all_pairs_gcd(corpus.moduli).hits;
+  TempJournal live("live");
+  TempJournal snapshot("snap");
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> worker_blocked{false};
+  {
+    IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+    config.journal_path = live.path;
+    config.batch_max = 1;
+    config.batch_hook = [&](std::size_t) {
+      worker_blocked.store(true);
+      std::unique_lock lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    };
+    IntakeService service({}, std::move(config));
+    for (const auto& n : corpus.moduli) {
+      ASSERT_EQ(service.submit(n), Admission::kAdmitted);
+    }
+    while (!worker_blocked.load()) std::this_thread::yield();
+    // Every arrival is fsynced at admission (journal_fsync_every = 1), so
+    // the crash image is complete the moment submit() returned.
+    spit(snapshot.path, slurp(live.path));
+    {
+      std::lock_guard lock(gate_mutex);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+    service.stop();
+  }
+
+  IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.journal_path = snapshot.path;
+  config.batch_hook = {};
+  IntakeService service({}, std::move(config));
+  service.stop();  // waits for the resumed tail to be probed and folded
+  const IntakeStats stats = service.stats();
+  EXPECT_EQ(stats.restored, 0u);
+  EXPECT_EQ(stats.resumed, corpus.moduli.size());
+  EXPECT_EQ(stats.probed, corpus.moduli.size())
+      << "every resumed key is re-probed";
+  EXPECT_EQ(service.corpus(), corpus.moduli);
+  expect_hits_equal(service.hits(), oneshot);
+}
+
+TEST(ArrivalJournalTest, TornTailIsDroppedAndStreamRecovers) {
+  // Crash mid-write: the journal ends in a partial record (or trailing
+  // garbage). Restart must not throw, must keep every complete record, and
+  // re-streaming the full corpus must converge on the one-shot hit set —
+  // replayed keys dedup, lost-tail keys re-admit.
+  const WeakCorpus corpus = test_corpus(10, 2, 5656);
+  const auto oneshot = bulk::all_pairs_gcd(corpus.moduli).hits;
+  TempJournal pristine("pristine");
+  {
+    IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+    config.journal_path = pristine.path;
+    IntakeService service({}, std::move(config));
+    for (const auto& n : corpus.moduli) {
+      ASSERT_EQ(service.submit(n), Admission::kAdmitted);
+    }
+    service.stop();
+  }
+  const std::string bytes = slurp(pristine.path);
+  constexpr std::size_t kHeaderSize = 8 + 2 * 8;
+  ASSERT_GT(bytes.size(), kHeaderSize + 8);
+
+  const std::string torn_cases[] = {
+      bytes.substr(0, kHeaderSize),                       // only the header
+      bytes.substr(0, kHeaderSize + 3),                   // torn first record
+      bytes.substr(0, (kHeaderSize + bytes.size()) / 2),  // torn mid-journal
+      bytes.substr(0, bytes.size() - 5),                  // torn last record
+      bytes + "GARBAGE TRAILING BYTES",                   // corrupt tail
+      bytes.substr(0, 4),                                 // torn header
+  };
+  for (std::size_t c = 0; c < std::size(torn_cases); ++c) {
+    TempJournal torn("case" + std::to_string(c));
+    spit(torn.path, torn_cases[c]);
+    IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+    config.journal_path = torn.path;
+    IntakeService service({}, std::move(config));
+    for (const auto& n : corpus.moduli) {
+      const Admission a = service.submit(n);
+      EXPECT_TRUE(a == Admission::kAdmitted || a == Admission::kDuplicate);
+    }
+    service.stop();
+    EXPECT_EQ(service.corpus(), corpus.moduli) << "torn case " << c;
+    expect_hits_equal(service.hits(), oneshot);
+  }
+}
+
+TEST(ArrivalJournalTest, JournalForDifferentSeedIsRefused) {
+  // Arrival indices are relative to the seed corpus; replaying a journal
+  // against a different seed would silently mis-index every hit. The header
+  // binds digest + count, and a mismatch is a loud constructor failure.
+  const WeakCorpus corpus = test_corpus(6, 0, 6767);
+  std::vector<BigInt> seed_a(corpus.moduli.begin(), corpus.moduli.begin() + 2);
+  std::vector<BigInt> seed_b(corpus.moduli.begin() + 2,
+                             corpus.moduli.begin() + 4);
+  TempJournal journal("seed");
+  {
+    IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+    config.journal_path = journal.path;
+    IntakeService service(seed_a, std::move(config));
+    ASSERT_EQ(service.submit(corpus.moduli[5]), Admission::kAdmitted);
+    service.stop();
+  }
+  IntakeServiceConfig config = probe_config(bulk::BulkBackend::kLockstep, 1);
+  config.journal_path = journal.path;
+  EXPECT_THROW(IntakeService(seed_b, std::move(config)), std::runtime_error);
+}
+
+TEST(IntakeServiceTest, MixedSizeArrivalsRestageAndMatchOneShot) {
+  // Arrivals that outgrow the staged panels force an amortized re-stage
+  // (bulk/staged_corpus.hpp); the probe must keep matching the one-shot
+  // sweep across the growth boundary, on every backend.
+  Xoshiro256 rng(7878);
+  const BigInt shared = rsa::random_prime(rng, 33);
+  const std::vector<BigInt> stream = {
+      shared * rsa::random_prime(rng, 33),                        // 66-bit
+      rsa::random_prime(rng, 70) * rsa::random_prime(rng, 70),    // 140-bit
+      rsa::random_prime(rng, 150) * rsa::random_prime(rng, 150),  // 300-bit
+      shared * rsa::random_prime(rng, 260),  // 293-bit, shares with key 0
+  };
+  bulk::AllPairsConfig sweep;
+  sweep.group_size = 2;
+  const auto oneshot = bulk::all_pairs_gcd(stream, sweep).hits;
+  ASSERT_EQ(oneshot.size(), 1u);
+  EXPECT_EQ(oneshot[0].factor, shared);
+
+  for (const auto backend : {bulk::BulkBackend::kLockstep,
+                             bulk::BulkBackend::kStaged,
+                             bulk::BulkBackend::kVector}) {
+    IntakeServiceConfig config = probe_config(backend, 1);
+    config.probe.group_size = 2;
+    IntakeService service({}, std::move(config));
+    for (const auto& n : stream) {
+      ASSERT_EQ(service.submit(n), Admission::kAdmitted);
+    }
+    service.stop();
+    expect_hits_equal(service.hits(), oneshot);
+  }
 }
 
 // ---- MetricsHttpServer -----------------------------------------------------
