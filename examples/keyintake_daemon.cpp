@@ -30,7 +30,9 @@
 // Options:
 //   --port <n>             intake listener port on 127.0.0.1 (0 = ephemeral;
 //                          the bound port is printed as `listening ...`)
-//   --metrics-port <n>     serve GET /metrics (Prometheus) + /healthz on
+//   --metrics-port <n>     serve GET /metrics (Prometheus) + /healthz +
+//                          /status (build/uptime JSON) + /trace (live Chrome
+//                          trace JSON when --trace-out is on) on
 //                          127.0.0.1:<n> (0 = ephemeral; off when omitted)
 //   --seed <file>          keystore file preloaded as the base corpus
 //   --journal <file>       durable arrival journal: every admitted key is
@@ -49,6 +51,10 @@
 //   --threads <n>          probe pool threads (1 = inline, 0 = global pool)
 //   --metrics-out <file>   append NDJSON telemetry snapshots
 //   --metrics-interval <s> seconds between snapshots (default 5)
+//   --trace-out <file>     record a pipeline timeline (obs/trace.hpp) and
+//                          write it as Chrome trace_event JSON at shutdown;
+//                          every arrival carries a flow id from parse
+//                          through journal, queue, probe, and fold
 //   --exit-after-idle <s>  exit after <s> seconds with no connections
 //                          (testing hook; default: run until SIGINT/SIGTERM)
 //
@@ -59,6 +65,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -93,7 +100,8 @@ int usage(const char* argv0) {
                "          [--batch-max <n>] [--engine simt|scalar]\n"
                "          [--backend auto|lockstep|staged|vector]\n"
                "          [--threads <n>] [--metrics-out <file>]\n"
-               "          [--metrics-interval <sec>] [--exit-after-idle <sec>]\n",
+               "          [--metrics-interval <sec>] [--trace-out <file>]\n"
+               "          [--exit-after-idle <sec>]\n",
                argv0);
   return 2;
 }
@@ -149,7 +157,9 @@ const char* admission_word(bulkgcd::svc::Admission a) {
 /// record, answer one status line per record. Parse failures get `reject` —
 /// the connection (and the daemon) keep going.
 void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
-                      HitReporter& reporter) {
+                      HitReporter& reporter,
+                      bulkgcd::obs::TraceRecorder* trace,
+                      std::uint32_t parse_event) {
   reporter.attach(fd);
   bulkgcd::svc::IntakeParser parser;
   char buf[4096];
@@ -162,7 +172,14 @@ void serve_connection(int fd, bulkgcd::svc::IntakeService& service,
                "\n";
         continue;
       }
-      out += admission_word(service.submit(rec.n));
+      // Mint the arrival's flow at the parse site: the exported chain then
+      // follows this key parse → journal_append → queued → probe → fold.
+      std::uint64_t flow = 0;
+      if (trace != nullptr) {
+        flow = trace->next_flow_id();
+        trace->flow_begin(parse_event, flow, rec.line);
+      }
+      out += admission_word(service.submit(rec.n, flow));
       out += '\n';
     }
     if (!out.empty() && !bulkgcd::svc::send_all(fd, out)) peer_alive = false;
@@ -191,6 +208,7 @@ int main(int argc, char** argv) {
   int metrics_port = -1;  // -1 = disabled
   std::string seed_path;
   std::string metrics_path;
+  std::string trace_path;
   double metrics_interval = 5.0;
   double exit_after_idle = 0.0;
   std::size_t max_conns = 8;
@@ -266,6 +284,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-interval") {
       metrics_interval = std::strtod(next("--metrics-interval").c_str(),
                                      nullptr);
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
     } else if (arg == "--exit-after-idle") {
       exit_after_idle = std::strtod(next("--exit-after-idle").c_str(),
                                     nullptr);
@@ -282,6 +302,22 @@ int main(int argc, char** argv) {
   // the /metrics scrape endpoint, and the NDJSON emitter.
   obs::MetricsRegistry registry;
   config.probe.metrics = &registry;
+
+  const bulk::BuildInfo build = bulk::query_build_info();
+  std::printf("%s\n", bulk::build_info_line(build).c_str());
+  const auto start_time = std::chrono::steady_clock::now();
+
+  // Tracing is opt-in: the recorder exists only under --trace-out, so the
+  // default daemon keeps every trace site on the null-recorder branch.
+  std::optional<obs::TraceRecorder> tracer;
+  std::uint32_t parse_event = 0;
+  if (!trace_path.empty()) {
+    tracer.emplace(/*ring_capacity=*/65536, &registry);
+    parse_event = tracer->intern("parse");
+    tracer->set_arg_names(parse_event, "line", "", "");
+    config.probe.trace = &*tracer;
+    std::printf("tracing -> %s\n", trace_path.c_str());
+  }
 
   std::vector<mp::BigInt> seed;
   if (!seed_path.empty()) {
@@ -323,8 +359,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
-    std::printf("metrics on 127.0.0.1:%u (/metrics, /healthz)\n",
-                unsigned(metrics_server->port()));
+    metrics_server->set_status_provider([build, start_time] {
+      const double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_time)
+              .count();
+      return bulk::build_info_json(build, uptime);
+    });
+    if (tracer) metrics_server->set_trace(&*tracer);
+    std::printf("metrics on 127.0.0.1:%u (/metrics, /healthz, /status%s)\n",
+                unsigned(metrics_server->port()),
+                tracer ? ", /trace" : "");
   }
 
   std::optional<obs::TelemetryEmitter> emitter;
@@ -358,7 +403,8 @@ int main(int argc, char** argv) {
       int fd = -1;
       while (conn_queue.pop(fd)) {
         conn_active->set(double(active_conns.fetch_add(1) + 1));
-        serve_connection(fd, *service, reporter);
+        serve_connection(fd, *service, reporter, tracer ? &*tracer : nullptr,
+                         parse_event);
         ::close(fd);
         conn_active->set(double(active_conns.fetch_sub(1) - 1));
         conn_closed->inc();
@@ -434,6 +480,18 @@ int main(int argc, char** argv) {
   service->stop();
   if (emitter) emitter->stop();
   if (metrics_server) metrics_server->stop();
+
+  if (tracer) {
+    std::string error;
+    if (tracer->write_chrome_json(trace_path, &error)) {
+      std::printf("trace -> %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  (unsigned long long)tracer->events_recorded(),
+                  (unsigned long long)tracer->events_dropped());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+  }
 
   const svc::IntakeStats stats = service->stats();
   std::printf(

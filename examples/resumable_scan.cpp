@@ -24,6 +24,11 @@
 //                          object per line; schema in docs/metrics_schema.json)
 //   --metrics-interval <s> seconds between periodic snapshots (default 0:
 //                          a single final snapshot on exit)
+//   --trace-out <file>     record a per-thread scan timeline (chunk spans,
+//                          tile spans, steals, panel-load/lane-exec phases,
+//                          journal fsyncs, commits) and write it as Chrome
+//                          trace_event JSON — load in Perfetto or
+//                          chrome://tracing, or feed tools/trace_report.py
 //
 // Value flags accept both `--flag value` and `--flag=value`.
 #include <cstdio>
@@ -45,7 +50,8 @@ int usage(const char* argv0) {
                "          [--threads <n>] [--tile-blocks <n>]\n"
                "          [--stop-after <n>]\n"
                "          [--discard-checkpoint]\n"
-               "          [--metrics-out <file>] [--metrics-interval <sec>]\n",
+               "          [--metrics-out <file>] [--metrics-interval <sec>]\n"
+               "          [--trace-out <file>]\n",
                argv0);
   return 2;
 }
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   std::string corpus_path;
   std::string checkpoint_path;
   std::string metrics_path;
+  std::string trace_path;
   double metrics_interval = 0.0;
   bulk::ScanConfig config;
   std::size_t gen_count = 0, gen_bits = 512, gen_weak = 4;
@@ -118,6 +125,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-interval") {
       metrics_interval = std::strtod(next("--metrics-interval").c_str(),
                                      nullptr);
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
     } else if (arg == "--discard-checkpoint") {
       config.discard_mismatched_checkpoint = true;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -134,6 +143,19 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     registry.emplace();
     config.pairs.metrics = &*registry;
+  }
+
+  std::printf("%s\n",
+              bulk::build_info_line(bulk::query_build_info()).c_str());
+
+  // Tracing is opt-in like metrics: no --trace-out, no recorder, and every
+  // trace site in the scan stays on the null-recorder branch.
+  std::optional<obs::TraceRecorder> tracer;
+  if (!trace_path.empty()) {
+    tracer.emplace(/*ring_capacity=*/262144,
+                   registry ? &*registry : nullptr);
+    config.pairs.trace = &*tracer;
+    std::printf("tracing -> %s\n", trace_path.c_str());
   }
 
   std::vector<mp::BigInt> moduli;
@@ -197,6 +219,18 @@ int main(int argc, char** argv) {
   }
 
   if (emitter) emitter->stop();  // join + final snapshot before the summary
+
+  if (tracer) {
+    std::string error;
+    if (tracer->write_chrome_json(trace_path, &error)) {
+      std::printf("trace -> %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  (unsigned long long)tracer->events_recorded(),
+                  (unsigned long long)tracer->events_dropped());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+  }
 
   std::printf("\n%s after %.2fs: %llu/%llu chunks, %llu pairs, %zu hits",
               report.complete ? "complete" : "interrupted",

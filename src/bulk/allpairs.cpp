@@ -75,14 +75,17 @@ AllPairsResult all_pairs_gcd(std::span<const mp::BigInt> moduli,
   SweepExecutor exec(cfg.pool_threads);
   const TileScheduler sched(grid.block_count(), cfg.tile_blocks, exec.workers);
   std::vector<std::unique_ptr<BlockSweeper>> sweepers(sched.worker_count());
-  sched.run(exec.pool, [&](std::size_t w, const TileRange& t) {
-    auto& sweeper = sweepers[w];
-    if (!sweeper) {
-      sweeper = std::make_unique<BlockSweeper>(scan, grid, cfg, cap,
-                                               panels ? &*panels : nullptr);
-    }
-    sweeper->run_blocks(t.lo, t.hi);
-  });
+  sched.run(
+      exec.pool,
+      [&](std::size_t w, const TileRange& t) {
+        auto& sweeper = sweepers[w];
+        if (!sweeper) {
+          sweeper = std::make_unique<BlockSweeper>(
+              scan, grid, cfg, cap, panels ? &*panels : nullptr);
+        }
+        sweeper->run_blocks(t.lo, t.hi);
+      },
+      cfg.trace);
   for (auto& sweeper : sweepers) {
     if (!sweeper) continue;
     auto local = sweeper->take();
@@ -243,7 +246,7 @@ std::vector<IncrementalHit> probe_corpus(const mp::BigInt& candidate,
         }
       }
     }
-  });
+  }, cfg.trace);
 
   ProbeStats total;
   for (auto& worker : workers) {

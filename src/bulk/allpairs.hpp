@@ -22,6 +22,7 @@
 
 namespace bulkgcd::obs {
 class MetricsRegistry;
+class TraceRecorder;
 }
 
 namespace bulkgcd::bulk {
@@ -68,6 +69,14 @@ struct AllPairsConfig {
   /// docs/OBSERVABILITY.md. Not part of the scan identity (a checkpoint
   /// written with metrics off resumes with them on, and vice versa).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Timeline sink (obs/trace.hpp). Null — the null-recorder path — keeps
+  /// every trace site a single never-taken branch. When set, the sweep
+  /// records per-worker tile spans, steal instants, and panel-load /
+  /// lane-exec phase spans on each worker's track. Purely observational:
+  /// results, stats, and counters are bit-identical with tracing on or off
+  /// (tests/trace_test.cpp), and like `metrics` it is NOT part of the
+  /// checkpoint identity.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// A factored pair: moduli[i] and moduli[j] share `factor`.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace bulkgcd::bulk {
 
@@ -93,6 +94,14 @@ BlockSweeper::BlockSweeper(const ScanCorpus& corpus, const BlockGrid& grid,
     tele_->lane_exec_seconds = obs::LocalHistogram(*tele_->lane_exec_target);
     tele_->verify_seconds = obs::LocalHistogram(*tele_->verify_target);
   }
+  if (config.trace != nullptr) {
+    trace_ = std::make_unique<TraceHandles>();
+    trace_->rec = config.trace;
+    trace_->panel_load = config.trace->intern("panel_load");
+    trace_->lane_exec = config.trace->intern("lane_exec");
+    config.trace->set_arg_names(trace_->panel_load, "gi", "gj", "round");
+    config.trace->set_arg_names(trace_->lane_exec, "gi", "gj", "round");
+  }
 }
 
 namespace {
@@ -145,6 +154,9 @@ void BlockSweeper::simt_block_rounds(Engine& eng, std::size_t i,
       // replaces k_end strided loads with their normalization scans.
       obs::ScopedLocalSpan panel_span(
           tele_ ? &tele_->panel_load_seconds : nullptr);
+      obs::TraceSpan panel_tspan(trace_ ? trace_->rec : nullptr,
+                                 trace_ ? trace_->panel_load : 0);
+      panel_tspan.set_args(i, j, jj);
       eng.load_panel(panels_->panel(i), panels_->sizes(i), panels_->rows(i));
       eng.broadcast_y(corpus_->limbs(jj));
       for (std::size_t k = 0; k < k_end; ++k) {
@@ -154,6 +166,9 @@ void BlockSweeper::simt_block_rounds(Engine& eng, std::size_t i,
     } else {
       obs::ScopedLocalSpan panel_span(
           tele_ ? &tele_->panel_load_seconds : nullptr);
+      obs::TraceSpan panel_tspan(trace_ ? trace_->rec : nullptr,
+                                 trace_ ? trace_->panel_load : 0);
+      panel_tspan.set_args(i, j, jj);
       for (std::size_t k = 0; k < r; ++k) {
         if (k < k_end) {
           eng.load(k, corpus_->limbs(i_begin + k), corpus_->limbs(jj),
@@ -166,6 +181,9 @@ void BlockSweeper::simt_block_rounds(Engine& eng, std::size_t i,
     {
       obs::ScopedLocalSpan exec_span(
           tele_ ? &tele_->lane_exec_seconds : nullptr);
+      obs::TraceSpan exec_tspan(trace_ ? trace_->rec : nullptr,
+                                trace_ ? trace_->lane_exec : 0);
+      exec_tspan.set_args(i, j, jj);
       engine_run(eng, config_.variant, staged);
     }
     obs::ScopedLocalSpan verify_span(tele_ ? &tele_->verify_seconds : nullptr);
@@ -231,6 +249,9 @@ void BlockSweeper::run_block(std::size_t block_index) {
       if (k_end == 0) continue;
       obs::ScopedLocalSpan exec_span(
           tele_ ? &tele_->lane_exec_seconds : nullptr);
+      obs::TraceSpan exec_tspan(trace_ ? trace_->rec : nullptr,
+                                trace_ ? trace_->lane_exec : 0);
+      exec_tspan.set_args(i, j, jj);
       for (std::size_t k = 0; k < k_end; ++k) {
         ++out_.pairs;
         const std::uint64_t iters_before = out_.scalar.iterations;

@@ -144,6 +144,16 @@ class BlockSweeper {
     obs::HistogramMetric* verify_target = nullptr;
   };
 
+  /// Interned event ids for the per-round trace spans (null-recorder safe:
+  /// absent entirely when config.trace is null, like tele_). The spans
+  /// reuse the ScopedLocalSpan phase sites, so the histogram and the
+  /// timeline measure the same intervals.
+  struct TraceHandles {
+    obs::TraceRecorder* rec = nullptr;
+    std::uint32_t panel_load = 0;
+    std::uint32_t lane_exec = 0;
+  };
+
   const ScanCorpus* corpus_;
   BlockGrid grid_;
   AllPairsConfig config_;
@@ -155,6 +165,7 @@ class BlockSweeper {
   std::unique_ptr<VecBatchBase<ScanLimb>> vec_;
   Output out_;
   std::unique_ptr<Telemetry> tele_;  ///< null on the null-registry path
+  std::unique_ptr<TraceHandles> trace_;  ///< null on the null-recorder path
 };
 
 }  // namespace bulkgcd::bulk

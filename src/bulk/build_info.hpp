@@ -1,0 +1,37 @@
+// Build/runtime identity of this bulkgcd process — the one description of
+// "what exactly is running here" shared by the CLI startup banners
+// (resumable_scan, keyintake_daemon) and the MetricsHttpServer GET /status
+// endpoint, so the version an operator sees in a log line and the version a
+// monitor scrapes can never disagree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bulkgcd::bulk {
+
+struct BuildInfo {
+  std::string version;        ///< project version (CMake PROJECT_VERSION)
+  int limb_bits = 0;          ///< ScanLimb width: 32 or 64
+  /// Every backend leg compiled into this binary, in dispatch-preference
+  /// order ("lockstep", "staged", "vector-portable", "vector-avx2" when the
+  /// AVX2 TU is built in).
+  std::vector<std::string> compiled_backends;
+  /// The backend a default staged-SIMT config resolves to on THIS machine
+  /// right now — CPU probe plus the BULKGCD_FORCE_BACKEND override, exactly
+  /// what a scan launched here would run.
+  std::string active_backend;
+};
+
+/// Probe the running process (resolve_backend on a default config).
+BuildInfo query_build_info();
+
+/// One-object JSON status document; uptime_seconds is the caller's (the
+/// registry's, typically) so /status matches /metrics.
+std::string build_info_json(const BuildInfo& info, double uptime_seconds);
+
+/// One-line human banner for CLI startup:
+/// "bulkgcd 1.0.0 | limbs 64-bit | backends lockstep,... | active staged".
+std::string build_info_line(const BuildInfo& info);
+
+}  // namespace bulkgcd::bulk

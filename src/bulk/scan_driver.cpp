@@ -19,6 +19,7 @@
 #include "core/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "rsa/keystore.hpp"
 
 namespace bulkgcd::bulk {
@@ -62,6 +63,28 @@ struct DriverTelemetry {
     t.blocks_per_second = m->gauge("scan_blocks_per_second");
     t.progress_ratio = m->gauge("scan_progress_ratio");
     t.eta_seconds = m->gauge("scan_eta_seconds");
+    return t;
+  }
+};
+
+/// Driver-level trace handles (obs/trace.hpp), resolved once per scan like
+/// DriverTelemetry. Null recorder ⇒ every site is one never-taken branch.
+struct DriverTrace {
+  obs::TraceRecorder* rec = nullptr;
+  std::uint32_t chunk_id = 0;
+  std::uint32_t commit_id = 0;
+  std::uint32_t fsync_id = 0;
+
+  static DriverTrace resolve(obs::TraceRecorder* rec) {
+    DriverTrace t;
+    t.rec = rec;
+    if (rec == nullptr) return t;
+    t.chunk_id = rec->intern("chunk");
+    t.commit_id = rec->intern("commit");
+    t.fsync_id = rec->intern("journal_fsync");
+    rec->set_arg_names(t.chunk_id, "chunk", "lo", "blocks");
+    rec->set_arg_names(t.commit_id, "chunk", "quarantined", "hits");
+    rec->set_arg_names(t.fsync_id, "", "", "");
     return t;
   }
 };
@@ -334,10 +357,12 @@ class Journal {
   /// fsync_hist (optional) receives the latency of every flush+fsync — the
   /// durability cost a production deployment needs to watch.
   Journal(const std::filesystem::path& path, std::size_t fsync_every,
-          obs::HistogramMetric* fsync_hist = nullptr)
+          obs::HistogramMetric* fsync_hist = nullptr,
+          DriverTrace trace = {})
       : path_(path),
         fsync_every_(std::max<std::size_t>(1, fsync_every)),
-        fsync_hist_(fsync_hist) {}
+        fsync_hist_(fsync_hist),
+        trace_(trace) {}
   ~Journal() { close(); }
 
   void create_fresh(const JournalIdentity& id) {
@@ -386,6 +411,7 @@ class Journal {
   }
   void flush_and_sync() {
     obs::ScopedSpan span(fsync_hist_);
+    obs::TraceSpan tspan(trace_.rec, trace_.fsync_id);
     if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
       throw std::runtime_error("scan_driver: checkpoint fsync failed: " +
                                path_.string());
@@ -402,6 +428,7 @@ class Journal {
   std::filesystem::path path_;
   std::size_t fsync_every_;
   obs::HistogramMetric* fsync_hist_;
+  DriverTrace trace_;
   std::size_t commits_since_sync_ = 0;
   std::FILE* file_ = nullptr;
 };
@@ -497,6 +524,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   }
 
   DriverTelemetry tele = DriverTelemetry::resolve(config.pairs.metrics);
+  const DriverTrace dtr = DriverTrace::resolve(pairs_cfg.trace);
+  if (dtr.rec != nullptr) dtr.rec->set_thread_name("driver");
 
   JournalIdentity identity;
   identity.digest = rsa::corpus_digest(moduli);
@@ -515,8 +544,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
 
   std::optional<Journal> journal;
   if (!config.checkpoint.empty()) {
-    journal.emplace(config.checkpoint, config.fsync_every,
-                    tele.fsync_seconds);
+    journal.emplace(config.checkpoint, config.fsync_every, tele.fsync_seconds,
+                    dtr);
     std::error_code ec;
     if (std::filesystem::exists(config.checkpoint, ec)) {
       std::string why;
@@ -594,6 +623,8 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
     outcome.chunk_index = chunk;
     const auto [lo, hi] = chunk_range(chunk);
     obs::ScopedSpan chunk_span(tele.chunk_seconds);
+    obs::TraceSpan chunk_tspan(dtr.rec, dtr.chunk_id);
+    chunk_tspan.set_args(chunk, lo, hi - lo);
     std::string first_error;
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
@@ -678,6 +709,10 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
   };
 
   auto commit = [&](ChunkOutcome outcome) {
+    if (dtr.rec != nullptr) {
+      dtr.rec->instant(dtr.commit_id, 0, outcome.chunk_index,
+                       outcome.quarantined ? 1 : 0, outcome.hits.size());
+    }
     if (journal) journal->commit(outcome);
     ++committed_this_run;
     if (outcome.quarantined) {
@@ -752,16 +787,20 @@ ScanReport run_resumable_scan(std::span<const mp::BigInt> moduli,
       // converts every failure into a quarantine outcome, so the scheduler
       // body never throws.
       std::thread orchestrator([&] {
-        sched.run(&pool, [&](std::size_t, const TileRange& t) {
-          for (std::size_t k = t.lo; k < t.hi; ++k) {
-            ChunkOutcome outcome = process(pending[k]);
-            {
-              std::lock_guard lock(mu);
-              done_queue.push_back(std::move(outcome));
-            }
-            cv.notify_one();
-          }
-        });
+        if (dtr.rec != nullptr) dtr.rec->set_thread_name("orchestrator");
+        sched.run(
+            &pool,
+            [&](std::size_t, const TileRange& t) {
+              for (std::size_t k = t.lo; k < t.hi; ++k) {
+                ChunkOutcome outcome = process(pending[k]);
+                {
+                  std::lock_guard lock(mu);
+                  done_queue.push_back(std::move(outcome));
+                }
+                cv.notify_one();
+              }
+            },
+            dtr.rec);
       });
 
       std::size_t collected = 0;

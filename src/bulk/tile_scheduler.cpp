@@ -10,8 +10,32 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace bulkgcd::bulk {
+
+namespace {
+
+/// Interned event ids for one run's trace wiring, resolved once up front so
+/// the worker loops record by id only.
+struct SchedulerTrace {
+  obs::TraceRecorder* rec = nullptr;
+  std::uint32_t tile_id = 0;
+  std::uint32_t steal_id = 0;
+  std::uint32_t done_id = 0;
+
+  explicit SchedulerTrace(obs::TraceRecorder* trace) : rec(trace) {
+    if (rec == nullptr) return;
+    tile_id = rec->intern("tile");
+    steal_id = rec->intern("steal");
+    done_id = rec->intern("worker_done");
+    rec->set_arg_names(tile_id, "tile", "lo", "items");
+    rec->set_arg_names(steal_id, "thief", "victim", "tiles");
+    rec->set_arg_names(done_id, "worker", "executed", "");
+  }
+};
+
+}  // namespace
 
 TileScheduler::TileScheduler(std::size_t total_items, std::size_t tile_items,
                              std::size_t workers)
@@ -44,16 +68,24 @@ std::size_t TileScheduler::home_worker(std::size_t t) const noexcept {
   return rem + (t - fat_span) / q;
 }
 
-TileSchedulerStats TileScheduler::run(ThreadPool* pool,
-                                      const Body& body) const {
+TileSchedulerStats TileScheduler::run(ThreadPool* pool, const Body& body,
+                                      obs::TraceRecorder* trace) const {
   TileSchedulerStats stats;
   if (tiles_ == 0) return stats;
+
+  const SchedulerTrace tr(trace);
 
   // Degraded/serial path: one worker, no pool, or a nested call from inside
   // the pool itself (enqueued worker loops could never be picked up once
   // the outer level saturates the pool — same rule as parallel_for).
   if (workers_ == 1 || pool == nullptr || pool->inside_pool()) {
-    for (std::size_t t = 0; t < tiles_; ++t) body(0, tile(t));
+    for (std::size_t t = 0; t < tiles_; ++t) {
+      const TileRange range = tile(t);
+      obs::TraceSpan span(tr.rec, tr.tile_id);
+      span.set_args(range.index, range.lo, range.hi - range.lo);
+      body(0, range);
+    }
+    if (tr.rec != nullptr) tr.rec->instant(tr.done_id, 0, 0, tiles_);
     stats.tiles_executed = tiles_;
     return stats;
   }
@@ -79,6 +111,9 @@ TileSchedulerStats TileScheduler::run(ThreadPool* pool,
   auto worker_loop = [&](std::size_t me) {
     TileSchedulerStats local;
     std::vector<std::size_t> loot;
+    if (tr.rec != nullptr) {
+      tr.rec->set_thread_name("worker-" + std::to_string(me));
+    }
     while (!abort.load(std::memory_order_relaxed)) {
       std::size_t t = 0;
       bool got = false;
@@ -93,7 +128,10 @@ TileSchedulerStats TileScheduler::run(ThreadPool* pool,
       if (got) {
         unclaimed.fetch_sub(1, std::memory_order_relaxed);
         try {
-          body(me, tile(t));
+          const TileRange range = tile(t);
+          obs::TraceSpan span(tr.rec, tr.tile_id);
+          span.set_args(range.index, range.lo, range.hi - range.lo);
+          body(me, range);
         } catch (...) {
           {
             std::lock_guard lock(merge_mu);
@@ -108,8 +146,10 @@ TileSchedulerStats TileScheduler::run(ThreadPool* pool,
       // Own deque empty: steal half of some victim's remaining tiles from
       // the back (the blocks furthest from the victim's working position).
       loot.clear();
+      std::size_t victim_index = 0;
       for (std::size_t off = 1; off < workers_ && loot.empty(); ++off) {
-        WorkerDeque& victim = deques[(me + off) % workers_];
+        victim_index = (me + off) % workers_;
+        WorkerDeque& victim = deques[victim_index];
         std::lock_guard lock(victim.mu);
         const std::size_t take = (victim.q.size() + 1) / 2;
         for (std::size_t k = 0; k < take; ++k) {
@@ -120,6 +160,9 @@ TileSchedulerStats TileScheduler::run(ThreadPool* pool,
       if (!loot.empty()) {
         ++local.steals;
         local.tiles_stolen += loot.size();
+        if (tr.rec != nullptr) {
+          tr.rec->instant(tr.steal_id, 0, me, victim_index, loot.size());
+        }
         std::lock_guard lock(deques[me].mu);
         // Back-of-victim order reversed so the lowest tile ordinal is at
         // the front — the thief walks its loot in home order too.
@@ -133,6 +176,9 @@ TileSchedulerStats TileScheduler::run(ThreadPool* pool,
       // steal is mid-transfer; yield and rescan.
       if (unclaimed.load(std::memory_order_acquire) == 0) break;
       std::this_thread::yield();
+    }
+    if (tr.rec != nullptr) {
+      tr.rec->instant(tr.done_id, 0, me, local.tiles_executed);
     }
     std::lock_guard lock(merge_mu);
     stats.tiles_executed += local.tiles_executed;

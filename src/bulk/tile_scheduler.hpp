@@ -36,6 +36,10 @@ namespace bulkgcd {
 class ThreadPool;
 }
 
+namespace bulkgcd::obs {
+class TraceRecorder;
+}
+
 namespace bulkgcd::bulk {
 
 /// One tile: the contiguous item (block) range [lo, hi).
@@ -95,7 +99,15 @@ class TileScheduler {
   /// worker loop per worker to `pool` and waits. An exception thrown by
   /// body aborts the schedule (remaining tiles are not started) and is
   /// rethrown here, first one wins.
-  TileSchedulerStats run(ThreadPool* pool, const Body& body) const;
+  ///
+  /// trace (optional, obs/trace.hpp): each tile execution becomes a
+  /// "tile" span on its worker's track (args tile/lo/items), each
+  /// successful steal a "steal" instant (args thief/victim/tiles), each
+  /// worker-loop exit a "worker_done" instant (args worker/executed) — the
+  /// idle-vs-steal timeline the aggregate steal counters can't show.
+  /// Scheduling decisions never depend on it; null is the zero-cost path.
+  TileSchedulerStats run(ThreadPool* pool, const Body& body,
+                         obs::TraceRecorder* trace = nullptr) const;
 
  private:
   std::size_t total_ = 0;

@@ -15,7 +15,9 @@
 //   bulk::SimtBatch                     warp-lockstep execution engine
 //   obs::MetricsRegistry                telemetry counters/gauges/histograms
 //   obs::TelemetryEmitter               periodic NDJSON snapshot writer
-//   obs::MetricsHttpServer              /metrics Prometheus scrape endpoint
+//   obs::MetricsHttpServer              /metrics + /status + /trace endpoint
+//   obs::TraceRecorder                  per-thread event timelines (Chrome)
+//   bulk::query_build_info              version/limb/backend identification
 //   svc::IntakeService                  streaming key-intake pipeline
 //   svc::IntakeParser                   PEM/keystore/raw-hex stream parser
 //   svc::ArrivalJournal                 durable intake arrival journal
@@ -29,6 +31,7 @@
 
 #include "batchgcd/batchgcd.hpp"
 #include "bulk/allpairs.hpp"
+#include "bulk/build_info.hpp"
 #include "bulk/block_grid.hpp"
 #include "bulk/scan_driver.hpp"
 #include "bulk/simt.hpp"
@@ -46,6 +49,7 @@
 #include "obs/http_exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "rsa/barrett.hpp"
 #include "rsa/corpus.hpp"
 #include "rsa/keystore.hpp"

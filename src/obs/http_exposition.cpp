@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 
 namespace bulkgcd::obs {
 
@@ -72,6 +73,17 @@ MetricsHttpServer::~MetricsHttpServer() { stop(); }
 
 std::uint64_t MetricsHttpServer::requests() const noexcept {
   return requests_.load(std::memory_order_relaxed);
+}
+
+void MetricsHttpServer::set_status_provider(
+    std::function<std::string()> provider) {
+  std::lock_guard lock(extras_mutex_);
+  status_provider_ = std::move(provider);
+}
+
+void MetricsHttpServer::set_trace(const TraceRecorder* trace) {
+  std::lock_guard lock(extras_mutex_);
+  trace_ = trace;
 }
 
 void MetricsHttpServer::stop() {
@@ -141,6 +153,30 @@ void MetricsHttpServer::handle_connection(int fd) {
                                method == "HEAD" ? std::string() : body));
   } else if (path == "/healthz") {
     send_all(fd, http_response(200, "OK", "text/plain", "ok\n"));
+  } else if (path == "/status" || path == "/trace") {
+    // Copy the handles out so a provider swap can't race the render; the
+    // render itself (snapshot + JSON build) runs outside the lock.
+    std::function<std::string()> provider;
+    const TraceRecorder* trace = nullptr;
+    {
+      std::lock_guard lock(extras_mutex_);
+      provider = status_provider_;
+      trace = trace_;
+    }
+    if (path == "/status" && provider) {
+      const std::string body = provider();
+      send_all(fd, http_response(200, "OK", "application/json",
+                                 method == "HEAD" ? std::string() : body));
+    } else if (path == "/trace" && trace != nullptr) {
+      const std::string body = trace->to_chrome_json();
+      send_all(fd, http_response(200, "OK", "application/json",
+                                 method == "HEAD" ? std::string() : body));
+    } else {
+      send_all(fd, http_response(404, "Not Found", "text/plain",
+                                 path == "/status"
+                                     ? "no status provider configured\n"
+                                     : "tracing not enabled\n"));
+    }
   } else {
     send_all(fd, http_response(404, "Not Found", "text/plain",
                                "try /metrics\n"));

@@ -4,6 +4,8 @@
 //
 //   GET /metrics  → 200, text/plain; version=0.0.4, obs::to_prometheus()
 //   GET /healthz  → 200, "ok" (liveness probe)
+//   GET /status   → 200, application/json (set_status_provider; else 404)
+//   GET /trace    → 200, Chrome trace_event JSON (set_trace; else 404)
 //   anything else → 404
 //
 // One accept thread, one connection served at a time (scrapes are rare and
@@ -12,11 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
 
 namespace bulkgcd::obs {
+
+class TraceRecorder;
 
 class MetricsHttpServer {
  public:
@@ -34,6 +41,16 @@ class MetricsHttpServer {
   /// Requests served so far (any path).
   std::uint64_t requests() const noexcept;
 
+  /// Install the GET /status body producer (typically
+  /// bulk::build_info_json around the registry's uptime — the obs layer
+  /// deliberately knows nothing about backends or versions). Callable any
+  /// time; null reverts /status to 404.
+  void set_status_provider(std::function<std::string()> provider);
+
+  /// Serve GET /trace as this recorder's live Chrome trace_event JSON.
+  /// The recorder must outlive the server (or be unset first with null).
+  void set_trace(const TraceRecorder* trace);
+
   /// Close the listener and join the accept thread. Idempotent.
   void stop();
 
@@ -42,6 +59,9 @@ class MetricsHttpServer {
   void handle_connection(int fd);
 
   MetricsRegistry& registry_;
+  mutable std::mutex extras_mutex_;  ///< guards the two fields below
+  std::function<std::string()> status_provider_;
+  const TraceRecorder* trace_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

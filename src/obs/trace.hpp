@@ -1,0 +1,248 @@
+// Pipeline tracing: per-thread event timelines with Chrome-trace export —
+// the *when/where* companion to the aggregate metrics of obs/metrics.hpp.
+// Counters answer "how much"; the trace answers "why did worker 3 idle
+// between steals" and "where did this arrival spend its latency between
+// parse, journal fsync, queue, and probe".
+//
+//   TraceRecorder — bounded per-thread ring buffers of timestamped events.
+//     Recording is a relaxed-store hot path in the style of the sharded
+//     counters: the first event from a thread registers a ring (one mutex
+//     acquisition per thread per recorder), every later event is a seqlock
+//     write into the owner's ring — no RMW, no lock, TSan-clean against a
+//     concurrent exporter. A full ring wraps and overwrites the OLDEST
+//     events; drops are accounted exactly (dropped() == how many events the
+//     export can no longer show) and mirrored into the
+//     trace_events_recorded_total / trace_events_dropped_total counters when
+//     a MetricsRegistry is attached.
+//   TraceSpan — RAII complete-event ("X") helper mirroring ScopedSpanBase:
+//     a null recorder reduces it to a single branch, the clock is never
+//     read, so tracing-off stays inside the existing 2% overhead gate.
+//   Flows — next_flow_id() mints a process-unique id; flow_begin/step/end
+//     events carrying it stitch one logical item (an intake arrival) into a
+//     connected chain across threads in the Chrome trace viewer.
+//
+// Export: to_chrome_json() renders the ring contents as Chrome trace_event
+// JSON (loadable in Perfetto / chrome://tracing, one track per recorded
+// thread); to_ndjson() renders one self-contained JSON object per line for
+// ad-hoc tooling (tools/trace_report.py consumes either). Exporting is
+// read-only and safe while recording continues; slots torn by an in-flight
+// write are skipped, never misread.
+//
+// Tracing never feeds back into results: the recorder only reads clocks and
+// writes its own rings, so hits/stats/counters are bit-identical with
+// tracing on or off (asserted in tests/trace_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bulkgcd::obs {
+
+class MetricsRegistry;
+class Counter;
+
+/// Event kinds, mapped to Chrome trace_event phases on export.
+enum class TraceEventKind : std::uint8_t {
+  kComplete = 1,   ///< span with start + duration ("X")
+  kInstant = 2,    ///< point event on one thread's track ("i")
+  kFlowBegin = 3,  ///< first event of a flow chain ("s", plus an instant)
+  kFlowStep = 4,   ///< intermediate flow event ("t", plus an instant)
+  kFlowEnd = 5,    ///< last event of a flow chain ("f", plus an instant)
+};
+
+class TraceRecorder {
+ public:
+  /// ring_capacity: events retained per recording thread (newest win once a
+  /// ring wraps). metrics (optional) receives
+  /// trace_events_recorded_total / trace_events_dropped_total.
+  explicit TraceRecorder(std::size_t ring_capacity = 8192,
+                         MetricsRegistry* metrics = nullptr);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // ---- setup (cold; any thread) -------------------------------------------
+
+  /// Interns `name`, returning a dense id (stable for the recorder's
+  /// lifetime; the same string always returns the same id). Call sites
+  /// resolve ids once at setup and record with the id — the hot path never
+  /// touches strings.
+  std::uint32_t intern(std::string_view name);
+
+  /// Label the up-to-three u64 args of events named `name_id` for export
+  /// (e.g. steal → {"thief", "victim", "tiles"}). Unlabeled args export as
+  /// a0/a1/a2; trailing empty labels suppress unused arg slots entirely.
+  void set_arg_names(std::uint32_t name_id, std::string_view a0,
+                     std::string_view a1 = {}, std::string_view a2 = {});
+
+  /// Names the calling thread's track in the export ("scan-worker-2",
+  /// "intake-probe"). Creates the thread's ring if it doesn't exist yet.
+  void set_thread_name(std::string_view name);
+
+  // ---- hot path (any thread; relaxed stores into the caller's own ring) ---
+
+  /// Nanoseconds since recorder construction (steady clock).
+  std::uint64_t now_ns() const noexcept;
+
+  /// Mints a process-unique nonzero flow id (flow 0 means "no flow").
+  std::uint64_t next_flow_id() noexcept;
+
+  void complete(std::uint32_t name_id, std::uint64_t ts_ns,
+                std::uint64_t dur_ns, std::uint64_t flow = 0,
+                std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                std::uint64_t a2 = 0) noexcept;
+  void instant(std::uint32_t name_id, std::uint64_t flow = 0,
+               std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+               std::uint64_t a2 = 0) noexcept;
+  void flow_begin(std::uint32_t name_id, std::uint64_t flow,
+                  std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                  std::uint64_t a2 = 0) noexcept;
+  void flow_step(std::uint32_t name_id, std::uint64_t flow,
+                 std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                 std::uint64_t a2 = 0) noexcept;
+  void flow_end(std::uint32_t name_id, std::uint64_t flow,
+                std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                std::uint64_t a2 = 0) noexcept;
+
+  // ---- accounting / export (cold; safe while recording continues) ---------
+
+  /// Events recorded / evicted-unseen so far, summed over all rings. The
+  /// difference is what an export can still show. Exact: each ring drops
+  /// max(0, written − capacity), oldest first.
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;
+
+  /// One decoded, stable event (torn slots are skipped by the snapshot).
+  struct Event {
+    std::uint32_t ring_id = 0;  ///< export track ("tid")
+    TraceEventKind kind = TraceEventKind::kInstant;
+    std::uint32_t name_id = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t flow = 0;
+    std::uint64_t args[3] = {0, 0, 0};
+  };
+  struct ThreadInfo {
+    std::uint32_t ring_id = 0;
+    std::string name;  ///< empty when never named
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+  };
+  /// Export labels for one event name's three u64 args (set_arg_names);
+  /// defaults a0/a1/a2, used[k] false when the label was set empty.
+  struct NameArgs {
+    std::string labels[3] = {"a0", "a1", "a2"};
+    bool used[3] = {true, true, true};
+  };
+  struct TraceSnapshot {
+    std::vector<std::string> names;      ///< index == interned id
+    std::vector<NameArgs> arg_labels;    ///< index == interned id
+    std::vector<ThreadInfo> threads;
+    std::vector<Event> events;           ///< sorted by ts_ns
+    std::uint64_t events_recorded = 0;
+    std::uint64_t events_dropped = 0;
+  };
+  TraceSnapshot snapshot() const;
+
+  /// Chrome trace_event JSON object ({"traceEvents": [...]}) with one "M"
+  /// thread_name record per named ring and flow s/t/f events binding the
+  /// per-thread instants into chains.
+  std::string to_chrome_json() const;
+  /// One self-contained JSON object per line (name/ph/tid/ts_ns/... keys).
+  std::string to_ndjson() const;
+
+  /// Write an export to `path`; false + *error on I/O failure.
+  bool write_chrome_json(const std::string& path,
+                         std::string* error = nullptr) const;
+  bool write_ndjson(const std::string& path,
+                    std::string* error = nullptr) const;
+
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+
+ private:
+  // One ring slot = one cache line = 8 atomic words under a per-slot seqlock
+  // (word 0). The owning thread writes odd-seq → payload → even-seq; the
+  // exporter re-checks the seq around its copy and discards torn reads, so
+  // live export never misreads a slot and never stalls the writer.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> w[8];
+    Slot() {
+      for (auto& x : w) x.store(0, std::memory_order_relaxed);
+    }
+  };
+  struct ThreadRing {
+    ThreadRing(std::uint32_t ring_id, std::size_t capacity)
+        : id(ring_id), slots(std::make_unique<Slot[]>(capacity)) {}
+    const std::uint32_t id;
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<std::uint64_t> written{0};  ///< total events ever written
+    std::string name;                       ///< guarded by recorder mutex
+  };
+
+  ThreadRing* this_thread_ring();
+  static std::vector<ThreadRing*>& thread_ring_map();
+  void record(TraceEventKind kind, std::uint32_t name_id, std::uint64_t ts_ns,
+              std::uint64_t dur_ns, std::uint64_t flow, std::uint64_t a0,
+              std::uint64_t a1, std::uint64_t a2) noexcept;
+
+  const std::uint64_t id_;  ///< process-unique, never reused
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::vector<std::string> names_;  ///< interned; index == id
+  struct ArgNames {
+    std::uint32_t name_id;
+    std::string labels[3];
+  };
+  std::vector<ArgNames> arg_names_;
+  std::atomic<std::uint64_t> next_flow_{1};
+  Counter* recorded_counter_ = nullptr;  ///< null without a registry
+  Counter* dropped_counter_ = nullptr;
+  std::uint64_t epoch_ns_ = 0;  ///< steady-clock origin of ts_ns
+};
+
+/// RAII complete-event helper following ScopedSpanBase's null contract: a
+/// null recorder is a single branch, the clock is never read. Args and flow
+/// may be set any time before destruction (they ride the closing record).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::uint32_t name_id,
+            std::uint64_t flow = 0) noexcept
+      : recorder_(recorder), name_id_(name_id), flow_(flow) {
+    if (recorder_) start_ns_ = recorder_->now_ns();
+  }
+  ~TraceSpan() {
+    if (recorder_) {
+      recorder_->complete(name_id_, start_ns_,
+                          recorder_->now_ns() - start_ns_, flow_, args_[0],
+                          args_[1], args_[2]);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void set_flow(std::uint64_t flow) noexcept { flow_ = flow; }
+  void set_args(std::uint64_t a0, std::uint64_t a1 = 0,
+                std::uint64_t a2 = 0) noexcept {
+    args_[0] = a0;
+    args_[1] = a1;
+    args_[2] = a2;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::uint32_t name_id_;
+  std::uint64_t flow_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t args_[3] = {0, 0, 0};
+};
+
+}  // namespace bulkgcd::obs

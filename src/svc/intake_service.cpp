@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "rsa/keystore.hpp"
 
 namespace bulkgcd::svc {
@@ -50,6 +51,37 @@ struct IntakeService::Telemetry {
   }
 };
 
+/// Interned trace event ids for the arrival pipeline (obs/trace.hpp). Each
+/// admitted arrival's flow chain reads: [flow_begin at the caller's parse
+/// site] → journal_append span → queued step → probe span → fold end, all
+/// carrying the same flow id, so the exported timeline connects one key's
+/// path across the submitting thread and the probe worker.
+struct IntakeService::TraceHooks {
+  obs::TraceRecorder* rec = nullptr;
+  std::uint32_t journal_append = 0;
+  std::uint32_t queued = 0;
+  std::uint32_t replayed = 0;
+  std::uint32_t probe_key = 0;
+  std::uint32_t fold = 0;
+
+  static std::unique_ptr<TraceHooks> resolve(obs::TraceRecorder* rec) {
+    if (!rec) return nullptr;
+    auto t = std::make_unique<TraceHooks>();
+    t->rec = rec;
+    t->journal_append = rec->intern("journal_append");
+    t->queued = rec->intern("queued");
+    t->replayed = rec->intern("replayed");
+    t->probe_key = rec->intern("probe_key");
+    t->fold = rec->intern("fold");
+    rec->set_arg_names(t->journal_append, "seq", "", "");
+    rec->set_arg_names(t->queued, "seq", "depth", "");
+    rec->set_arg_names(t->replayed, "seq", "", "");
+    rec->set_arg_names(t->probe_key, "seq", "fold_index", "hits");
+    rec->set_arg_names(t->fold, "seq", "fold_index", "hits");
+    return t;
+  }
+};
+
 IntakeService::IntakeService(std::vector<mp::BigInt> seed_corpus,
                              IntakeServiceConfig config)
     : config_(std::move(config)),
@@ -58,6 +90,7 @@ IntakeService::IntakeService(std::vector<mp::BigInt> seed_corpus,
       tele_(Telemetry::resolve(config_.probe.metrics)) {
   if (config_.batch_max == 0) config_.batch_max = 1;
   resolve_backend(config_.probe);
+  trace_ = TraceHooks::resolve(config_.probe.trace);
   seed_count_ = corpus_.size();
   // Seed the dedup element so a re-submitted seed key is recognized.
   for (const auto& n : corpus_) seen_[fingerprint(n)].push_back(n);
@@ -121,7 +154,7 @@ void IntakeService::replay_journal() {
   next_seq_ = replay.arrivals.size();
 }
 
-Admission IntakeService::submit(const mp::BigInt& n) {
+Admission IntakeService::submit(const mp::BigInt& n, std::uint64_t flow_id) {
   if (tele_) tele_->submitted->inc();
   {
     std::lock_guard stats_lock(stats_mutex_);
@@ -147,8 +180,13 @@ Admission IntakeService::submit(const mp::BigInt& n) {
   // the same critical section (arrival + retract cancel on replay) and its
   // seq reused: shed means "never admitted", on disk as in memory.
   const std::uint64_t seq = next_seq_;
-  if (journal_) journal_->append_arrival(seq, n);
-  if (!queue_.try_push(PendingKey{seq, n})) {
+  if (journal_) {
+    obs::TraceSpan append_span(trace_ ? trace_->rec : nullptr,
+                               trace_ ? trace_->journal_append : 0, flow_id);
+    append_span.set_args(seq);
+    journal_->append_arrival(seq, n);
+  }
+  if (!queue_.try_push(PendingKey{seq, n, flow_id})) {
     if (journal_) journal_->append_retract(seq);
     if (bucket.empty()) seen_.erase(fingerprint(n));
     if (tele_) {
@@ -161,6 +199,9 @@ Admission IntakeService::submit(const mp::BigInt& n) {
   }
   ++next_seq_;
   bucket.push_back(n);
+  if (trace_ && flow_id != 0) {
+    trace_->rec->flow_step(trace_->queued, flow_id, seq, queue_.size());
+  }
   if (tele_) {
     tele_->admitted->inc();
     tele_->queue_depth->set(double(queue_.size()));
@@ -171,6 +212,7 @@ Admission IntakeService::submit(const mp::BigInt& n) {
 }
 
 void IntakeService::worker_loop() {
+  if (trace_) trace_->rec->set_thread_name("intake-probe");
   std::vector<PendingKey> batch;
   // Resumed tail first: journaled arrivals the previous process admitted
   // but never probed. They already passed admission once, so they bypass
@@ -179,8 +221,15 @@ void IntakeService::worker_loop() {
   while (!replay_tail_.empty()) {
     batch.clear();
     while (batch.size() < config_.batch_max && !replay_tail_.empty()) {
-      batch.push_back(std::move(replay_tail_.front()));
+      PendingKey pending = std::move(replay_tail_.front());
       replay_tail_.pop_front();
+      // Replayed arrivals never saw the live parse site, so their flow
+      // chains begin here: replayed → probe → fold.
+      if (trace_) {
+        pending.flow = trace_->rec->next_flow_id();
+        trace_->rec->flow_begin(trace_->replayed, pending.flow, pending.seq);
+      }
+      batch.push_back(std::move(pending));
     }
     if (tele_) tele_->batch_fill->set(double(batch.size()));
     if (config_.batch_hook) config_.batch_hook(batch.size());
@@ -217,6 +266,8 @@ void IntakeService::probe_batch(std::vector<PendingKey>& batch) {
   std::uint64_t batch_hits = 0;
   for (auto& pending : batch) {
     mp::BigInt& n = pending.value;
+    obs::TraceSpan key_span(trace_ ? trace_->rec : nullptr,
+                            trace_ ? trace_->probe_key : 0, pending.flow);
     // The staged corpus is only ever grown by this thread, so the probe
     // rides it without holding state_mutex_.
     bulk::ProbeStats probe_stats;
@@ -225,6 +276,7 @@ void IntakeService::probe_batch(std::vector<PendingKey>& batch) {
     batch_pairs += probe_stats.pairs_tested;
 
     const std::size_t j = corpus_.size();  // fold index of this arrival
+    key_span.set_args(pending.seq, j, incremental.size());
     std::vector<bulk::FactorHit> found;
     found.reserve(incremental.size());
     for (const auto& hit : incremental) {
@@ -235,7 +287,8 @@ void IntakeService::probe_batch(std::vector<PendingKey>& batch) {
       fh.full_modulus = hit.full_modulus;
       found.push_back(std::move(fh));
     }
-    batch_hits += found.size();
+    const std::size_t key_hits = found.size();
+    batch_hits += key_hits;
     // Settle the probe on disk before reporting or folding: after this
     // append a restart re-folds the key from the journal instead of
     // re-probing it.
@@ -250,6 +303,10 @@ void IntakeService::probe_batch(std::vector<PendingKey>& batch) {
       corpus_.push_back(std::move(n));
       hits_.insert(hits_.end(), std::make_move_iterator(found.begin()),
                    std::make_move_iterator(found.end()));
+    }
+    if (trace_ && pending.flow != 0) {
+      trace_->rec->flow_end(trace_->fold, pending.flow, pending.seq, j,
+                            key_hits);
     }
   }
 

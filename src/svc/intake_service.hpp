@@ -125,7 +125,13 @@ class IntakeService {
   /// Thread-safe, never blocks on the probe element. The returned verdict
   /// is final except for kShed, which a client may retry after backoff.
   /// kAdmitted with a journal configured means the key is on disk.
-  Admission submit(const mp::BigInt& n);
+  ///
+  /// flow_id (optional) is a trace flow minted by the caller at parse time
+  /// (obs::TraceRecorder::next_flow_id); when config.probe.trace is set and
+  /// the id is nonzero, the arrival's journal append, queue admission,
+  /// probe, and corpus fold all carry it, stitching the arrival into one
+  /// connected chain in the exported timeline. 0 = no flow (default).
+  Admission submit(const mp::BigInt& n, std::uint64_t flow_id = 0);
 
   /// Close intake, drain the queue through the probe element (every
   /// already-admitted key is still probed and folded), join the worker.
@@ -150,6 +156,9 @@ class IntakeService {
   struct PendingKey {
     std::uint64_t seq = 0;
     mp::BigInt value;
+    /// Trace flow id following this arrival through the pipeline (0 = none).
+    /// Replayed-tail arrivals mint a fresh flow at construction.
+    std::uint64_t flow = 0;
   };
 
   void worker_loop();
@@ -190,6 +199,8 @@ class IntakeService {
 
   struct Telemetry;  ///< intake_* metric handles (null-registry safe)
   std::unique_ptr<Telemetry> tele_;
+  struct TraceHooks;  ///< interned trace event ids (null-recorder safe)
+  std::unique_ptr<TraceHooks> trace_;
 
   mutable std::mutex stats_mutex_;
   IntakeStats stats_;

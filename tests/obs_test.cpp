@@ -309,6 +309,28 @@ TEST_F(EmitterTest, EmitNowAndStopAppendSnapshotLines) {
   }
 }
 
+TEST_F(EmitterTest, StopAlwaysWritesOneFinalLine) {
+  // Regression: a zero-interval emitter that was never asked for a snapshot
+  // must still flush exactly one final line on stop(), carrying the
+  // registry's state at shutdown — the "last observation wins" contract
+  // both CLIs rely on for their end-of-run summaries.
+  MetricsRegistry registry;
+  Counter* c = registry.counter("final_line_total");
+  {
+    TelemetryEmitter emitter(registry, path_, /*interval_seconds=*/0.0);
+    c->add(41);
+    c->inc();
+    emitter.stop();
+    EXPECT_EQ(emitter.lines_written(), 1u);
+    emitter.stop();  // idempotent: still exactly one line
+    EXPECT_EQ(emitter.lines_written(), 1u);
+  }
+  const auto written = lines();
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_NE(written[0].find("\"final_line_total\":42"), std::string::npos)
+      << written[0];
+}
+
 TEST_F(EmitterTest, PeriodicThreadWritesAndDestructorFinalizes) {
   MetricsRegistry registry;
   registry.counter("ticks_total")->inc();

@@ -25,9 +25,11 @@
 #include <unistd.h>
 
 #include "bulk/allpairs.hpp"
+#include "bulk/build_info.hpp"
 #include "core/rng.hpp"
 #include "obs/http_exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rsa/corpus.hpp"
 #include "rsa/pem.hpp"
 #include "rsa/prime.hpp"
@@ -870,6 +872,62 @@ TEST(MetricsHttpServerTest, ServesPrometheusTextHealthzAnd404) {
   EXPECT_EQ(server.requests(), 3u);
   server.stop();
   server.stop();  // idempotent
+}
+
+TEST(MetricsHttpServerTest, StatusAndTraceEndpoints404UntilConfigured) {
+  obs::MetricsRegistry registry;
+  obs::MetricsHttpServer server(registry, 0);
+  EXPECT_NE(http_get(server.port(), "/status").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/trace").find("404"), std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, StatusServesBuildInfoJson) {
+  obs::MetricsRegistry registry;
+  obs::MetricsHttpServer server(registry, 0);
+  const bulk::BuildInfo info = bulk::query_build_info();
+  server.set_status_provider(
+      [info] { return bulk::build_info_json(info, /*uptime_seconds=*/1.5); });
+
+  const std::string status = http_get(server.port(), "/status");
+  EXPECT_NE(status.find("200 OK"), std::string::npos) << status;
+  EXPECT_NE(status.find("application/json"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"service\":\"bulkgcd\""), std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"uptime_seconds\":1.500"), std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"limb_bits\":" +
+                        std::to_string(sizeof(bulk::ScanLimb) * 8)),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"compiled_backends\":"), std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"active_backend\":"), std::string::npos) << status;
+  // The one-line banner renders the same fields for CLI startup.
+  const std::string line = bulk::build_info_line(info);
+  EXPECT_NE(line.find("bulkgcd "), std::string::npos) << line;
+  EXPECT_NE(line.find("active "), std::string::npos) << line;
+}
+
+TEST(MetricsHttpServerTest, TraceEndpointServesLiveChromeJson) {
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(256, &registry);
+  recorder.set_thread_name("svc-test");
+  recorder.instant(recorder.intern("ping"), 0, 11);
+
+  obs::MetricsHttpServer server(registry, 0);
+  server.set_trace(&recorder);
+  const std::string trace = http_get(server.port(), "/trace");
+  EXPECT_NE(trace.find("200 OK"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("application/json"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"ping\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"svc-test\""), std::string::npos) << trace;
+
+  // Live: a scrape between recordings sees the newer event too.
+  recorder.instant(recorder.intern("pong"), 0, 22);
+  EXPECT_NE(http_get(server.port(), "/trace").find("\"pong\""),
+            std::string::npos);
 }
 
 TEST(MetricsHttpServerTest, ScrapeSeesLiveIntakeCounters) {

@@ -26,6 +26,15 @@ journal leg
   what a one-shot sweep of the full set finds), and intake_restored_total
   on /metrics.
 
+trace leg
+  Streams the planted weak pair with --trace-out and --journal, SIGTERMs,
+  and asserts the exported Chrome trace stitches each arrival's full flow
+  chain — parse -> journal_append -> queued -> probe_key -> fold, all
+  carrying one flow id — across the connection thread and the probe
+  worker (asserted by presence, not timestamp order: the queued step is
+  recorded on the submitter after try_push, so a fast worker can fold
+  first).
+
 Usage: daemon_smoke.py <daemon-binary> [<ndjson-out>]
 
 The NDJSON telemetry file (default intake.ndjson) is left behind for
@@ -321,6 +330,67 @@ def journal_leg(daemon_bin):
     print("journal leg OK")
 
 
+def trace_leg(daemon_bin):
+    import json
+    tmp = tempfile.mkdtemp(prefix="bulkgcd_smoke_")
+    trace_path = os.path.join(tmp, "intake_trace.json")
+    journal = os.path.join(tmp, "intake.journal")
+    daemon, intake_port, _, _ = start_daemon(
+        daemon_bin, ["--trace-out", trace_path, "--journal", journal,
+                     "--threads", "1"])
+    try:
+        with socket.create_connection(("127.0.0.1", intake_port)) as sock:
+            sock.sendall(b"bcbf\ncee1\n")
+            lines = recv_lines(sock, 3)  # 2 statuses + async hit
+            if [l for l in lines if l.startswith("hit ")] != [EXPECTED_HIT]:
+                fail(f"trace leg responses wrong: {lines}")
+        out = terminate(daemon)
+        m = re.search(r"trace -> \S+ \((\d+) events, (\d+) dropped\)", out)
+        if not m:
+            fail("shutdown did not report the trace write")
+        if int(m.group(1)) == 0:
+            fail("trace reported zero events")
+
+        with open(trace_path) as f:
+            events = json.load(f)["traceEvents"]
+        threads = {e["args"].get("name") for e in events
+                   if e.get("ph") == "M" and e.get("name") == "thread_name"}
+        if "intake-probe" not in threads:
+            fail(f"probe worker track not named: {threads}")
+        # Stitch flows: named events tag args.flow, s/t/f companions carry
+        # the raw id. Both admitted keys must own a complete chain.
+        chains, phases = {}, {}
+        for e in events:
+            if e.get("cat") == "flow":
+                phases.setdefault(e["id"], set()).add(e["ph"])
+                continue
+            flow = (e.get("args") or {}).get("flow")
+            if flow:
+                chains.setdefault(flow, set()).add(e["name"])
+        want = {"parse", "journal_append", "queued", "probe_key", "fold"}
+        complete = [f for f, names in chains.items()
+                    if want <= names and phases.get(f) == {"s", "t", "f"}]
+        if len(complete) < 2:
+            fail(f"wanted 2 complete arrival chains, got {len(complete)}: "
+                 f"{ {f: sorted(n) for f, n in chains.items()} }")
+        print(f"[trace] {len(complete)} arrival flow chains stitched "
+              f"({len(events)} events)")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        for path in (trace_path, journal):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        try:
+            os.rmdir(tmp)
+        except OSError:
+            pass
+    print("trace leg OK")
+
+
 def main():
     if len(sys.argv) < 2:
         fail(__doc__)
@@ -329,6 +399,7 @@ def main():
     serial_leg(daemon_bin, ndjson)
     concurrency_leg(daemon_bin)
     journal_leg(daemon_bin)
+    trace_leg(daemon_bin)
     print("daemon smoke OK")
 
 

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Summarize a bulkgcd pipeline trace (obs/trace.hpp exports).
+
+Stdlib-only on purpose (CI runners need no installs). Accepts either export
+format the recorder writes:
+
+  * Chrome trace_event JSON ({"traceEvents": [...]}, what --trace-out and
+    GET /trace produce) — also loadable in Perfetto / chrome://tracing,
+  * NDJSON (one self-contained object per line, TraceRecorder::to_ndjson).
+
+Reported sections:
+
+  phases        per-event-name totals over complete ("X") spans: count,
+                total/mean/max duration — where the scan's wall-clock went
+                (chunk vs panel_load vs lane_exec vs journal_fsync, ...)
+  workers       per-thread-track utilization: merged busy time of each
+                track's spans over the track's active window, plus tiles
+                executed and steals initiated — who idled, who carried
+  steals        the work-stealing timeline: every steal instant with its
+                timestamp, thief, victim, and tile count
+  arrivals      end-to-end flow critical paths (intake arrivals): per-flow
+                latency from first to last event carrying the flow id, with
+                count and p50/p90/p99, plus the slowest chains spelled out
+                step by step
+
+Usage:
+    python3 tools/trace_report.py trace.json [more-traces ...]
+
+Exits 0 when every input parses as a trace with at least one event,
+1 otherwise.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Dying quietly on a closed pipe (`trace_report.py ... | head`) beats a
+# BrokenPipeError traceback.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_events(path):
+    """Return a list of normalized events: dicts with name, ph, tid, ts (us),
+    dur (us), flow (int or None), args (dict). Accepts Chrome JSON or NDJSON.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    text = text.strip()
+    if not text:
+        raise ValueError("empty trace file")
+    if text.startswith("{") and '"traceEvents"' in text[:200]:
+        doc = json.loads(text)
+        raw = doc.get("traceEvents", [])
+        events = []
+        for ev in raw:
+            events.append(
+                {
+                    "name": ev.get("name", ""),
+                    "ph": ev.get("ph", ""),
+                    "cat": ev.get("cat", ""),
+                    "tid": ev.get("tid", 0),
+                    "ts": float(ev.get("ts", 0.0)),
+                    "dur": float(ev.get("dur", 0.0)),
+                    "flow": ev.get("id"),
+                    "args": ev.get("args", {}) or {},
+                }
+            )
+        return events
+    # NDJSON: one object per line, ts_ns/dur_ns keys. Thread records become
+    # synthetic "M" metadata events so the report shows track names.
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        ev = json.loads(line)
+        if ev.get("record") == "thread":
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "cat": "",
+                    "tid": ev.get("tid", 0),
+                    "ts": 0.0,
+                    "dur": 0.0,
+                    "flow": None,
+                    "args": {"name": ev.get("name", "")},
+                }
+            )
+            continue
+        args = dict(ev.get("args", {}) or {})
+        flow = args.pop("flow", None)
+        events.append(
+            {
+                "name": ev.get("name", ""),
+                "ph": ev.get("ph", ""),
+                "cat": "flow" if ev.get("ph") in ("s", "t", "f") else "",
+                "tid": ev.get("tid", 0),
+                "ts": float(ev.get("ts_ns", 0)) / 1e3,
+                "dur": float(ev.get("dur_ns", 0)) / 1e3,
+                "flow": flow,
+                "args": args,
+            }
+        )
+    return events
+
+
+def thread_names(events):
+    names = {}
+    for ev in events:
+        if ev["ph"] == "M" and ev["name"] == "thread_name":
+            names[ev["tid"]] = ev["args"].get("name", "")
+    return names
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return "%.3fs" % (us / 1e6)
+    if us >= 1e3:
+        return "%.3fms" % (us / 1e3)
+    return "%.1fus" % us
+
+
+def quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def merged_busy(intervals):
+    """Total covered time of possibly-nested/overlapping [start, end) spans —
+    nested spans (lane_exec inside tile) must not double-count busy time."""
+    total = 0.0
+    end = -1.0
+    for start, stop in sorted(intervals):
+        if start > end:
+            total += stop - start
+            end = stop
+        elif stop > end:
+            total += stop - end
+            end = stop
+    return total
+
+
+def report_phases(events, out):
+    spans = {}
+    for ev in events:
+        if ev["ph"] != "X":
+            continue
+        entry = spans.setdefault(ev["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += ev["dur"]
+        entry[2] = max(entry[2], ev["dur"])
+    if not spans:
+        out.append("phases: no complete spans recorded")
+        return
+    out.append("phases:")
+    out.append(
+        "  %-16s %8s %12s %12s %12s" % ("name", "count", "total", "mean", "max")
+    )
+    for name, (count, total, peak) in sorted(
+        spans.items(), key=lambda kv: -kv[1][1]
+    ):
+        out.append(
+            "  %-16s %8d %12s %12s %12s"
+            % (name, count, fmt_us(total), fmt_us(total / count), fmt_us(peak))
+        )
+
+
+def report_workers(events, out):
+    names = thread_names(events)
+    tracks = {}
+    for ev in events:
+        if ev["ph"] == "M":
+            continue
+        t = tracks.setdefault(
+            ev["tid"], {"spans": [], "lo": None, "hi": None, "tiles": 0,
+                        "steals": 0}
+        )
+        stop = ev["ts"] + ev["dur"]
+        t["lo"] = ev["ts"] if t["lo"] is None else min(t["lo"], ev["ts"])
+        t["hi"] = stop if t["hi"] is None else max(t["hi"], stop)
+        if ev["ph"] == "X":
+            t["spans"].append((ev["ts"], stop))
+            if ev["name"] == "tile":
+                t["tiles"] += 1
+        elif ev["ph"] == "i" and ev["name"] == "steal":
+            t["steals"] += 1
+    if not tracks:
+        out.append("workers: no events recorded")
+        return
+    out.append("workers:")
+    out.append(
+        "  %-16s %10s %10s %6s %6s %6s"
+        % ("track", "busy", "window", "util", "tiles", "steals")
+    )
+    for tid in sorted(tracks):
+        t = tracks[tid]
+        window = (t["hi"] or 0.0) - (t["lo"] or 0.0)
+        busy = merged_busy(t["spans"])
+        util = 100.0 * busy / window if window > 0 else 0.0
+        label = names.get(tid, "") or ("tid-%s" % tid)
+        out.append(
+            "  %-16s %10s %10s %5.1f%% %6d %6d"
+            % (label, fmt_us(busy), fmt_us(window), util, t["tiles"],
+               t["steals"])
+        )
+
+
+def report_steals(events, out):
+    names = thread_names(events)
+    steals = [
+        ev for ev in events if ev["ph"] == "i" and ev["name"] == "steal"
+    ]
+    if not steals:
+        out.append("steals: none recorded")
+        return
+    out.append("steals:")
+    for ev in sorted(steals, key=lambda e: e["ts"]):
+        args = ev["args"]
+        thief = names.get(ev["tid"], "") or ("tid-%s" % ev["tid"])
+        out.append(
+            "  %10s  %s stole %s tile(s) from worker %s"
+            % (
+                fmt_us(ev["ts"]),
+                thief,
+                args.get("tiles", "?"),
+                args.get("victim", "?"),
+            )
+        )
+
+
+def report_arrivals(events, out):
+    flows = {}
+    for ev in events:
+        if ev["flow"] is None:
+            continue
+        # Both the s/t/f flow companions and spans tagged with the flow count
+        # toward the chain's extent.
+        flows.setdefault(ev["flow"], []).append(ev)
+    if not flows:
+        out.append("arrivals: no flows recorded")
+        return
+    latencies = []
+    chains = []
+    for flow, chain in flows.items():
+        chain.sort(key=lambda e: e["ts"])
+        start = chain[0]["ts"]
+        stop = max(e["ts"] + e["dur"] for e in chain)
+        latencies.append(stop - start)
+        chains.append((stop - start, flow, chain))
+    latencies.sort()
+    out.append(
+        "arrivals: %d flows, latency p50 %s  p90 %s  p99 %s  max %s"
+        % (
+            len(latencies),
+            fmt_us(quantile(latencies, 0.50)),
+            fmt_us(quantile(latencies, 0.90)),
+            fmt_us(quantile(latencies, 0.99)),
+            fmt_us(latencies[-1]),
+        )
+    )
+    chains.sort(key=lambda c: -c[0])
+    for latency, flow, chain in chains[:3]:
+        steps = []
+        seen = set()
+        for ev in chain:
+            if ev["cat"] == "flow" and ev["name"] in seen:
+                continue  # instant + companion pair: name each step once
+            seen.add(ev["name"])
+            steps.append("%s@%s" % (ev["name"], fmt_us(ev["ts"] - chain[0]["ts"])))
+        out.append("  flow %s (%s): %s" % (flow, fmt_us(latency), " -> ".join(steps)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="trace files (Chrome JSON or NDJSON)")
+    args = parser.parse_args()
+
+    status = 0
+    for path in args.traces:
+        out = ["== %s ==" % path]
+        try:
+            events = load_events(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print("%s: unreadable trace: %s" % (path, err), file=sys.stderr)
+            status = 1
+            continue
+        if not any(ev["ph"] != "M" for ev in events):
+            print("%s: no events recorded" % path, file=sys.stderr)
+            status = 1
+            continue
+        report_phases(events, out)
+        report_workers(events, out)
+        report_steals(events, out)
+        report_arrivals(events, out)
+        print("\n".join(out))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
