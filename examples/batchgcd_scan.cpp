@@ -1,0 +1,261 @@
+// Resumable batch-GCD CLI — the Bernstein product/remainder-tree attack with
+// per-level checkpointing. Kill it mid-tree (even SIGKILL) and run it again
+// with the same arguments: finished levels replay from the journal and the
+// final gcds come out bit-identical to an uninterrupted run (the CI resume
+// smoke diffs exactly that).
+//
+//   $ ./batchgcd_scan --generate 256 512 4          # demo corpus, then attack
+//   $ ./batchgcd_scan harvested.keys                # attack a keystore file
+//
+// Options:
+//   --checkpoint <path>      level journal (default: <corpus>.btr)
+//   --fsync-every <n>        journal fsync cadence in levels (default 1)
+//   --stop-after-levels <n>  commit at most n levels then exit 3
+//                            (time-sliced mode; rerun to continue)
+//   --kill-after-levels <n>  raise SIGKILL right after the nth level commits
+//                            (crash-recovery testing; the journal is synced
+//                            first, so the rerun resumes past that level)
+//   --gcds-out <file>        write the final gcd vector, one hex value per
+//                            line ("index hex"), for bit-exact comparison
+//   --generate <count> <bits> <weak>  synthesize a corpus into corpus.keys
+//   --metrics-out <file>     append NDJSON telemetry snapshots (batchgcd_*
+//                            metrics; schema in docs/metrics_schema.json)
+//   --metrics-interval <s>   seconds between periodic snapshots (default 0:
+//                            a single final snapshot on exit)
+//   --trace-out <file>       record per-level spans (product_level /
+//                            remainder_level / final_gcds, journal fsyncs)
+//                            as Chrome trace_event JSON
+//
+// Value flags accept both `--flag value` and `--flag=value`.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "bulkgcd.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [<moduli-file>] [--generate <count> <bits> <weak>]\n"
+               "          [--checkpoint <path>] [--fsync-every <n>]\n"
+               "          [--stop-after-levels <n>] [--kill-after-levels <n>]\n"
+               "          [--gcds-out <file>]\n"
+               "          [--metrics-out <file>] [--metrics-interval <sec>]\n"
+               "          [--trace-out <file>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bulkgcd;
+
+  std::string corpus_path;
+  std::string checkpoint_path;
+  std::string gcds_path;
+  std::string metrics_path;
+  std::string trace_path;
+  double metrics_interval = 0.0;
+  std::size_t kill_after_levels = 0;
+  batchgcd::BatchScanConfig config;
+  std::size_t gen_count = 0, gen_bits = 512, gen_weak = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&](const char* what) -> std::string {
+      if (has_inline) {
+        has_inline = false;
+        return inline_value;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_u64 = [&](const char* what) {
+      return std::strtoull(next(what).c_str(), nullptr, 10);
+    };
+    if (arg == "--generate") {
+      gen_count = next_u64("--generate");
+      gen_bits = next_u64("--generate bits");
+      gen_weak = next_u64("--generate weak");
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next("--checkpoint");
+    } else if (arg == "--fsync-every") {
+      config.fsync_every = next_u64("--fsync-every");
+    } else if (arg == "--stop-after-levels") {
+      config.stop_after_levels = next_u64("--stop-after-levels");
+    } else if (arg == "--kill-after-levels") {
+      kill_after_levels = next_u64("--kill-after-levels");
+    } else if (arg == "--gcds-out") {
+      gcds_path = next("--gcds-out");
+    } else if (arg == "--metrics-out") {
+      metrics_path = next("--metrics-out");
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::strtod(next("--metrics-interval").c_str(),
+                                     nullptr);
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (!arg.empty() && arg[0] != '-') {
+      corpus_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (corpus_path.empty() && gen_count == 0) return usage(argv[0]);
+
+  std::optional<obs::MetricsRegistry> registry;
+  if (!metrics_path.empty()) {
+    registry.emplace();
+    config.metrics = &*registry;
+  }
+
+  std::printf("%s\n",
+              bulk::build_info_line(bulk::query_build_info()).c_str());
+
+  std::optional<obs::TraceRecorder> tracer;
+  if (!trace_path.empty()) {
+    tracer.emplace(/*ring_capacity=*/262144, registry ? &*registry : nullptr);
+    config.trace = &*tracer;
+    std::printf("tracing -> %s\n", trace_path.c_str());
+  }
+
+  std::vector<mp::BigInt> moduli;
+  if (gen_count > 0) {
+    if (corpus_path.empty()) corpus_path = "corpus.keys";
+    rsa::CorpusSpec spec;
+    spec.count = gen_count;
+    spec.modulus_bits = gen_bits;
+    spec.weak_pairs = gen_weak;
+    spec.seed = 20150525;  // the paper's conference date, for reproducibility
+    std::printf("generating %zu %zu-bit moduli (%zu weak pairs) -> %s\n",
+                gen_count, gen_bits, gen_weak, corpus_path.c_str());
+    moduli = rsa::generate_corpus(spec).moduli;
+    rsa::save_moduli(corpus_path, moduli, "batchgcd_scan demo corpus");
+  } else {
+    try {
+      moduli = rsa::load_moduli(corpus_path, registry ? &*registry : nullptr);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("loaded %zu moduli from %s\n", moduli.size(),
+                corpus_path.c_str());
+  }
+
+  if (checkpoint_path.empty()) checkpoint_path = corpus_path + ".btr";
+  config.checkpoint = checkpoint_path;
+
+  std::printf("corpus digest %016llx, checkpoint %s\n",
+              (unsigned long long)rsa::corpus_digest(moduli),
+              checkpoint_path.c_str());
+
+  if (kill_after_levels > 0) {
+    config.level_hook = [kill_after_levels](std::size_t done,
+                                            std::size_t total) {
+      std::printf("  level %zu/%zu committed\n", done, total);
+      if (done >= kill_after_levels) {
+        // The level's journal record is already synced: a real crash, at the
+        // worst possible moment that still has this level durable.
+        std::fflush(stdout);
+        std::raise(SIGKILL);
+      }
+    };
+  } else {
+    config.level_hook = [](std::size_t done, std::size_t total) {
+      std::printf("  level %zu/%zu committed\n", done, total);
+    };
+  }
+
+  std::optional<obs::TelemetryEmitter> emitter;
+  if (registry) {
+    try {
+      emitter.emplace(*registry, metrics_path, metrics_interval);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("telemetry -> %s (interval %.1fs)\n", metrics_path.c_str(),
+                metrics_interval);
+  }
+
+  batchgcd::BatchScanReport report;
+  try {
+    report = batchgcd::run_resumable_batch(moduli, config);
+  } catch (const std::exception& e) {
+    if (emitter) emitter->stop();
+    std::fprintf(stderr,
+                 "error: %s\n(delete %s to restart this attack from scratch)\n",
+                 e.what(), checkpoint_path.c_str());
+    return 2;
+  }
+
+  if (emitter) emitter->stop();
+
+  if (tracer) {
+    std::string error;
+    if (tracer->write_chrome_json(trace_path, &error)) {
+      std::printf("trace -> %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  (unsigned long long)tracer->events_recorded(),
+                  (unsigned long long)tracer->events_dropped());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+  }
+
+  std::printf("\n%s after %.2fs: %llu/%llu levels this run, %llu restored",
+              report.complete ? "complete" : "interrupted",
+              report.result.seconds, (unsigned long long)report.levels_done,
+              (unsigned long long)report.levels_total,
+              (unsigned long long)report.levels_restored);
+  if (report.resumed) std::printf(" (resumed)");
+  std::printf("\n");
+
+  if (report.complete) {
+    const auto weak = batchgcd::weak_indices(report.result);
+    const auto full = batchgcd::full_modulus_indices(report.result, moduli);
+    std::printf("%zu weak moduli (%zu unfactorable full-modulus gcds)\n",
+                weak.size(), full.size());
+    for (const auto i : weak) {
+      std::printf("  key %zu: gcd = %s (%zu bits)\n", i,
+                  report.result.gcds[i].to_hex().c_str(),
+                  report.result.gcds[i].bit_length());
+    }
+    if (!gcds_path.empty()) {
+      std::ofstream out(gcds_path, std::ios::trunc);
+      for (std::size_t i = 0; i < report.result.gcds.size(); ++i) {
+        out << i << " " << report.result.gcds[i].to_hex() << "\n";
+      }
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", gcds_path.c_str());
+        return 2;
+      }
+      std::printf("gcds -> %s\n", gcds_path.c_str());
+    }
+  }
+
+  if (!report.complete) {
+    std::printf("rerun with the same arguments to continue from %s\n",
+                checkpoint_path.c_str());
+    return 3;
+  }
+  return 0;
+}

@@ -8,13 +8,29 @@
 // Identity used: with P = Π n_k and n_i | P,
 //   gcd(n_i, P / n_i) = gcd(n_i, (P mod n_i²) / n_i),
 // and the remainder tree delivers every P mod n_i² in O(M(total bits) log m).
+//
+// Two entry points:
+//   batch_gcd            — one-shot, in-memory (the bench/test workhorse).
+//   run_resumable_batch  — the checkpointed driver: each completed tree
+//     level (product levels up, remainder levels down, final gcds) commits
+//     to an append-only journal (batch_journal.hpp), so a SIGKILL at any
+//     level resumes without recomputing finished levels. batch_gcd is this
+//     driver with the journal switched off.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "mp/bigint.hpp"
+
+namespace bulkgcd::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace bulkgcd::obs
 
 namespace bulkgcd::batchgcd {
 
@@ -49,8 +65,59 @@ struct BatchGcdResult {
   double seconds = 0.0;
 };
 
-/// Run the full batch-GCD attack over the corpus.
-BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli);
+/// Run the full batch-GCD attack over the corpus, in memory. With a registry
+/// the run feeds the batchgcd_* metrics (docs/OBSERVABILITY.md).
+BatchGcdResult batch_gcd(std::span<const mp::BigInt> moduli,
+                         obs::MetricsRegistry* metrics = nullptr);
+
+/// Configuration for the checkpointed driver. Defaults reproduce batch_gcd.
+struct BatchScanConfig {
+  /// Journal path. Empty ⇒ no checkpointing (pure in-memory run). The file
+  /// is bound to the corpus identity (rsa::corpus_digest + count); opening
+  /// a journal written for a different corpus throws std::runtime_error.
+  std::filesystem::path checkpoint;
+  /// fsync the journal after every this-many level commits (min 1). The
+  /// final gcds record always syncs regardless.
+  std::size_t fsync_every = 1;
+  /// Stop (cleanly, complete=false) after committing this many levels in
+  /// THIS run; 0 = run to completion. The final gcds level always finishes
+  /// once started. Lets tests and the CLI exercise resume deterministically.
+  std::size_t stop_after_levels = 0;
+  /// Optional batchgcd_* metrics sink (null ⇒ zero-cost).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional trace sink: one span per tree level (product_level /
+  /// remainder_level / final_gcds) plus journal fsync latency.
+  obs::TraceRecorder* trace = nullptr;
+  /// Called after every level committed this run with
+  /// (levels_done_this_run, levels_total). The SIGKILL resume smoke raises
+  /// its signal from here, mid-tree, with the journal already synced.
+  std::function<void(std::size_t, std::size_t)> level_hook;
+};
+
+/// Outcome of one driver run (possibly a partial leg of a resumed attack).
+struct BatchScanReport {
+  /// gcds filled only when complete; seconds covers this run only.
+  BatchGcdResult result;
+  bool complete = false;
+  /// True when any journaled state was restored (including a finished run
+  /// whose gcds replayed straight from the journal).
+  bool resumed = false;
+  /// Total checkpointable levels for this corpus:
+  /// (product levels) + (remainder levels) + 1 for the final gcds.
+  std::uint64_t levels_total = 0;
+  /// Levels computed and committed by THIS run.
+  std::uint64_t levels_done = 0;
+  /// Levels restored from the journal instead of recomputed.
+  std::uint64_t levels_restored = 0;
+};
+
+/// The checkpointed batch-GCD driver. Computes level by level, committing
+/// each completed level to the journal before starting the next, so the
+/// process can die (SIGKILL included) at any point and a rerun with the same
+/// corpus and checkpoint path resumes at the first uncommitted level — the
+/// final gcds are bit-identical to an uninterrupted run.
+BatchScanReport run_resumable_batch(std::span<const mp::BigInt> moduli,
+                                    const BatchScanConfig& config = {});
 
 /// Indices i with gcds[i] > 1 (weak moduli).
 std::vector<std::size_t> weak_indices(const BatchGcdResult& result);

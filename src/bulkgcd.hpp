@@ -23,12 +23,14 @@
 //   svc::ArrivalJournal                 durable intake arrival journal
 //   bulk::StagedCorpus                  incrementally staged probe corpus
 //   batchgcd::batch_gcd                 Bernstein product/remainder tree
+//   batchgcd::run_resumable_batch       checkpointed level-by-level driver
 //   gcd::gcd_lehmer                     Lehmer's GCD (extension baseline)
 //   umm::UmmSimulator                   the paper's GPU cost model
 //
 // See README.md for a guided tour and examples/ for runnable programs.
 #pragma once
 
+#include "batchgcd/batch_journal.hpp"
 #include "batchgcd/batchgcd.hpp"
 #include "bulk/allpairs.hpp"
 #include "bulk/build_info.hpp"

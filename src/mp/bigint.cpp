@@ -4,7 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
-#include "mp/karatsuba.hpp"
+#include "mp/toom3.hpp"
 
 namespace bulkgcd::mp {
 
@@ -153,7 +153,9 @@ BigIntT<Limb> BigIntT<Limb>::mul(const BigIntT& a, const BigIntT& b) {
   BigIntT out;
   if (a.is_zero() || b.is_zero()) return out;
   if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
-    out.limbs_ = mul_karatsuba(a.limbs_.data(), a.size(), b.limbs_.data(), b.size());
+    // mul_dispatch climbs the full ladder: Karatsuba here, Toom-3 once both
+    // operands clear kToom3Threshold (the batch-GCD tree regime).
+    out.limbs_ = mul_dispatch(a.limbs_.data(), a.size(), b.limbs_.data(), b.size());
     return out;
   }
   out.limbs_.resize(a.size() + b.size());

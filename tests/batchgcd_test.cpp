@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
+#include "batchgcd/batch_journal.hpp"
 #include "bulk/allpairs.hpp"
 #include "gmp_oracle.hpp"
+#include "obs/metrics.hpp"
 #include "rsa/corpus.hpp"
+#include "rsa/keystore.hpp"
 
 namespace bulkgcd::batchgcd {
 namespace {
@@ -214,6 +219,264 @@ TEST(BatchGcdTest, AgreesWithAllPairsSweep) {
     pairwise_weak.insert(hit.j);
   }
   EXPECT_EQ(batch_weak, pairwise_weak);
+}
+
+// ---- resumable driver + level journal --------------------------------------
+
+class BatchResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("bulkgcd_batch_btr_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+
+  static rsa::WeakCorpus test_corpus(std::size_t count, std::size_t weak,
+                                     std::uint64_t seed) {
+    rsa::CorpusSpec spec;
+    spec.count = count;
+    spec.modulus_bits = 128;
+    spec.weak_pairs = weak;
+    spec.seed = seed;
+    return rsa::generate_corpus(spec);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(BatchResumeTest, UncheckpointedDriverMatchesBatchGcd) {
+  const auto corpus = test_corpus(21, 3, 201);
+  const BatchGcdResult direct = batch_gcd(corpus.moduli);
+  const BatchScanReport report = run_resumable_batch(corpus.moduli);
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.levels_restored, 0u);
+  EXPECT_EQ(report.levels_done, report.levels_total);
+  EXPECT_EQ(report.result.gcds, direct.gcds);
+}
+
+TEST_F(BatchResumeTest, LevelsTotalCountsBothTreePassesPlusGcds) {
+  // 21 leaves → product levels of 11, 6, 3, 2, 1 nodes (5 pairings), the
+  // same 5 descent steps, plus the final gcds vector.
+  const auto corpus = test_corpus(21, 0, 202);
+  const BatchScanReport report = run_resumable_batch(corpus.moduli);
+  EXPECT_EQ(report.levels_total, 11u);
+  // Single modulus: no tree at all, just the (trivial) gcds level.
+  const std::vector<BigInt> one = {corpus.moduli[0]};
+  const BatchScanReport tiny = run_resumable_batch(one);
+  EXPECT_TRUE(tiny.complete);
+  EXPECT_EQ(tiny.levels_total, 1u);
+  EXPECT_EQ(tiny.result.gcds, std::vector<BigInt>{BigInt(1)});
+}
+
+TEST_F(BatchResumeTest, SingleLevelSlicesReachTheSameGcds) {
+  const auto corpus = test_corpus(19, 2, 203);
+  const BatchGcdResult direct = batch_gcd(corpus.moduli);
+
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  config.stop_after_levels = 1;
+  std::uint64_t total_done = 0;
+  BatchScanReport report;
+  for (int run = 0; run < 64; ++run) {  // bound: levels_total < 64
+    report = run_resumable_batch(corpus.moduli, config);
+    total_done += report.levels_done;
+    if (run == 0) EXPECT_FALSE(report.resumed);
+    if (report.complete) break;
+    EXPECT_EQ(report.levels_done, 1u);
+    EXPECT_TRUE(report.result.gcds.empty());
+  }
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(total_done, report.levels_total);
+  EXPECT_EQ(report.levels_restored + report.levels_done, report.levels_total);
+  EXPECT_EQ(report.result.gcds, direct.gcds);
+}
+
+TEST_F(BatchResumeTest, CompletedJournalReplaysWithoutRecompute) {
+  const auto corpus = test_corpus(14, 2, 204);
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  const BatchScanReport first = run_resumable_batch(corpus.moduli, config);
+  ASSERT_TRUE(first.complete);
+
+  const BatchScanReport replay = run_resumable_batch(corpus.moduli, config);
+  EXPECT_TRUE(replay.complete);
+  EXPECT_TRUE(replay.resumed);
+  EXPECT_EQ(replay.levels_done, 0u);
+  EXPECT_EQ(replay.levels_restored, replay.levels_total);
+  EXPECT_EQ(replay.result.gcds, first.result.gcds);
+}
+
+TEST_F(BatchResumeTest, TornTailIsTruncatedAndRecomputed) {
+  const auto corpus = test_corpus(16, 2, 205);
+  const BatchGcdResult direct = batch_gcd(corpus.moduli);
+
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  config.stop_after_levels = 3;
+  ASSERT_FALSE(run_resumable_batch(corpus.moduli, config).complete);
+
+  // Simulate a crash mid-write: a partial record (a valid kind byte, then
+  // garbage shorter than its own length fields claim) at the tail.
+  const auto intact_size = std::filesystem::file_size(path_);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.put(char(1));  // product-record kind
+    out.write("\x07\x00\x00\x00torn", 8);
+  }
+  ASSERT_GT(std::filesystem::file_size(path_), intact_size);
+
+  config.stop_after_levels = 0;
+  const BatchScanReport resumed = run_resumable_batch(corpus.moduli, config);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.levels_restored, 3u);
+  EXPECT_EQ(resumed.result.gcds, direct.gcds);
+}
+
+TEST_F(BatchResumeTest, JournalForADifferentCorpusIsRefused) {
+  const auto corpus_a = test_corpus(12, 1, 206);
+  const auto corpus_b = test_corpus(12, 1, 207);
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  config.stop_after_levels = 2;
+  ASSERT_FALSE(run_resumable_batch(corpus_a.moduli, config).complete);
+  // Same count, different moduli: the digest must catch it.
+  EXPECT_THROW(run_resumable_batch(corpus_b.moduli, config),
+               std::runtime_error);
+  // Different count too.
+  const std::vector<BigInt> truncated(corpus_a.moduli.begin(),
+                                      corpus_a.moduli.end() - 1);
+  EXPECT_THROW(run_resumable_batch(truncated, config), std::runtime_error);
+  // The original corpus still resumes fine.
+  config.stop_after_levels = 0;
+  EXPECT_TRUE(run_resumable_batch(corpus_a.moduli, config).complete);
+}
+
+TEST_F(BatchResumeTest, ForeignFileIsRefusedNotTruncated) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not a batch journal, long enough to pass the header";
+  }
+  const auto corpus = test_corpus(8, 1, 208);
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  EXPECT_THROW(run_resumable_batch(corpus.moduli, config), std::runtime_error);
+  // Refusal must not have clobbered the file.
+  EXPECT_GT(std::filesystem::file_size(path_), 0u);
+}
+
+TEST_F(BatchResumeTest, TornHeaderIsRecreatedFresh) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "BGCDBTR1\x01\x02";  // our magic, torn before the digest
+  }
+  const auto corpus = test_corpus(8, 1, 209);
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  const BatchScanReport report = run_resumable_batch(corpus.moduli, config);
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.resumed);
+}
+
+TEST_F(BatchResumeTest, LevelHookSeesEveryCommittedLevel) {
+  const auto corpus = test_corpus(10, 1, 210);
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  std::vector<std::size_t> seen;
+  std::size_t reported_total = 0;
+  config.level_hook = [&](std::size_t done, std::size_t total) {
+    seen.push_back(done);
+    reported_total = total;
+  };
+  const BatchScanReport report = run_resumable_batch(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(reported_total, report.levels_total);
+  ASSERT_EQ(seen.size(), report.levels_total);
+  for (std::size_t k = 0; k < seen.size(); ++k) EXPECT_EQ(seen[k], k + 1);
+}
+
+TEST_F(BatchResumeTest, MetricsCoverTheBatchPath) {
+  const auto corpus = test_corpus(15, 2, 211);
+  obs::MetricsRegistry registry;
+  BatchScanConfig config;
+  config.checkpoint = path_;
+  config.stop_after_levels = 2;
+  config.metrics = &registry;
+  ASSERT_FALSE(run_resumable_batch(corpus.moduli, config).complete);
+  config.stop_after_levels = 0;
+  const BatchScanReport report = run_resumable_batch(corpus.moduli, config);
+  ASSERT_TRUE(report.complete);
+
+  const obs::Snapshot snap = registry.snapshot();
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  // Both runs together commit every level exactly once; the second run also
+  // restores the first run's two levels.
+  EXPECT_EQ(counter("batchgcd_levels_committed_total"), report.levels_total);
+  EXPECT_EQ(counter("batchgcd_levels_restored_total"), 2u);
+  EXPECT_EQ(counter("batchgcd_gcds_total"), corpus.moduli.size());
+  EXPECT_EQ(counter("batchgcd_weak_total"),
+            weak_indices(report.result).size());
+  EXPECT_GT(counter("batchgcd_product_nodes_total"), 0u);
+  EXPECT_GT(counter("batchgcd_remainder_nodes_total"), 0u);
+  bool found_gauge = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "batchgcd_progress_ratio") {
+      found_gauge = true;
+      EXPECT_DOUBLE_EQ(g.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "batchgcd_level_seconds") {
+      found_hist = true;
+      EXPECT_EQ(h.count, report.levels_total);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(BatchJournalTest, ReplayRoundTripsAllRecordKinds) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   "bulkgcd_batch_journal_roundtrip";
+  std::error_code ignored;
+  std::filesystem::remove(tmp, ignored);
+
+  const std::vector<BigInt> level1 = {BigInt(0x123456789abcULL), BigInt(0)};
+  const std::vector<BigInt> residues = {BigInt(7), BigInt(11), BigInt(13)};
+  const std::vector<BigInt> gcds = {BigInt(1), BigInt(1), BigInt(17)};
+  {
+    BatchJournal journal(tmp, /*corpus_digest=*/0xfeedULL,
+                         /*corpus_count=*/3);
+    journal.append_product_level(1, level1);
+    journal.append_remainder_level(1, residues);
+    journal.append_remainder_level(0, residues);
+    journal.append_gcds(gcds);
+  }
+  BatchJournal journal(tmp, 0xfeedULL, 3);
+  BatchReplay replay = journal.take_replay();
+  ASSERT_EQ(replay.product_levels.size(), 1u);
+  EXPECT_EQ(replay.product_levels[0].first, 1u);
+  EXPECT_EQ(replay.product_levels[0].second, level1);
+  ASSERT_TRUE(replay.remainder.has_value());
+  EXPECT_EQ(replay.remainder->first, 0u);  // deepest restored level wins
+  EXPECT_EQ(replay.remainder->second, residues);
+  ASSERT_TRUE(replay.gcds.has_value());
+  EXPECT_EQ(*replay.gcds, gcds);
+  std::filesystem::remove(tmp, ignored);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "gmp_oracle.hpp"
 #include "mp/bigint.hpp"
 #include "mp/karatsuba.hpp"
+#include "mp/toom3.hpp"
 
 namespace bulkgcd::mp {
 namespace {
@@ -143,6 +144,78 @@ TYPED_TEST(MpStressTest, KaratsubaSchoolbookConsistencyAdversarial) {
     school.resize(
         mul_schoolbook(school.data(), a.data(), a.size(), b.data(), b.size()));
     ASSERT_EQ(kara, school);
+  }
+}
+
+TYPED_TEST(MpStressTest, Toom3DifferentialStraddlesTheThreshold) {
+  using Limb = TypeParam;
+  Xoshiro256 rng(178);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Both operands straddle kToom3Threshold independently: Toom-3 runs for
+    // real when both clear it and must agree with the lower rungs (and with
+    // itself falling back) when either doesn't.
+    const std::size_t limbs_a = kToom3Threshold - 4 + rng.below(12);
+    const std::size_t limbs_b = kToom3Threshold - 4 + rng.below(12);
+    const auto a = random_value<Limb>(rng, mp::limb_bits<Limb> * limbs_a)
+                   << rng.below(64);
+    const auto b = random_value<Limb>(rng, mp::limb_bits<Limb> * limbs_b);
+    const auto toom = mul_toom3(a.data(), a.size(), b.data(), b.size());
+    const auto kara = mul_karatsuba(a.data(), a.size(), b.data(), b.size());
+    std::vector<Limb> school(a.size() + b.size());
+    school.resize(
+        mul_schoolbook(school.data(), a.data(), a.size(), b.data(), b.size()));
+    ASSERT_EQ(toom, kara);
+    ASSERT_EQ(toom, school);
+    // GMP oracle on the full dispatch ladder (BigInt operator*).
+    test::Mpz ga = test::to_mpz(a), gb = test::to_mpz(b), gp;
+    mpz_mul(gp.get(), ga.get(), gb.get());
+    ASSERT_EQ(a * b, test::from_mpz<Limb>(gp));
+  }
+}
+
+TYPED_TEST(MpStressTest, Toom3AdversarialShapes) {
+  using Limb = TypeParam;
+  using Big = BigIntT<Limb>;
+  const std::size_t lb = mp::limb_bits<Limb>;
+  const std::size_t T = kToom3Threshold;
+  Xoshiro256 rng(179);
+  std::vector<Big> shapes;
+  // all ones across all three split parts
+  shapes.push_back((Big(1) << (3 * T * lb)) - Big(1));
+  // single top bit: zero low and middle parts
+  shapes.push_back(Big(1) << (3 * T * lb - 1));
+  // low ones, hollow middle third, random high third
+  shapes.push_back(((Big(1) << (T * lb)) - Big(1)) +
+                   (random_value<Limb>(rng, T * lb) << (2 * T * lb)));
+  // strong imbalance partner, just above the threshold (empty high parts
+  // after the split against the big shapes)
+  shapes.push_back(random_value<Limb>(rng, (T + 1) * lb));
+  // 4× threshold: the pointwise products recurse into Toom-3 again
+  shapes.push_back(random_value<Limb>(rng, 4 * T * lb));
+  for (const auto& a : shapes) {
+    for (const auto& b : shapes) {
+      const auto toom = mul_toom3(a.data(), a.size(), b.data(), b.size());
+      std::vector<Limb> school(a.size() + b.size());
+      school.resize(mul_schoolbook(school.data(), a.data(), a.size(), b.data(),
+                                   b.size()));
+      ASSERT_EQ(toom, school);
+    }
+  }
+}
+
+TYPED_TEST(MpStressTest, DispatchLadderMatchesGmpWellAboveBothThresholds) {
+  using Limb = TypeParam;
+  Xoshiro256 rng(180);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Batch-GCD tree regime: hundreds of limbs, every rung of the ladder
+    // exercised by the recursion.
+    const std::size_t bits_a = mp::limb_bits<Limb> * (200 + rng.below(200));
+    const std::size_t bits_b = mp::limb_bits<Limb> * (200 + rng.below(200));
+    const auto a = random_value<Limb>(rng, bits_a);
+    const auto b = random_value<Limb>(rng, bits_b);
+    test::Mpz ga = test::to_mpz(a), gb = test::to_mpz(b), gp;
+    mpz_mul(gp.get(), ga.get(), gb.get());
+    ASSERT_EQ(a * b, test::from_mpz<Limb>(gp));
   }
 }
 
